@@ -1,0 +1,180 @@
+//! Zonal-harmonic approximation of a specular spike (ch. 2, Fig 2.4).
+//!
+//! Sillion's extended radiosity summarizes directional intensity with
+//! spherical harmonics. The paper's Fig 2.4 shows why that fails for
+//! specular spikes: a 30-term expansion of a near-delta lobe still rings
+//! (Gibbs phenomenon) and undershoots below zero near the spike. For a
+//! rotationally symmetric lobe the expansion reduces to *zonal* harmonics —
+//! Legendre polynomials in `cos(deviation)` — which is what we expand here.
+
+/// Evaluates Legendre polynomials `P_0..P_{n-1}` at `x` by the recurrence.
+pub fn legendre_all(n: usize, x: f64) -> Vec<f64> {
+    let mut p = Vec::with_capacity(n);
+    if n == 0 {
+        return p;
+    }
+    p.push(1.0);
+    if n == 1 {
+        return p;
+    }
+    p.push(x);
+    for l in 1..n - 1 {
+        let lf = l as f64;
+        let next = ((2.0 * lf + 1.0) * x * p[l] - lf * p[l - 1]) / (lf + 1.0);
+        p.push(next);
+    }
+    p
+}
+
+/// A specular lobe as a function of deviation angle from the mirror
+/// direction: `f(d) = max(cos d, 0)^sharpness`, normalized to peak 1.
+pub fn specular_lobe(deviation: f64, sharpness: f64) -> f64 {
+    deviation.cos().max(0.0).powf(sharpness)
+}
+
+/// Zonal-harmonic expansion of [`specular_lobe`] with `terms` coefficients,
+/// computed by Gauss-style quadrature over `quad_points` samples of
+/// `x = cos(deviation)` in [-1, 1].
+#[derive(Clone, Debug)]
+pub struct ZonalExpansion {
+    /// Coefficients `c_l` such that `f(d) ≈ Σ c_l P_l(cos d)`.
+    pub coeffs: Vec<f64>,
+}
+
+impl ZonalExpansion {
+    /// Projects the lobe onto the first `terms` zonal harmonics.
+    pub fn project(sharpness: f64, terms: usize, quad_points: usize) -> Self {
+        // c_l = (2l+1)/2 ∫_{-1}^{1} f(x) P_l(x) dx  (midpoint rule).
+        let mut coeffs = vec![0.0; terms];
+        let h = 2.0 / quad_points as f64;
+        for k in 0..quad_points {
+            let x = -1.0 + (k as f64 + 0.5) * h;
+            let f = x.max(0.0).powf(sharpness);
+            let p = legendre_all(terms, x);
+            for (l, c) in coeffs.iter_mut().enumerate() {
+                *c += f * p[l] * h;
+            }
+        }
+        for (l, c) in coeffs.iter_mut().enumerate() {
+            *c *= (2.0 * l as f64 + 1.0) / 2.0;
+        }
+        ZonalExpansion { coeffs }
+    }
+
+    /// Evaluates the expansion at deviation angle `d` (radians).
+    pub fn eval(&self, deviation: f64) -> f64 {
+        let x = deviation.cos();
+        let p = legendre_all(self.coeffs.len(), x);
+        self.coeffs.iter().zip(&p).map(|(c, pl)| c * pl).sum()
+    }
+
+    /// Samples `(deviation, truth, approximation)` over
+    /// `[-range, range]` — the data behind Fig 2.4.
+    pub fn figure_series(&self, sharpness: f64, range: f64, samples: usize) -> Vec<(f64, f64, f64)> {
+        (0..samples)
+            .map(|i| {
+                let d = -range + 2.0 * range * i as f64 / (samples - 1) as f64;
+                (d, specular_lobe(d.abs(), sharpness), self.eval(d.abs()))
+            })
+            .collect()
+    }
+
+    /// Maximum undershoot below zero over the sampled range — the ringing
+    /// the paper points at ("there will always be ringing near the spike").
+    pub fn max_undershoot(&self, range: f64, samples: usize) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..samples {
+            let d = range * i as f64 / (samples - 1) as f64;
+            let v = self.eval(d);
+            if v < 0.0 {
+                worst = worst.max(-v);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legendre_known_values() {
+        let p = legendre_all(4, 0.5);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+        // P2(x) = (3x^2 - 1)/2 = -0.125 at x=0.5
+        assert!((p[2] + 0.125).abs() < 1e-12);
+        // P3(x) = (5x^3 - 3x)/2 = -0.4375 at x=0.5
+        assert!((p[3] + 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legendre_orthogonality() {
+        // ∫ P_m P_n over [-1,1] = 0 for m != n (midpoint quadrature).
+        let n = 6;
+        let q = 20_000;
+        let h = 2.0 / q as f64;
+        let mut gram = vec![vec![0.0; n]; n];
+        for k in 0..q {
+            let x = -1.0 + (k as f64 + 0.5) * h;
+            let p = legendre_all(n, x);
+            for i in 0..n {
+                for j in 0..n {
+                    gram[i][j] += p[i] * p[j] * h;
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    assert!(gram[i][j].abs() < 1e-3, "({i},{j}) = {}", gram[i][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_lobes_are_approximated_well() {
+        // A wide (cosine) lobe needs few terms.
+        let e = ZonalExpansion::project(1.0, 8, 4000);
+        for d in [0.0, 0.5, 1.0, 1.5] {
+            let err = (e.eval(d) - specular_lobe(d, 1.0)).abs();
+            assert!(err < 0.02, "d={d}: err {err}");
+        }
+    }
+
+    #[test]
+    fn thirty_terms_still_ring_on_a_sharp_spike() {
+        // The paper's Fig 2.4: 30 terms on a tight specular spike leave
+        // visible ringing (negative lobes) away from the peak.
+        let sharp = 800.0;
+        let e = ZonalExpansion::project(sharp, 30, 8000);
+        let undershoot = e.max_undershoot(1.5, 2000);
+        assert!(undershoot > 0.01, "expected ringing, undershoot {undershoot}");
+        // And the peak is underestimated.
+        let peak = e.eval(0.0);
+        assert!(peak < 0.95, "peak {peak} too good for 30 terms");
+    }
+
+    #[test]
+    fn more_terms_reduce_peak_error_slowly() {
+        let sharp = 800.0;
+        let e10 = ZonalExpansion::project(sharp, 10, 8000).eval(0.0);
+        let e30 = ZonalExpansion::project(sharp, 30, 8000).eval(0.0);
+        assert!(e30 > e10, "more terms should recover more of the peak");
+        // But even 30 terms are far from 1.0 — the paper's storage point:
+        // "possibly hundreds of terms for each specular reflective spike".
+        assert!(e30 < 0.95);
+    }
+
+    #[test]
+    fn figure_series_is_symmetric() {
+        let e = ZonalExpansion::project(100.0, 20, 4000);
+        let s = e.figure_series(100.0, 1.5, 301);
+        let mid = s.len() / 2;
+        for k in 1..10 {
+            assert!((s[mid - k].2 - s[mid + k].2).abs() < 1e-9);
+        }
+    }
+}

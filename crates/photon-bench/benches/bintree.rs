@@ -1,0 +1,64 @@
+//! Criterion bench: 4-D bin tree tallies and lookups (the `DetermineBin` +
+//! `UpdateBinCount` hot path of Fig 4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photon_hist::{BinPoint, BinTree, SplitConfig};
+use photon_math::Rgb;
+use photon_rng::{Lcg48, PhotonRng};
+use std::f64::consts::TAU;
+use std::hint::black_box;
+
+fn points(n: usize, gradient: bool) -> Vec<BinPoint> {
+    let mut rng = Lcg48::new(3);
+    (0..n)
+        .map(|_| {
+            let mut s = rng.next_f64();
+            if gradient {
+                s = s * s * s; // concentrate near 0
+            }
+            BinPoint::new(s, rng.next_f64(), rng.next_f64() * TAU, rng.next_f64())
+        })
+        .collect()
+}
+
+fn bench_bintree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bintree");
+    let uniform = points(10_000, false);
+    let skewed = points(10_000, true);
+
+    g.bench_function("tally_uniform_10k", |b| {
+        b.iter(|| {
+            let mut tree = BinTree::new(SplitConfig::default());
+            for p in &uniform {
+                black_box(tree.tally(p, Rgb::WHITE));
+            }
+            tree.leaf_count()
+        })
+    });
+    g.bench_function("tally_gradient_10k", |b| {
+        b.iter(|| {
+            let mut tree = BinTree::new(SplitConfig::default());
+            for p in &skewed {
+                black_box(tree.tally(p, Rgb::WHITE));
+            }
+            tree.leaf_count()
+        })
+    });
+
+    // Lookup against a refined tree.
+    let mut tree = BinTree::new(SplitConfig::default());
+    for p in points(200_000, true) {
+        tree.tally(&p, Rgb::WHITE);
+    }
+    g.bench_function("lookup_refined", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % uniform.len();
+            black_box(tree.lookup(&uniform[i]))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bintree);
+criterion_main!(benches);

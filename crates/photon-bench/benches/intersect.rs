@@ -1,0 +1,62 @@
+//! Criterion bench: octree vs brute-force nearest-hit queries on the three
+//! paper scenes (ch. 4: "increasing the speed of intersection determination
+//! holds the most promise for decreasing solution time").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use photon_math::{Ray, Vec3};
+use photon_rng::{Lcg48, PhotonRng};
+use photon_scenes::TestScene;
+use std::hint::black_box;
+
+fn rays(scene: &photon_geom::Scene, n: usize) -> Vec<Ray> {
+    let mut rng = Lcg48::new(9);
+    let b = scene.bounds();
+    let e = b.extent();
+    (0..n)
+        .map(|_| {
+            let origin = b.min
+                + Vec3::new(e.x * rng.next_f64(), e.y * rng.next_f64(), e.z * rng.next_f64());
+            let dir = Vec3::new(
+                rng.next_f64() * 2.0 - 1.0,
+                rng.next_f64() * 2.0 - 1.0,
+                rng.next_f64() * 2.0 - 1.0,
+            )
+            .normalized();
+            Ray::new(origin, dir)
+        })
+        .collect()
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intersection");
+    for kind in TestScene::ALL {
+        let scene = kind.build();
+        let batch = rays(&scene, 256);
+        g.bench_with_input(BenchmarkId::new("octree", kind.name()), &batch, |b, batch| {
+            b.iter(|| {
+                for r in batch {
+                    black_box(scene.intersect(r, f64::INFINITY));
+                }
+            })
+        });
+        // Brute force only on the small scenes; the lab would dominate the
+        // suite runtime.
+        if scene.polygon_count() <= 100 {
+            g.bench_with_input(
+                BenchmarkId::new("brute_force", kind.name()),
+                &batch,
+                |b, batch| {
+                    b.iter(|| {
+                        for r in batch {
+                            black_box(scene.intersect_brute_force(r, f64::INFINITY));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_intersect);
+criterion_main!(benches);

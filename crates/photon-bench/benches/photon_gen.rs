@@ -1,0 +1,27 @@
+//! Criterion bench for E8: the paper's rejection kernel vs the
+//! Shirley/Sillion closed form (ch. 4 claims ~2x).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photon_core::generate::{sample_direct, sample_rejection};
+use photon_rng::Lcg48;
+use std::hint::black_box;
+
+fn bench_photon_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("photon_generation");
+    g.bench_function("rejection_kernel", |b| {
+        let mut rng = Lcg48::new(1);
+        b.iter(|| black_box(sample_rejection(&mut rng, 1.0)));
+    });
+    g.bench_function("direct_formula", |b| {
+        let mut rng = Lcg48::new(1);
+        b.iter(|| black_box(sample_direct(&mut rng)));
+    });
+    g.bench_function("rejection_collimated_sun", |b| {
+        let mut rng = Lcg48::new(1);
+        b.iter(|| black_box(sample_rejection(&mut rng, 0.005)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_photon_gen);
+criterion_main!(benches);

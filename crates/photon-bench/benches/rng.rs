@@ -1,0 +1,33 @@
+//! Criterion bench: LCG draws and O(log n) jump-ahead / leapfrog setup
+//! (ch. 5 random number generation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photon_rng::{Lcg48, PhotonRng};
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("next_f64", |b| {
+        let mut rng = Lcg48::new(1);
+        b.iter(|| black_box(rng.next_f64()));
+    });
+    g.bench_function("jump_ahead_2^40", |b| {
+        b.iter(|| {
+            let mut rng = Lcg48::new(1);
+            rng.jump_ahead(1 << 40);
+            black_box(rng.state())
+        })
+    });
+    g.bench_function("leapfrog_split_64_ranks", |b| {
+        let base = Lcg48::new(1);
+        b.iter(|| {
+            for r in 0..64 {
+                black_box(base.leapfrog(r, 64));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rng);
+criterion_main!(benches);

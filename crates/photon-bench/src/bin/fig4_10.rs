@@ -1,0 +1,59 @@
+//! **E11 — Fig 4.10: different viewpoints from the same answer file.**
+//!
+//! Paper: "Although the viewpoint is changing, no recalculation of the
+//! global illumination is needed. All scenes were generated from the same
+//! solution file." We simulate the Cornell Box once, serialize the answer,
+//! deserialize it, and render four viewpoints — timing the simulation
+//! against the renders to show re-viewing is cheap.
+
+use photon_bench::{camera_for, fmt, heading, write_ppm};
+use photon_core::view::{auto_exposure, render};
+use photon_core::{Answer, Camera, SimConfig, Simulator};
+use photon_math::Vec3;
+use photon_scenes::TestScene;
+use std::time::Instant;
+
+fn main() {
+    heading("Fig 4.10 — four viewpoints, one answer file");
+    let scene = TestScene::CornellBox.build();
+    let t0 = Instant::now();
+    let mut sim = Simulator::new(scene, SimConfig { seed: 410, ..Default::default() });
+    sim.run_photons(400_000);
+    let sim_secs = t0.elapsed().as_secs_f64();
+    let answer = sim.answer_snapshot();
+    let scene = sim.scene();
+
+    // Round-trip through the binary answer file.
+    let mut file = Vec::new();
+    answer.write_to(&mut file).expect("serialize");
+    let answer = Answer::read_from(&mut file.as_slice()).expect("deserialize");
+    println!(
+        "answer file: {} bytes for {} leaf bins ({} photons)",
+        file.len(),
+        answer.total_leaf_bins(),
+        answer.emitted()
+    );
+
+    let base: Camera = camera_for(TestScene::CornellBox.view(), 240, 180);
+    let views: [(&str, Vec3, Vec3); 4] = [
+        ("fig4_10_front.ppm", base.eye, base.target),
+        ("fig4_10_left.ppm", Vec3::new(-2.0, 3.5, -3.0), Vec3::new(2.8, 2.5, 2.8)),
+        ("fig4_10_right.ppm", Vec3::new(7.5, 3.5, -3.0), Vec3::new(2.8, 2.5, 2.8)),
+        ("fig4_10_high.ppm", Vec3::new(2.78, 5.2, -4.5), Vec3::new(2.78, 1.0, 2.8)),
+    ];
+    let exposure = auto_exposure(scene, &answer);
+    let t0 = Instant::now();
+    for (file, eye, target) in views {
+        let cam = Camera { eye, target, ..base };
+        let img = render(scene, &answer, &cam, exposure);
+        let path = write_ppm(file, &img);
+        println!("view {} -> {}", file, path.display());
+    }
+    let view_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "simulation: {} s once; 4 re-views: {} s total ({}x cheaper per view)",
+        fmt(sim_secs),
+        fmt(view_secs),
+        fmt(sim_secs / (view_secs / 4.0).max(1e-9))
+    );
+}

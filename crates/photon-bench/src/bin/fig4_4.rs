@@ -1,0 +1,87 @@
+//! **E9 — Fig 4.4: directional lighting by scaling the unit circle.**
+//!
+//! Paper: scaling the generation circle collimates emission (0.005 = the
+//! sun's half-degree disc) and "correctly blurs shadows as the distance
+//! from the occluding object increases" — unlike point-light ray tracing.
+//! We trace the occluder scene, scan floor irradiance along a line through
+//! the shadow (restricted to the shadow's `t` band so the 1-D profile keeps
+//! full contrast), and measure the 15–85 % transition width of the shadow
+//! edge at several occluder heights and collimations.
+
+use photon_bench::{fmt, heading, md_table, write_csv};
+use photon_core::generate::PhotonGenerator;
+use photon_core::trace::trace_photon;
+use photon_hist::BinPoint;
+use photon_math::Rgb;
+use photon_rng::Lcg48;
+use photon_scenes::sun_room;
+
+const STRIPS: usize = 200;
+
+/// Floor tallies per `s` strip, restricted to `t ∈ [0.45, 0.55]` (the
+/// shadow's band; the occluder spans 0.1 of each axis).
+fn shadow_scan(h: f64, c: f64, photons: u64) -> Vec<f64> {
+    let scene = sun_room(h, c);
+    let generator = PhotonGenerator::new(&scene);
+    let mut rng = Lcg48::new(44);
+    let mut strips = vec![0u64; STRIPS];
+    let mut sink = |pid: u32, p: &BinPoint, _e: Rgb| {
+        if pid == 0 && (p.t - 0.5).abs() < 0.05 {
+            strips[((p.s * STRIPS as f64) as usize).min(STRIPS - 1)] += 1;
+        }
+    };
+    for _ in 0..photons {
+        trace_photon(&scene, &generator, &mut rng, &mut sink);
+    }
+    strips.into_iter().map(|v| v as f64).collect()
+}
+
+/// 15–85 % transition width around the shadow, in world units (floor is 10
+/// wide). Only the central shadow region [0.3, 0.7] is scanned so the lit
+/// plateau's Monte-Carlo noise does not count as transition.
+fn penumbra_width(profile: &[f64]) -> f64 {
+    let lit: f64 = profile[..STRIPS / 5].iter().sum::<f64>() / (STRIPS / 5) as f64;
+    if lit <= 0.0 {
+        return 0.0;
+    }
+    let lo = 0.15 * lit;
+    let hi = 0.85 * lit;
+    let band = &profile[(STRIPS as f64 * 0.3) as usize..(STRIPS as f64 * 0.7) as usize];
+    let inside = band.iter().filter(|&&v| v > lo && v < hi).count();
+    inside as f64 / STRIPS as f64 * 10.0
+}
+
+fn main() {
+    heading("Fig 4.4 — penumbra vs occluder height under a collimated source");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &(h, c) in &[(0.5, 0.15), (2.0, 0.15), (4.0, 0.15), (2.0, 0.05), (2.0, 0.3)] {
+        let profile = shadow_scan(h, c, 2_000_000);
+        let w = penumbra_width(&profile);
+        let c_f64: f64 = c;
+        // Geometric expectation: edge blur ≈ 2·h·tan(asin(c)).
+        let geo = 2.0 * h * c_f64 / (1.0 - c_f64 * c_f64).sqrt();
+        rows.push(vec![fmt(h), fmt(c), fmt(w), fmt(geo)]);
+        csv.push(format!("{h},{c},{w},{geo}"));
+    }
+    println!(
+        "{}",
+        md_table(
+            &[
+                "occluder height",
+                "collimation scale",
+                "penumbra width (world units, measured)",
+                "geometric expectation",
+            ],
+            &rows
+        )
+    );
+    println!("paper claims: penumbra grows with occluder distance and source width;");
+    println!("(compare fig2_2: the point-light tracer's penumbra is ~0 at every height)");
+    let path = write_csv(
+        "fig4_4.csv",
+        "occluder_height,collimation,penumbra_width,geometric_expectation",
+        &csv,
+    );
+    println!("csv: {}", path.display());
+}

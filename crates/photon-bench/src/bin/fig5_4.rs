@@ -1,0 +1,44 @@
+//! **E12 — Fig 5.4: memory requirements of the bin forest.**
+//!
+//! Paper: "after an initial buildup of memory, the size of the bin forest
+//! tends to increase sub-linearly" with photons — and needs 1–2 orders of
+//! magnitude less storage than recording ray histories. We trace the
+//! Harpsichord Practice Room, sampling forest bytes per batch, report the
+//! growth exponent, and compare with the O(n) hit-file a density-estimation
+//! run of the same length would write.
+
+use photon_baselines::density::HIT_BYTES;
+use photon_bench::{fmt, heading, write_csv};
+use photon_core::{SimConfig, Simulator};
+use photon_scenes::TestScene;
+
+fn main() {
+    heading("Fig 5.4 — bin forest memory vs photons (harpsichord room)");
+    let scene = TestScene::HarpsichordRoom.build();
+    let mut sim = Simulator::new(scene, SimConfig { seed: 54, ..Default::default() });
+    let batches = 40;
+    let per_batch = 15_000;
+    for _ in 0..batches {
+        sim.run_batch(per_batch);
+    }
+    let mem = sim.memory_trace();
+    let rows: Vec<String> =
+        mem.samples().iter().map(|(p, b)| format!("{p},{b}")).collect();
+    let path = write_csv("fig5_4.csv", "photons,bin_forest_bytes", &rows);
+
+    let (p0, b0) = mem.samples()[mem.samples().len() / 4];
+    let (p1, b1) = *mem.samples().last().unwrap();
+    let exponent = ((b1 as f64 / b0 as f64).ln()) / ((p1 as f64 / p0 as f64).ln());
+    let total_photons = sim.stats().emitted;
+    let interactions = total_photons + sim.stats().reflections;
+    let hit_file_bytes = interactions as usize * HIT_BYTES;
+    println!("growth exponent after buildup: {} (1.0 = linear; paper: sublinear)", fmt(exponent));
+    println!("sublinear: {}", mem.is_sublinear());
+    println!(
+        "bin forest: {} bytes vs density-estimation hit file: {} bytes ({}x larger)",
+        b1,
+        hit_file_bytes,
+        fmt(hit_file_bytes as f64 / b1 as f64)
+    );
+    println!("csv: {}", path.display());
+}

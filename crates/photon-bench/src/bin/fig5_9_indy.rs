@@ -1,0 +1,60 @@
+//! **E14 — Figs 5.9–5.11: SGI Indy cluster speedup (virtual time).**
+//!
+//! Paper: over 10 Mb Ethernet, "communication overhead and slower
+//! processors force the initial time to the right and reduce performance.
+//! Although performance is lost, scalability is increased." We run the
+//! distributed simulator over the Indy platform model for 1/2/4/8 ranks on
+//! each scene and print the speed-vs-virtual-time traces the figures plot.
+
+use photon_bench::{fmt, heading, md_table, write_trace};
+use photon_dist::{run_distributed, AdaptiveBatch, BalanceMode, BatchMode, DistConfig, StopRule};
+use photon_scenes::TestScene;
+use simmpi::Platform;
+
+fn main() {
+    heading("Figs 5.9-5.11 — Indy cluster speed traces (virtual time)");
+    let photons = 120_000u64;
+    for scene_kind in TestScene::ALL {
+        let scene = scene_kind.build();
+        let mut summary = Vec::new();
+        let mut serial_rate = 0.0;
+        for &nranks in &[1usize, 2, 4, 8] {
+            let config = DistConfig {
+                seed: 59,
+                nranks,
+                platform: Platform::indy_cluster(),
+                balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+                batch: BatchMode::Adaptive(AdaptiveBatch::default()),
+                stop: StopRule::Photons(photons),
+                ..Default::default()
+            };
+            let r = run_distributed(&scene, &config);
+            let name = format!(
+                "fig5_9_{}_p{}.csv",
+                scene_kind.name().replace(' ', "_").to_lowercase(),
+                nranks
+            );
+            write_trace(&name, &r.speed);
+            let rate = r.speed.steady_rate();
+            if nranks == 1 {
+                serial_rate = rate;
+            }
+            summary.push(vec![
+                nranks.to_string(),
+                fmt(rate),
+                fmt(rate / serial_rate.max(1e-9)),
+                fmt(r.virtual_elapsed),
+                fmt(r.bytes_forwarded as f64 / 1e6),
+            ]);
+        }
+        println!("### {}\n", scene_kind.name());
+        println!(
+            "{}",
+            md_table(
+                &["ranks", "steady rate (photons/s)", "speedup", "virtual elapsed (s)", "MB forwarded"],
+                &summary
+            )
+        );
+    }
+    println!("traces: bench_results/fig5_9_*.csv");
+}

@@ -1,0 +1,45 @@
+//! **E19 — ch. 2: radiosity analytics.**
+//!
+//! Reproduces the paper's analytical statements about the radiosity
+//! system: zero-diagonal form-factor rows summing to <= 1, Gerschgorin
+//! discs inside the unit circle (diagonal dominance), Jacobi vs
+//! Gauss-Seidel iteration counts, and the hierarchical solver's patch
+//! proliferation on dark geometry (Hanrahan critique).
+
+use photon_baselines::hierarchical::HierarchicalRadiosity;
+use photon_baselines::radiosity::RadiositySystem;
+use photon_bench::{fmt, heading, md_table};
+use photon_scenes::TestScene;
+
+fn main() {
+    heading("Radiosity baseline — diagonal dominance and iterative solves");
+    let scene = TestScene::CornellBox.build();
+    let sys = RadiositySystem::assemble(&scene, 400, 219);
+    let radius = sys.gerschgorin_radius();
+    let jacobi = sys.solve_jacobi(1e-8, 500);
+    let gs = sys.solve_gauss_seidel(1e-8, 500);
+    let rows = vec![
+        vec!["patches".into(), sys.len().to_string()],
+        vec!["Gerschgorin off-diagonal radius (must be < 1)".into(), fmt(radius)],
+        vec!["Jacobi iterations to 1e-8".into(), jacobi.iterations.to_string()],
+        vec!["Gauss-Seidel iterations to 1e-8".into(), gs.iterations.to_string()],
+    ];
+    println!("{}", md_table(&["quantity", "value"], &rows));
+    println!("paper: the system (I - rho F) is diagonally dominant, iterative methods converge\n");
+
+    heading("Hierarchical radiosity — patch proliferation (Hanrahan critique)");
+    let scene = TestScene::CornellBox.build();
+    for (f_eps, a_eps) in [(0.1, 0.5), (0.03, 0.2), (0.01, 0.1)] {
+        let mut h = HierarchicalRadiosity::new(&scene, f_eps, a_eps);
+        let stats = h.solve(&scene, 4, 1e-4);
+        println!(
+            "f_eps {:>5}: {:>6} elements, {:>7} links, dark leaf fraction {}",
+            f_eps,
+            stats.elements,
+            stats.links,
+            fmt(stats.dark_fraction)
+        );
+    }
+    println!("\npaper: form-factor-driven refinement produces \"a plethora of patches\"");
+    println!("that sit in dark regions and cannot reduce answer error.");
+}

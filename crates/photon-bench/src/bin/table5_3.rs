@@ -1,0 +1,48 @@
+//! **E3 — Table 5.3: Simulation batch sizes.**
+//!
+//! Paper: the adaptive controller, started at 500 photons/processor on the
+//! Harpsichord Practice Room with 8 processors, produces a growing sequence
+//! on each platform — large batches on the Power Onyx (cheap
+//! communication), smaller plateaus on the SP-2 and Indy cluster. We run
+//! the same configuration over each virtual platform model and print the
+//! resulting size columns.
+
+use photon_bench::{heading, md_table, write_csv};
+use photon_dist::{run_distributed, AdaptiveBatch, BalanceMode, BatchMode, DistConfig, StopRule};
+use photon_scenes::TestScene;
+use simmpi::Platform;
+
+fn main() {
+    heading("Table 5.3 — Adaptive batch sizes per platform (8 ranks, harpsichord room)");
+    let scene = TestScene::HarpsichordRoom.build();
+    let mut columns: Vec<(String, Vec<u64>)> = Vec::new();
+    for platform in Platform::all() {
+        let config = DistConfig {
+            seed: 53,
+            nranks: 8,
+            platform,
+            balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+            batch: BatchMode::Adaptive(AdaptiveBatch::default()),
+            stop: StopRule::Photons(400_000),
+            ..Default::default()
+        };
+        let r = run_distributed(&scene, &config);
+        columns.push((platform.name.to_string(), r.batch_history));
+    }
+    let depth = columns.iter().map(|(_, c)| c.len()).max().unwrap_or(0).min(13);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for i in 0..depth {
+        let row: Vec<String> = columns
+            .iter()
+            .map(|(_, c)| c.get(i).map_or(String::new(), |v| v.to_string()))
+            .collect();
+        csv.push(format!("{},{}", i, row.join(",")));
+        rows.push(row);
+    }
+    let headers: Vec<&str> = columns.iter().map(|(n, _)| n.as_str()).collect();
+    println!("{}", md_table(&headers, &rows));
+    println!("paper column prefix (all platforms): 500, 750, 1125, ...; Onyx grows largest");
+    let path = write_csv("table5_3.csv", "batch_index,onyx,indy,sp2", &csv);
+    println!("csv: {}", path.display());
+}

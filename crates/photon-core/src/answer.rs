@@ -1,0 +1,294 @@
+//! Answer files: the stored global-illumination solution.
+//!
+//! "Photon determines all the light interactions and stores them in a
+//! database. Once the simulation is finished, all that remains is to
+//! determine what is displayed" (ch. 4). The [`Answer`] owns a snapshot of
+//! every patch's bin tree plus the emitted-photon normalization; the viewer
+//! renders any number of viewpoints from it without re-simulating
+//! (Fig 4.10).
+//!
+//! The on-disk format is a small hand-rolled binary codec (magic +
+//! little-endian fields), keeping the workspace free of serialization
+//! dependencies.
+
+use crate::forest::BinForest;
+use photon_geom::Scene;
+use photon_hist::{BinPoint, BinTree, ExportNode, LeafStats, SplitConfig};
+use photon_math::{CylDir, Onb, Rgb, Vec3};
+use std::io::{self, Read, Write};
+
+/// Magic bytes of the answer-file format.
+const MAGIC: &[u8; 8] = b"PHOTANS1";
+
+/// A stored global-illumination solution.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    trees: Vec<BinTree>,
+    emitted: u64,
+}
+
+impl Answer {
+    /// Snapshots a forest at `emitted` photons.
+    pub fn from_forest(forest: &BinForest, emitted: u64) -> Self {
+        let trees = forest
+            .iter()
+            .map(|(_, t)| {
+                BinTree::from_export(t.export_nodes(), *t.config()).expect("valid export")
+            })
+            .collect();
+        Answer { trees, emitted }
+    }
+
+    /// Photons the solution was built from.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Number of patches.
+    pub fn patch_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Tree of one patch.
+    pub fn tree(&self, patch_id: u32) -> &BinTree {
+        &self.trees[patch_id as usize]
+    }
+
+    /// Total leaf bins — Table 5.1's "view-dependent polygons".
+    pub fn total_leaf_bins(&self) -> u64 {
+        self.trees.iter().map(|t| t.leaf_count() as u64).sum()
+    }
+
+    /// Radiance leaving patch `patch_id` at bilinear `(s, t)` in the world
+    /// direction `dir` (which must point away from the surface).
+    ///
+    /// Estimator: a leaf bin holding tallied energy `E` over area fraction
+    /// `f_A` of a patch with area `A`, and Lambertian solid-angle fraction
+    /// `f_Ω`, estimates
+    /// `L = (E / N) / (A · f_A · π · f_Ω)`
+    /// (the `π` is the full hemisphere's cosine-weighted measure).
+    pub fn radiance(&self, scene: &Scene, patch_id: u32, s: f64, t: f64, dir: Vec3) -> Rgb {
+        let sp = scene.patch(patch_id);
+        // Choose the frame of the side `dir` leaves from.
+        let frame = if dir.dot(sp.frame.w) >= 0.0 {
+            sp.frame
+        } else {
+            Onb { u: sp.frame.u, v: -sp.frame.v, w: -sp.frame.w }
+        };
+        let cyl = CylDir::from_world(dir.normalized(), &frame);
+        let point = BinPoint::new(s, t, cyl.theta, cyl.r_sq);
+        let (stats, range) = self.trees[patch_id as usize].lookup(&point);
+        self.leaf_radiance(stats, range.area_fraction(), range.solid_angle_fraction(), sp.area)
+    }
+
+    /// Radiance of a known leaf (shared by `radiance` and the mesh export).
+    fn leaf_radiance(
+        &self,
+        stats: &LeafStats,
+        area_fraction: f64,
+        solid_angle_fraction: f64,
+        patch_area: f64,
+    ) -> Rgb {
+        if self.emitted == 0 || stats.n_total == 0 {
+            return Rgb::BLACK;
+        }
+        let denom = self.emitted as f64
+            * patch_area.max(1e-12)
+            * area_fraction.max(1e-12)
+            * std::f64::consts::PI
+            * solid_angle_fraction.max(1e-12);
+        stats.rgb / denom
+    }
+
+    /// Mean radiance over a whole patch (all directions) — a cheap exposure
+    /// reference for the viewer.
+    pub fn mean_patch_radiance(&self, scene: &Scene, patch_id: u32) -> Rgb {
+        let sp = scene.patch(patch_id);
+        let tree = &self.trees[patch_id as usize];
+        if self.emitted == 0 {
+            return Rgb::BLACK;
+        }
+        let mut total = Rgb::BLACK;
+        tree.for_each_leaf(|_, stats| total += stats.rgb);
+        total / (self.emitted as f64 * sp.area.max(1e-12) * std::f64::consts::PI)
+    }
+
+    /// Writes the binary answer file.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.trees.len() as u32).to_le_bytes())?;
+        w.write_all(&self.emitted.to_le_bytes())?;
+        for tree in &self.trees {
+            let nodes = tree.export_nodes();
+            w.write_all(&(nodes.len() as u32).to_le_bytes())?;
+            for n in nodes {
+                match n {
+                    ExportNode::Leaf(s) => {
+                        w.write_all(&[0u8])?;
+                        w.write_all(&s.n_total.to_le_bytes())?;
+                        for c in [s.rgb.r, s.rgb.g, s.rgb.b] {
+                            w.write_all(&c.to_le_bytes())?;
+                        }
+                        w.write_all(&s.stat_n.to_le_bytes())?;
+                        for l in s.left {
+                            w.write_all(&l.to_le_bytes())?;
+                        }
+                    }
+                    ExportNode::Internal { axis, children } => {
+                        w.write_all(&[1u8])?;
+                        w.write_all(&[axis as u8])?;
+                        w.write_all(&children[0].to_le_bytes())?;
+                        w.write_all(&children[1].to_le_bytes())?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a binary answer file written by [`Answer::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Answer> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a Photon answer file"));
+        }
+        let npatches = read_u32(r)? as usize;
+        let emitted = read_u64(r)?;
+        let mut trees = Vec::with_capacity(npatches);
+        for _ in 0..npatches {
+            let nnodes = read_u32(r)? as usize;
+            if nnodes == 0 {
+                return Err(bad("empty tree"));
+            }
+            let mut nodes = Vec::with_capacity(nnodes);
+            for _ in 0..nnodes {
+                let mut tag = [0u8; 1];
+                r.read_exact(&mut tag)?;
+                match tag[0] {
+                    0 => {
+                        let n_total = read_u64(r)?;
+                        let rgb = Rgb::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
+                        let stat_n = read_u32(r)?;
+                        let left =
+                            [read_u32(r)?, read_u32(r)?, read_u32(r)?, read_u32(r)?];
+                        nodes.push(ExportNode::Leaf(LeafStats { n_total, rgb, stat_n, left }));
+                    }
+                    1 => {
+                        let mut ax = [0u8; 1];
+                        r.read_exact(&mut ax)?;
+                        if ax[0] > 3 {
+                            return Err(bad("bad axis"));
+                        }
+                        let axis = photon_hist::Axis::from_index(ax[0] as usize);
+                        let children = [read_u32(r)?, read_u32(r)?];
+                        nodes.push(ExportNode::Internal { axis, children });
+                    }
+                    _ => return Err(bad("bad node tag")),
+                }
+            }
+            let tree = BinTree::from_export(nodes, SplitConfig::default())
+                .ok_or_else(|| bad("malformed tree"))?;
+            trees.push(tree);
+        }
+        Ok(Answer { trees, emitted })
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_hist::SplitConfig;
+    use photon_rng::{Lcg48, PhotonRng};
+    use std::f64::consts::TAU;
+
+    fn sample_forest() -> BinForest {
+        let mut f = BinForest::new(3, SplitConfig::default());
+        let mut rng = Lcg48::new(9);
+        for _ in 0..30_000 {
+            let pid = rng.index(3) as u32;
+            let p = BinPoint::new(
+                rng.next_f64().powi(2),
+                rng.next_f64(),
+                rng.next_f64() * TAU,
+                rng.next_f64(),
+            );
+            f.tally(pid, &p, Rgb::new(1.0, 0.5, 0.25));
+        }
+        f
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_everything() {
+        let forest = sample_forest();
+        let answer = Answer::from_forest(&forest, 30_000);
+        let mut buf = Vec::new();
+        answer.write_to(&mut buf).unwrap();
+        let back = Answer::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.emitted(), answer.emitted());
+        assert_eq!(back.patch_count(), answer.patch_count());
+        assert_eq!(back.total_leaf_bins(), answer.total_leaf_bins());
+        // Identical lookups everywhere.
+        let mut rng = Lcg48::new(10);
+        for _ in 0..200 {
+            let p = BinPoint::new(
+                rng.next_f64(),
+                rng.next_f64(),
+                rng.next_f64() * TAU,
+                rng.next_f64(),
+            );
+            for pid in 0..3u32 {
+                let (a, ra) = answer.tree(pid).lookup(&p);
+                let (b, rb) = back.tree(pid).lookup(&p);
+                assert_eq!(a.n_total, b.n_total);
+                assert_eq!(ra, rb);
+                assert_eq!(a.rgb, b.rgb);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let garbage = b"NOTMAGIC????????";
+        assert!(Answer::read_from(&mut garbage.as_slice()).is_err());
+        let empty: &[u8] = &[];
+        assert!(Answer::read_from(&mut &empty[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_file_errors_cleanly() {
+        let forest = sample_forest();
+        let answer = Answer::from_forest(&forest, 30_000);
+        let mut buf = Vec::new();
+        answer.write_to(&mut buf).unwrap();
+        let cut = &buf[..buf.len() / 2];
+        assert!(Answer::read_from(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn empty_answer_is_black() {
+        let f = BinForest::new(1, SplitConfig::default());
+        let a = Answer::from_forest(&f, 0);
+        // Radiance of an empty solution is black everywhere (no div by 0).
+        assert_eq!(a.total_leaf_bins(), 1);
+    }
+}

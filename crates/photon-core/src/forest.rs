@@ -1,0 +1,140 @@
+//! The bin forest: one 4-D adaptive histogram per scene patch (Fig 4.6).
+
+use photon_hist::{BinPoint, BinRange, BinTree, LeafStats, SplitConfig};
+use photon_math::Rgb;
+
+/// A forest of [`BinTree`]s indexed by patch id — the paper's principal data
+/// structure, "capable of recording the answer of a global illumination
+/// model with the color of every patch as a function of the position on the
+/// patch and the viewing direction".
+#[derive(Clone, Debug)]
+pub struct BinForest {
+    trees: Vec<BinTree>,
+}
+
+impl BinForest {
+    /// One fresh tree per patch.
+    pub fn new(patch_count: usize, config: SplitConfig) -> Self {
+        BinForest { trees: (0..patch_count).map(|_| BinTree::new(config)).collect() }
+    }
+
+    /// Number of patches (trees).
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True when the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Tallies a photon interaction on `patch_id`; returns `true` when the
+    /// bin split (`UpdateBinCount` + `NeedsSplit`/`Split` of Fig 4.1).
+    #[inline]
+    pub fn tally(&mut self, patch_id: u32, point: &BinPoint, energy: Rgb) -> bool {
+        self.trees[patch_id as usize].tally(point, energy)
+    }
+
+    /// Read-only leaf lookup (`DetermineBin` for the viewer).
+    #[inline]
+    pub fn lookup(&self, patch_id: u32, point: &BinPoint) -> (&LeafStats, BinRange) {
+        self.trees[patch_id as usize].lookup(point)
+    }
+
+    /// The tree of one patch.
+    #[inline]
+    pub fn tree(&self, patch_id: u32) -> &BinTree {
+        &self.trees[patch_id as usize]
+    }
+
+    /// Mutable tree access (used by the distributed receiver path).
+    #[inline]
+    pub fn tree_mut(&mut self, patch_id: u32) -> &mut BinTree {
+        &mut self.trees[patch_id as usize]
+    }
+
+    /// Iterates over `(patch_id, tree)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &BinTree)> {
+        self.trees.iter().enumerate().map(|(i, t)| (i as u32, t))
+    }
+
+    /// Total leaf bins over all trees — the paper's "view-dependent polygon"
+    /// count (Table 5.1).
+    pub fn total_leaf_bins(&self) -> u64 {
+        self.trees.iter().map(|t| t.leaf_count() as u64).sum()
+    }
+
+    /// Total tallies recorded.
+    pub fn total_tallies(&self) -> u64 {
+        self.trees.iter().map(|t| t.tallies()).sum()
+    }
+
+    /// Approximate resident bytes (Fig 5.4's y axis).
+    pub fn memory_bytes(&self) -> usize {
+        self.trees.iter().map(|t| t.memory_bytes()).sum()
+    }
+
+    /// Takes the trees out (used when distributing the forest across ranks).
+    pub fn into_trees(self) -> Vec<BinTree> {
+        self.trees
+    }
+
+    /// Rebuilds a forest from trees (inverse of [`BinForest::into_trees`]).
+    pub fn from_trees(trees: Vec<BinTree>) -> Self {
+        BinForest { trees }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_rng::{Lcg48, PhotonRng};
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn tallies_route_to_the_right_tree() {
+        let mut f = BinForest::new(3, SplitConfig::default());
+        let p = BinPoint::new(0.5, 0.5, 1.0, 0.5);
+        f.tally(1, &p, Rgb::WHITE);
+        f.tally(1, &p, Rgb::WHITE);
+        f.tally(2, &p, Rgb::WHITE);
+        assert_eq!(f.tree(0).tallies(), 0);
+        assert_eq!(f.tree(1).tallies(), 2);
+        assert_eq!(f.tree(2).tallies(), 1);
+        assert_eq!(f.total_tallies(), 3);
+    }
+
+    #[test]
+    fn leaf_bins_start_at_one_per_patch() {
+        let f = BinForest::new(5, SplitConfig::default());
+        assert_eq!(f.total_leaf_bins(), 5);
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn forest_refines_under_concentrated_load() {
+        let mut f = BinForest::new(2, SplitConfig::default());
+        let mut rng = Lcg48::new(1);
+        for _ in 0..20_000 {
+            let p = BinPoint::new(
+                rng.next_f64() * 0.1,
+                rng.next_f64(),
+                rng.next_f64() * TAU,
+                rng.next_f64(),
+            );
+            f.tally(0, &p, Rgb::WHITE);
+        }
+        assert!(f.tree(0).leaf_count() > 1);
+        assert_eq!(f.tree(1).leaf_count(), 1);
+        assert!(f.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn round_trip_through_trees() {
+        let mut f = BinForest::new(2, SplitConfig::default());
+        f.tally(0, &BinPoint::new(0.1, 0.2, 0.3, 0.4), Rgb::WHITE);
+        let trees = f.into_trees();
+        let f2 = BinForest::from_trees(trees);
+        assert_eq!(f2.total_tallies(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! The Photon Monte Carlo light-transport simulator (dissertation ch. 4).
+//!
+//! Photon simulates light by emitting photons from luminaires and tracing
+//! them through the scene until probabilistic absorption. Every reflection is
+//! tallied into the owning patch's four-dimensional adaptive histogram
+//! ([`photon_hist::BinTree`]), building a discrete, view-*independent* answer
+//! to the Rendering Equation: radiance as a function of patch position
+//! `(s, t)` and outgoing direction `(θ, r²)`. Rendering afterwards is a
+//! single-step ray trace against the stored answer ([`view`]).
+//!
+//! Module map (the four routines of the paper's Fig 4.1 plus support):
+//!
+//! | paper routine | module |
+//! |---------------|--------|
+//! | `GeneratePhoton` | [`generate`] (rejection kernel + Shirley baseline) |
+//! | `DetermineIntersection` | `photon_geom::Octree`, driven from [`trace`] |
+//! | `Reflect` | [`reflect`] |
+//! | `DetermineBin` / `UpdateBinCount` / `Split` | [`forest`] (over `photon_hist`) |
+//! | simulation driver | [`sim`] |
+//! | answer files | [`answer`] |
+//! | viewing | [`view`], [`img`] |
+//! | performance traces | [`perf`] |
+//! | polarization (the paper's in-progress extension) | [`polar`] |
+
+#![deny(missing_docs)]
+
+pub mod answer;
+pub mod forest;
+pub mod generate;
+pub mod img;
+pub mod perf;
+pub mod polar;
+pub mod reflect;
+pub mod sim;
+pub mod trace;
+pub mod view;
+
+pub use answer::Answer;
+pub use forest::BinForest;
+pub use generate::{EmittedPhoton, PhotonGenerator};
+pub use img::Image;
+pub use perf::{MemoryTrace, SpeedTrace};
+pub use polar::{Polarization, PolarizedBounce};
+pub use sim::{SimConfig, SimStats, Simulator};
+pub use trace::{trace_photon, TallySink, TraceOutcome};
+pub use view::{render, Camera};

@@ -1,0 +1,214 @@
+//! Performance traces: speed-vs-time and memory-vs-photons.
+//!
+//! The dissertation presents "the full speedup picture as a function of
+//! execution time" (ch. 5): a run is divided into batches; after each batch
+//! the instantaneous rate (photons/second) is plotted against elapsed time,
+//! one curve per processor count, with speedup read off against the best
+//! *serial* version. [`SpeedTrace`] records exactly those points; the bench
+//! binaries print them as CSV series for every speedup figure (5.6–5.15).
+//!
+//! [`MemoryTrace`] records bin-forest bytes against photons simulated
+//! (Fig 5.4).
+
+/// One batch sample of a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedSample {
+    /// Elapsed time at the *end* of the batch (seconds; wall or virtual).
+    pub elapsed: f64,
+    /// Photons completed in this batch (across all processors).
+    pub photons: u64,
+    /// Instantaneous rate of this batch (photons/second).
+    pub rate: f64,
+}
+
+/// Speed-vs-time trace of one run.
+#[derive(Clone, Debug, Default)]
+pub struct SpeedTrace {
+    samples: Vec<SpeedSample>,
+    total_photons: u64,
+}
+
+impl SpeedTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a batch that finished at `elapsed` seconds, having simulated
+    /// `photons` photons in `batch_seconds`.
+    pub fn push_batch(&mut self, elapsed: f64, photons: u64, batch_seconds: f64) {
+        let rate = if batch_seconds > 0.0 { photons as f64 / batch_seconds } else { 0.0 };
+        self.samples.push(SpeedSample { elapsed, photons, rate });
+        self.total_photons += photons;
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[SpeedSample] {
+        &self.samples
+    }
+
+    /// Total photons across batches.
+    pub fn total_photons(&self) -> u64 {
+        self.total_photons
+    }
+
+    /// Total elapsed time (end of last batch), or 0 for an empty trace.
+    pub fn total_elapsed(&self) -> f64 {
+        self.samples.last().map_or(0.0, |s| s.elapsed)
+    }
+
+    /// Rate interpolated at `time` (piecewise-constant per batch; the
+    /// paper's "interpolate fixed-time speedup by examining the graph").
+    pub fn rate_at(&self, time: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut last = None;
+        for s in &self.samples {
+            if s.elapsed <= time {
+                last = Some(s.rate);
+            } else if last.is_none() {
+                // Before the first sample completes, the first batch's rate
+                // is the best estimate.
+                return Some(s.rate);
+            }
+        }
+        last.or_else(|| self.samples.last().map(|s| s.rate))
+    }
+
+    /// Steady-state rate: mean of the last half of the samples (skips
+    /// startup/load-balance transients).
+    pub fn steady_rate(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let half = &self.samples[self.samples.len() / 2..];
+        half.iter().map(|s| s.rate).sum::<f64>() / half.len() as f64
+    }
+
+    /// Fixed-time speedup of `self` over `reference` at `time`.
+    pub fn speedup_over(&self, reference: &SpeedTrace, time: f64) -> Option<f64> {
+        let mine = self.rate_at(time)?;
+        let base = reference.rate_at(time)?;
+        if base > 0.0 {
+            Some(mine / base)
+        } else {
+            None
+        }
+    }
+
+    /// CSV rows `elapsed,rate,photons` (header not included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&format!("{:.6},{:.3},{}\n", s.elapsed, s.rate, s.photons));
+        }
+        out
+    }
+}
+
+/// Memory-vs-photons trace (Fig 5.4).
+#[derive(Clone, Debug, Default)]
+pub struct MemoryTrace {
+    samples: Vec<(u64, usize)>,
+}
+
+impl MemoryTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that after `photons` photons the structure held `bytes`.
+    pub fn push(&mut self, photons: u64, bytes: usize) {
+        self.samples.push((photons, bytes));
+    }
+
+    /// All `(photons, bytes)` samples.
+    pub fn samples(&self) -> &[(u64, usize)] {
+        &self.samples
+    }
+
+    /// True when growth over the second half of the trace is sublinear in
+    /// photons (the paper's qualitative claim for the bin forest).
+    pub fn is_sublinear(&self) -> bool {
+        if self.samples.len() < 4 {
+            return false;
+        }
+        let mid = self.samples.len() / 2;
+        let (p0, b0) = self.samples[mid];
+        let (p1, b1) = *self.samples.last().unwrap();
+        if p1 <= p0 || b0 == 0 {
+            return false;
+        }
+        let photon_growth = p1 as f64 / p0 as f64;
+        let byte_growth = b1 as f64 / b0 as f64;
+        byte_growth < photon_growth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(rates: &[(f64, u64, f64)]) -> SpeedTrace {
+        let mut t = SpeedTrace::new();
+        for &(e, p, s) in rates {
+            t.push_batch(e, p, s);
+        }
+        t
+    }
+
+    #[test]
+    fn rates_are_computed_per_batch() {
+        let t = trace(&[(1.0, 500, 1.0), (3.0, 500, 2.0)]);
+        assert_eq!(t.samples()[0].rate, 500.0);
+        assert_eq!(t.samples()[1].rate, 250.0);
+        assert_eq!(t.total_photons(), 1000);
+        assert_eq!(t.total_elapsed(), 3.0);
+    }
+
+    #[test]
+    fn rate_at_interpolates_piecewise() {
+        let t = trace(&[(1.0, 100, 1.0), (2.0, 300, 1.0)]);
+        assert_eq!(t.rate_at(0.5), Some(100.0)); // before first completion
+        assert_eq!(t.rate_at(1.5), Some(100.0));
+        assert_eq!(t.rate_at(2.5), Some(300.0)); // past the end
+        assert!(SpeedTrace::new().rate_at(1.0).is_none());
+    }
+
+    #[test]
+    fn speedup_is_rate_ratio() {
+        let serial = trace(&[(1.0, 100, 1.0), (2.0, 100, 1.0)]);
+        let par = trace(&[(1.0, 380, 1.0), (2.0, 400, 1.0)]);
+        let s = par.speedup_over(&serial, 2.0).unwrap();
+        assert!((s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_rate_skips_warmup() {
+        let t = trace(&[(1.0, 10, 1.0), (2.0, 100, 1.0), (3.0, 100, 1.0), (4.0, 100, 1.0)]);
+        assert_eq!(t.steady_rate(), 100.0);
+    }
+
+    #[test]
+    fn memory_sublinearity_detection() {
+        let mut m = MemoryTrace::new();
+        // Bytes grow like sqrt(photons): sublinear.
+        for i in 1..=16u64 {
+            m.push(i * 1000, ((i as f64).sqrt() * 1000.0) as usize);
+        }
+        assert!(m.is_sublinear());
+        let mut lin = MemoryTrace::new();
+        for i in 1..=16u64 {
+            lin.push(i * 1000, (i * 1000) as usize);
+        }
+        assert!(!lin.is_sublinear());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_batch() {
+        let t = trace(&[(1.0, 100, 1.0), (2.0, 100, 1.0)]);
+        assert_eq!(t.to_csv().lines().count(), 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! Polarization tracking — the paper's in-progress extension.
+//!
+//! Chapter 4: the He reflection model "includes polarization and
+//! masking/self-shadowing effects. Using this model, Photon has the
+//! potential to model polarized light … Currently, we are working on
+//! determining the impact of incorporating polarization in computer
+//! graphics" (the work of Sairam Sankaranarayanan cited there); ch. 6
+//! expects polarization to "play a large role in the realism of a rendered
+//! scene".
+//!
+//! This module implements the transport part of that program with a
+//! partial-linear-polarization state (a reduced Stokes description —
+//! degree + orientation — sufficient for non-circular polarization, which
+//! mirror/dielectric scenes do not produce):
+//!
+//! * emission is unpolarized;
+//! * specular/mirror reflection polarizes according to the Fresnel
+//!   `R_s`/`R_p` split — maximally at Brewster's angle, where `R_p = 0`;
+//! * diffuse scattering depolarizes (multiple subsurface events);
+//! * the polarization-aware energy factor modulates specular reflectance
+//!   when already-polarized light reflects again (the physical effect
+//!   stacked dielectric reflections exhibit).
+
+use photon_math::Vec3;
+
+/// Partial linear polarization of a photon.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Polarization {
+    /// Degree of linear polarization in `[0, 1]` (0 = unpolarized).
+    pub degree: f64,
+    /// Orientation of the polarization ellipse's major axis, measured in
+    /// the plane perpendicular to propagation, radians in `[0, π)`.
+    /// Meaningless when `degree = 0`.
+    pub orientation: f64,
+}
+
+impl Polarization {
+    /// Unpolarized light (every emitted photon).
+    pub const UNPOLARIZED: Polarization = Polarization { degree: 0.0, orientation: 0.0 };
+
+    /// True when the state is physically valid.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.degree)
+            && (0.0..std::f64::consts::PI + 1e-12).contains(&self.orientation)
+    }
+}
+
+/// Fresnel power reflectances `(R_s, R_p)` for an air→dielectric interface
+/// with relative refraction index `n`, at incidence cosine `cos_i`.
+pub fn fresnel_rs_rp(n: f64, cos_i: f64) -> (f64, f64) {
+    let cos_i = cos_i.clamp(0.0, 1.0);
+    let sin_i_sq = 1.0 - cos_i * cos_i;
+    let sin_t_sq = sin_i_sq / (n * n);
+    if sin_t_sq >= 1.0 {
+        return (1.0, 1.0); // total internal reflection regime
+    }
+    let cos_t = (1.0 - sin_t_sq).sqrt();
+    let rs = (cos_i - n * cos_t) / (cos_i + n * cos_t);
+    let rp = (n * cos_i - cos_t) / (n * cos_i + cos_t);
+    (rs * rs, rp * rp)
+}
+
+/// Brewster's angle for relative index `n` (radians from the normal).
+pub fn brewster_angle(n: f64) -> f64 {
+    n.atan()
+}
+
+/// Result of a polarized specular reflection.
+#[derive(Clone, Copy, Debug)]
+pub struct PolarizedBounce {
+    /// New polarization state of the reflected photon.
+    pub polarization: Polarization,
+    /// Energy factor relative to the *unpolarized* Fresnel average — the
+    /// correction polarization-aware transport applies on top of the
+    /// scalar reflection model (1.0 for unpolarized input).
+    pub energy_factor: f64,
+}
+
+/// Updates polarization across a specular reflection.
+///
+/// `incoming` is the world-space direction of travel, `normal` the surface
+/// normal of the hit side, `n` the surface's effective refraction index.
+///
+/// The s-axis of the reflection (perpendicular to the plane of incidence)
+/// is where reflected light polarizes; incident polarization aligned with
+/// s reflects more strongly than p-aligned light — that asymmetry is the
+/// `energy_factor`.
+pub fn polarized_specular(
+    incoming: Vec3,
+    normal: Vec3,
+    n: f64,
+    incident: Polarization,
+) -> PolarizedBounce {
+    let cos_i = (-incoming.dot(normal)).clamp(0.0, 1.0);
+    let (rs, rp) = fresnel_rs_rp(n, cos_i);
+    let r_avg = 0.5 * (rs + rp);
+    if r_avg <= 0.0 {
+        return PolarizedBounce { polarization: Polarization::UNPOLARIZED, energy_factor: 1.0 };
+    }
+    // s direction: perpendicular to the plane of incidence.
+    let s_axis = {
+        let s = incoming.cross(normal);
+        if s.length_sq() < 1e-18 {
+            // Normal incidence: no plane of incidence, no polarizing effect.
+            return PolarizedBounce { polarization: incident, energy_factor: 1.0 };
+        }
+        s.normalized()
+    };
+    let _ = s_axis; // orientation bookkeeping is relative; axis fixes the zero
+
+    // Decompose incident intensity into s/p fractions. For partially
+    // polarized light with degree d at orientation φ (measured from the
+    // s axis), the s fraction is (1 + d·cos 2φ)/2.
+    let phi = incident.orientation;
+    let fs = 0.5 * (1.0 + incident.degree * (2.0 * phi).cos());
+    let fp = 1.0 - fs;
+
+    // Reflected intensities per component.
+    let is = fs * rs;
+    let ip = fp * rp;
+    let total = is + ip;
+    if total <= 0.0 {
+        // Perfect Brewster extinction of a purely p-polarized ray.
+        return PolarizedBounce {
+            polarization: Polarization::UNPOLARIZED,
+            energy_factor: 0.0,
+        };
+    }
+    let degree = ((is - ip) / total).abs().min(1.0);
+    let orientation = if is >= ip { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+    // Energy relative to the scalar (unpolarized-average) model.
+    let energy_factor = total / r_avg;
+    PolarizedBounce {
+        polarization: Polarization { degree, orientation },
+        energy_factor,
+    }
+}
+
+/// Depolarization across a diffuse bounce: subsurface multiple scattering
+/// randomizes orientation; a small residual fraction survives.
+pub fn diffuse_depolarize(incident: Polarization) -> Polarization {
+    Polarization { degree: incident.degree * 0.05, orientation: incident.orientation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    const GLASS: f64 = 1.5;
+
+    fn incoming_at(angle: f64) -> Vec3 {
+        // Travel direction hitting a +z-normal surface at `angle` from the
+        // normal, in the xz plane.
+        Vec3::new(angle.sin(), 0.0, -angle.cos())
+    }
+
+    #[test]
+    fn fresnel_normal_incidence_matches_schlick_base() {
+        let (rs, rp) = fresnel_rs_rp(GLASS, 1.0);
+        let r0 = ((GLASS - 1.0) / (GLASS + 1.0)).powi(2);
+        assert!((rs - r0).abs() < 1e-12);
+        assert!((rp - r0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresnel_grazing_reflects_everything() {
+        let (rs, rp) = fresnel_rs_rp(GLASS, 0.0);
+        assert!(rs > 0.999);
+        assert!(rp > 0.999);
+    }
+
+    #[test]
+    fn rp_vanishes_at_brewster() {
+        let theta_b = brewster_angle(GLASS);
+        let (rs, rp) = fresnel_rs_rp(GLASS, theta_b.cos());
+        assert!(rp < 1e-9, "R_p at Brewster = {rp}");
+        assert!(rs > 0.0);
+    }
+
+    #[test]
+    fn unpolarized_light_polarizes_fully_at_brewster() {
+        let theta_b = brewster_angle(GLASS);
+        let b = polarized_specular(
+            incoming_at(theta_b),
+            Vec3::Z,
+            GLASS,
+            Polarization::UNPOLARIZED,
+        );
+        assert!(b.polarization.degree > 0.999, "{:?}", b.polarization);
+        assert_eq!(b.polarization.orientation, 0.0); // s-aligned
+        // Unpolarized input never changes total energy.
+        assert!((b.energy_factor - 1.0).abs() < 1e-9);
+        assert!(b.polarization.is_valid());
+    }
+
+    #[test]
+    fn normal_incidence_does_not_polarize() {
+        let b = polarized_specular(
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::Z,
+            GLASS,
+            Polarization::UNPOLARIZED,
+        );
+        assert_eq!(b.polarization.degree, 0.0);
+        assert_eq!(b.energy_factor, 1.0);
+    }
+
+    #[test]
+    fn s_polarized_light_reflects_stronger_than_p() {
+        let angle = 1.0; // past Brewster for glass (0.9828)
+        let s_in = Polarization { degree: 1.0, orientation: 0.0 };
+        let p_in = Polarization { degree: 1.0, orientation: FRAC_PI_2 };
+        let bs = polarized_specular(incoming_at(angle), Vec3::Z, GLASS, s_in);
+        let bp = polarized_specular(incoming_at(angle), Vec3::Z, GLASS, p_in);
+        assert!(
+            bs.energy_factor > bp.energy_factor,
+            "s {} vs p {}",
+            bs.energy_factor,
+            bp.energy_factor
+        );
+        // Energy factors bracket the unpolarized case.
+        assert!(bs.energy_factor > 1.0 && bp.energy_factor < 1.0);
+    }
+
+    #[test]
+    fn p_polarized_at_brewster_is_extinguished() {
+        let theta_b = brewster_angle(GLASS);
+        let p_in = Polarization { degree: 1.0, orientation: FRAC_PI_2 };
+        let b = polarized_specular(incoming_at(theta_b), Vec3::Z, GLASS, p_in);
+        assert!(b.energy_factor < 1e-9, "factor {}", b.energy_factor);
+    }
+
+    #[test]
+    fn diffuse_bounce_depolarizes() {
+        let p = Polarization { degree: 0.9, orientation: 1.0 };
+        let d = diffuse_depolarize(p);
+        assert!(d.degree < 0.05);
+        assert!(d.is_valid());
+    }
+
+    #[test]
+    fn energy_factor_conserves_on_average() {
+        // Averaged over uniformly random incident orientations of fully
+        // polarized light, the polarized energy equals the scalar model:
+        // E[(1±d cos2φ)/2 weighted rs/rp] = (rs+rp)/2.
+        let angle = 0.8;
+        let n = 64;
+        let mut acc = 0.0;
+        for k in 0..n {
+            let phi = std::f64::consts::PI * k as f64 / n as f64;
+            let pol = Polarization { degree: 1.0, orientation: phi };
+            acc += polarized_specular(incoming_at(angle), Vec3::Z, GLASS, pol).energy_factor;
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "mean factor {mean}");
+    }
+
+    #[test]
+    fn degree_stays_valid_across_random_chains() {
+        use photon_rng::{Lcg48, PhotonRng};
+        let mut rng = Lcg48::new(5);
+        let mut pol = Polarization::UNPOLARIZED;
+        for _ in 0..10_000 {
+            let angle = rng.next_f64() * 1.5;
+            if rng.next_f64() < 0.5 {
+                pol = polarized_specular(incoming_at(angle), Vec3::Z, GLASS, pol).polarization;
+            } else {
+                pol = diffuse_depolarize(pol);
+            }
+            assert!(pol.is_valid(), "{pol:?}");
+        }
+    }
+}

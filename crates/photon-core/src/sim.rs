@@ -1,0 +1,240 @@
+//! The serial Photon simulator — the paper's Fig 4.1 driver, and the
+//! "best serial version" against which all speedups are defined.
+
+use crate::answer::Answer;
+use crate::forest::BinForest;
+use crate::generate::PhotonGenerator;
+use crate::perf::{MemoryTrace, SpeedTrace};
+use crate::trace::{trace_photon, Termination};
+use photon_geom::Scene;
+use photon_hist::SplitConfig;
+use photon_rng::Lcg48;
+use std::time::Instant;
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Seed of the global random stream.
+    pub seed: u64,
+    /// Bin splitting policy.
+    pub split: SplitConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0x5EED, split: SplitConfig::default() }
+    }
+}
+
+/// Aggregate counters of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Photons emitted.
+    pub emitted: u64,
+    /// Photons terminated by absorption.
+    pub absorbed: u64,
+    /// Photons that left the scene.
+    pub escaped: u64,
+    /// Photons stopped by the bounce cap.
+    pub capped: u64,
+    /// Total reflections tallied.
+    pub reflections: u64,
+}
+
+impl SimStats {
+    /// Conservation check: every emitted photon terminated exactly one way.
+    pub fn is_conserved(&self) -> bool {
+        self.emitted == self.absorbed + self.escaped + self.capped
+    }
+}
+
+/// Serial Monte Carlo light-transport simulator.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    scene: Scene,
+    generator: PhotonGenerator,
+    forest: BinForest,
+    rng: Lcg48,
+    stats: SimStats,
+    speed: SpeedTrace,
+    memory: MemoryTrace,
+    started: Option<Instant>,
+}
+
+impl Simulator {
+    /// Creates a simulator over `scene`.
+    pub fn new(scene: Scene, config: SimConfig) -> Self {
+        let generator = PhotonGenerator::new(&scene);
+        let forest = BinForest::new(scene.polygon_count(), config.split);
+        Simulator {
+            generator,
+            forest,
+            rng: Lcg48::new(config.seed),
+            scene,
+            stats: SimStats::default(),
+            speed: SpeedTrace::new(),
+            memory: MemoryTrace::new(),
+            started: None,
+        }
+    }
+
+    /// The scene being simulated.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// The bin forest accumulated so far.
+    pub fn forest(&self) -> &BinForest {
+        &self.forest
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Speed-vs-time trace (one sample per `run_batch` call).
+    pub fn speed_trace(&self) -> &SpeedTrace {
+        &self.speed
+    }
+
+    /// Memory-vs-photons trace (one sample per `run_batch` call).
+    pub fn memory_trace(&self) -> &MemoryTrace {
+        &self.memory
+    }
+
+    /// Simulates `n` photons (no batch bookkeeping).
+    pub fn run_photons(&mut self, n: u64) {
+        for _ in 0..n {
+            let out = trace_photon(&self.scene, &self.generator, &mut self.rng, &mut self.forest);
+            self.stats.emitted += 1;
+            self.stats.reflections += out.bounces as u64;
+            match out.termination {
+                Termination::Absorbed => self.stats.absorbed += 1,
+                Termination::Escaped => self.stats.escaped += 1,
+                Termination::BounceCapped => self.stats.capped += 1,
+            }
+        }
+    }
+
+    /// Simulates a batch of `n` photons, recording speed and memory samples
+    /// (the paper's per-batch rate trace).
+    pub fn run_batch(&mut self, n: u64) {
+        let t0 = *self.started.get_or_insert_with(Instant::now);
+        let batch_start = Instant::now();
+        self.run_photons(n);
+        let batch_secs = batch_start.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed().as_secs_f64();
+        self.speed.push_batch(elapsed, n, batch_secs);
+        self.memory.push(self.stats.emitted, self.forest.memory_bytes());
+    }
+
+    /// Finishes the run, producing the answer database.
+    pub fn into_answer(self) -> Answer {
+        Answer::from_forest(&self.forest, self.stats.emitted)
+    }
+
+    /// Borrow-based snapshot of the answer (keeps simulating afterwards).
+    pub fn answer_snapshot(&self) -> Answer {
+        Answer::from_forest(&self.forest, self.stats.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_geom::{Luminaire, Material, SurfacePatch};
+    use photon_math::{Patch, Rgb, Vec3};
+
+    fn tiny_box() -> Scene {
+        let g = Rgb::gray(0.6);
+        let mk = |o: Vec3, e1: Vec3, e2: Vec3, m: Material| {
+            SurfacePatch::new(Patch::from_origin_edges(o, e1, e2), m)
+        };
+        let patches = vec![
+            mk(Vec3::ZERO, Vec3::X * 2.0, Vec3::new(0.0, 0.0, 2.0), Material::matte(g)),
+            mk(
+                Vec3::new(0.0, 2.0, 0.0),
+                Vec3::new(0.0, 0.0, 2.0),
+                Vec3::X * 2.0,
+                Material::matte(g),
+            ),
+            mk(Vec3::ZERO, Vec3::new(0.0, 2.0, 0.0), Vec3::X * 2.0, Material::matte(g)),
+            mk(
+                Vec3::new(0.0, 0.0, 2.0),
+                Vec3::X * 2.0,
+                Vec3::new(0.0, 2.0, 0.0),
+                Material::matte(g),
+            ),
+            mk(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.0), Vec3::new(0.0, 2.0, 0.0), Material::matte(g)),
+            mk(
+                Vec3::new(2.0, 0.0, 0.0),
+                Vec3::new(0.0, 2.0, 0.0),
+                Vec3::new(0.0, 0.0, 2.0),
+                Material::matte(g),
+            ),
+            // light panel faces down into the room (x edge first).
+            mk(
+                Vec3::new(0.3, 1.99, 0.3),
+                Vec3::new(0.5, 0.0, 0.0),
+                Vec3::new(0.0, 0.0, 0.5),
+                Material::emitter(Rgb::WHITE),
+            ),
+        ];
+        Scene::new(
+            patches,
+            vec![Luminaire { patch_id: 6, power: Rgb::gray(100.0), collimation: 1.0 }],
+        )
+    }
+
+    #[test]
+    fn stats_conserve_photons() {
+        let mut sim = Simulator::new(tiny_box(), SimConfig { seed: 1, ..Default::default() });
+        sim.run_photons(5000);
+        let s = sim.stats();
+        assert_eq!(s.emitted, 5000);
+        assert!(s.is_conserved(), "{s:?}");
+        assert!(s.absorbed > s.escaped, "closed box should absorb");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let cfg = SimConfig { seed: 42, ..Default::default() };
+        let mut a = Simulator::new(tiny_box(), cfg);
+        let mut b = Simulator::new(tiny_box(), cfg);
+        a.run_photons(3000);
+        b.run_photons(3000);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.forest().total_leaf_bins(), b.forest().total_leaf_bins());
+        assert_eq!(a.forest().total_tallies(), b.forest().total_tallies());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Simulator::new(tiny_box(), SimConfig { seed: 1, ..Default::default() });
+        let mut b = Simulator::new(tiny_box(), SimConfig { seed: 2, ..Default::default() });
+        a.run_photons(3000);
+        b.run_photons(3000);
+        assert_ne!(a.stats().reflections, b.stats().reflections);
+    }
+
+    #[test]
+    fn batches_record_traces() {
+        let mut sim = Simulator::new(tiny_box(), SimConfig::default());
+        for _ in 0..5 {
+            sim.run_batch(1000);
+        }
+        assert_eq!(sim.speed_trace().samples().len(), 5);
+        assert_eq!(sim.memory_trace().samples().len(), 5);
+        assert_eq!(sim.stats().emitted, 5000);
+    }
+
+    #[test]
+    fn forest_refines_under_light() {
+        // The corner light panel creates a strong spatial gradient on the
+        // floor and walls, which the adaptive bins must track.
+        let mut sim = Simulator::new(tiny_box(), SimConfig::default());
+        sim.run_photons(100_000);
+        assert!(sim.forest().total_leaf_bins() > 25, "{}", sim.forest().total_leaf_bins());
+    }
+}

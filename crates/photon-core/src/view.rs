@@ -1,0 +1,195 @@
+//! Viewing: single-step ray trace against the stored answer (ch. 4,
+//! Figs 4.9/4.10).
+//!
+//! "Rays go to first visible surface only": each pixel casts one ray; at the
+//! first hit the displayed color is the stored radiance of the bin a photon
+//! *leaving* the surface toward the eye would have been tallied into. No
+//! recursion, no shading model — the global illumination already lives in
+//! the bin forest, so any number of viewpoints render from one answer file.
+
+use crate::answer::Answer;
+use crate::img::Image;
+use photon_geom::Scene;
+use photon_math::{Ray, Rgb, Vec3};
+
+/// A pinhole camera.
+#[derive(Clone, Copy, Debug)]
+pub struct Camera {
+    /// Eye position.
+    pub eye: Vec3,
+    /// Point looked at.
+    pub target: Vec3,
+    /// Up hint.
+    pub up: Vec3,
+    /// Vertical field of view in degrees.
+    pub vfov_deg: f64,
+    /// Output width in pixels.
+    pub width: usize,
+    /// Output height in pixels.
+    pub height: usize,
+}
+
+impl Camera {
+    /// The primary ray through the center of pixel `(x, y)`.
+    pub fn ray(&self, x: usize, y: usize) -> Ray {
+        let w = (self.eye - self.target).normalized(); // backward
+        let u = self.up.cross(w).normalized();
+        let v = w.cross(u);
+        let aspect = self.width as f64 / self.height as f64;
+        let half_h = (self.vfov_deg.to_radians() * 0.5).tan();
+        let half_w = half_h * aspect;
+        let px = (x as f64 + 0.5) / self.width as f64 * 2.0 - 1.0;
+        let py = 1.0 - (y as f64 + 0.5) / self.height as f64 * 2.0;
+        let dir = (u * (px * half_w) + v * (py * half_h) - w).normalized();
+        Ray::new(self.eye, dir)
+    }
+}
+
+/// Renders the answer from a viewpoint. `exposure` scales radiance to
+/// display range; use [`auto_exposure`] when unsure.
+pub fn render(scene: &Scene, answer: &Answer, camera: &Camera, exposure: f64) -> Image {
+    let mut img = Image::new(camera.width, camera.height);
+    for y in 0..camera.height {
+        for x in 0..camera.width {
+            let ray = camera.ray(x, y);
+            let c = shade(scene, answer, &ray);
+            img.set(x, y, c * exposure);
+        }
+    }
+    img
+}
+
+/// The color seen along one ray (before exposure).
+pub fn shade(scene: &Scene, answer: &Answer, ray: &Ray) -> Rgb {
+    let Some(hit) = scene.intersect(ray, f64::INFINITY) else {
+        return Rgb::BLACK;
+    };
+    // Radiance leaving the hit point toward the eye.
+    let to_eye = -ray.dir;
+    answer.radiance(scene, hit.patch_id, hit.s, hit.v, to_eye)
+}
+
+/// Picks an exposure that maps the answer's mean lit-patch radiance to
+/// mid-gray.
+pub fn auto_exposure(scene: &Scene, answer: &Answer) -> f64 {
+    let mut total = 0.0;
+    let mut lit = 0usize;
+    for pid in 0..answer.patch_count() as u32 {
+        let l = answer.mean_patch_radiance(scene, pid).luminance();
+        if l > 0.0 {
+            total += l;
+            lit += 1;
+        }
+    }
+    if lit == 0 || total <= 0.0 {
+        return 1.0;
+    }
+    0.5 / (total / lit as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, Simulator};
+    use photon_geom::{Luminaire, Material, SurfacePatch};
+    use photon_math::Patch;
+
+    /// Floor + downward light: the floor should render brighter than the
+    /// void around it.
+    fn lit_floor_scene() -> Scene {
+        let floor = SurfacePatch::new(
+            Patch::from_origin_edges(
+                Vec3::new(-2.0, 0.0, -2.0),
+                Vec3::X * 4.0,
+                Vec3::new(0.0, 0.0, 4.0),
+            ),
+            Material::matte(Rgb::gray(0.7)),
+        );
+        let light = SurfacePatch::new(
+            Patch::from_origin_edges(
+                Vec3::new(-0.5, 3.0, 0.5),
+                Vec3::new(0.0, 0.0, -1.0),
+                Vec3::X,
+            ),
+            Material::emitter(Rgb::WHITE),
+        );
+        Scene::new(
+            vec![floor, light],
+            vec![Luminaire { patch_id: 1, power: Rgb::gray(50.0), collimation: 1.0 }],
+        )
+    }
+
+    fn camera() -> Camera {
+        Camera {
+            eye: Vec3::new(0.0, 2.5, -4.0),
+            target: Vec3::new(0.0, 0.0, 0.0),
+            up: Vec3::Y,
+            vfov_deg: 50.0,
+            width: 32,
+            height: 24,
+        }
+    }
+
+    #[test]
+    fn rays_pass_through_target() {
+        let cam = camera();
+        let center = cam.ray(cam.width / 2, cam.height / 2);
+        // The central ray points roughly at the target.
+        let to_target = (cam.target - cam.eye).normalized();
+        assert!(center.dir.dot(to_target) > 0.99);
+    }
+
+    #[test]
+    fn render_shows_lit_floor() {
+        let scene = lit_floor_scene();
+        let mut sim = Simulator::new(scene, SimConfig { seed: 5, ..Default::default() });
+        sim.run_photons(40_000);
+        let answer = sim.answer_snapshot();
+        let scene = sim.scene();
+        let exposure = auto_exposure(scene, &answer);
+        let img = render(scene, &answer, &camera(), exposure);
+        // Some pixels lit, background black.
+        let lum = img.mean_luminance();
+        assert!(lum > 0.001, "image black: {lum}");
+        // Corners (sky) are black.
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    fn two_viewpoints_from_one_answer_differ_but_share_solution() {
+        let scene = lit_floor_scene();
+        let mut sim = Simulator::new(scene, SimConfig { seed: 6, ..Default::default() });
+        sim.run_photons(30_000);
+        let answer = sim.answer_snapshot();
+        let scene = sim.scene();
+        let e = auto_exposure(scene, &answer);
+        let img1 = render(scene, &answer, &camera(), e);
+        let mut cam2 = camera();
+        cam2.eye = Vec3::new(3.0, 2.0, 3.0);
+        let img2 = render(scene, &answer, &cam2, e);
+        assert!(img1.rms_error(&img2) > 0.0, "different viewpoints identical");
+        assert!(img2.mean_luminance() > 0.0);
+    }
+
+    #[test]
+    fn more_photons_reduce_render_noise() {
+        // Render quality improves with photon count (Fig 5.16's premise):
+        // two independent long runs agree better than two short runs.
+        // Comparison happens on downsampled images — adaptive bins convert
+        // extra photons into finer bins, so coarse-grained radiance is the
+        // quantity that converges.
+        let mk = |seed, n| {
+            let mut sim = Simulator::new(lit_floor_scene(), SimConfig { seed, ..Default::default() });
+            sim.run_photons(n);
+            let ans = sim.answer_snapshot();
+            let e = 0.05; // fixed exposure for comparability
+            render(sim.scene(), &ans, &camera(), e).downsampled(8)
+        };
+        let short_err = mk(1, 2_000).rms_error(&mk(2, 2_000));
+        let long_err = mk(3, 80_000).rms_error(&mk(4, 80_000));
+        assert!(
+            long_err < short_err,
+            "noise did not drop: short {short_err} long {long_err}"
+        );
+    }
+}

@@ -1,0 +1,519 @@
+//! Distributed-memory Photon (dissertation ch. 5, Fig 5.3).
+//!
+//! The geometry is replicated on every rank; the *bin forest* — the large,
+//! growing data structure — is distributed by patch. Each rank generates and
+//! traces its leapfrogged share of every batch. Tallies for bins the rank
+//! owns update locally; the rest are encoded as 32-byte
+//! [`record::PhotonRecord`]s and queued per owner. A blocking all-to-all
+//! exchange follows every batch; receivers run `DetermineBin` /
+//! `UpdateBinCount` / `Split` on their own trees.
+//!
+//! On top of that loop sit the paper's two control mechanisms:
+//! [`balance`] — Best-Fit bin packing of tree ownership from a pilot trace
+//! (Table 5.2) — and [`batch`] — the adaptive batch-size controller
+//! (Table 5.3). Time is virtual, supplied by [`simmpi`]'s platform models,
+//! so the speedup traces of Figs 5.9–5.15 are deterministic.
+
+#![deny(missing_docs)]
+
+pub mod balance;
+pub mod batch;
+pub mod record;
+
+pub use balance::Ownership;
+pub use batch::{AdaptiveBatch, BatchController, BatchMode};
+pub use record::PhotonRecord;
+
+use photon_core::generate::PhotonGenerator;
+use photon_core::sim::SimStats;
+use photon_core::trace::{trace_photon, TallySink, Termination};
+use photon_core::{Answer, BinForest, SpeedTrace};
+use photon_geom::Scene;
+use photon_hist::{BinPoint, SplitConfig};
+use photon_math::Rgb;
+use photon_rng::Lcg48;
+use simmpi::{run_world, Comm, Platform};
+
+/// Ownership assignment strategy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BalanceMode {
+    /// Contiguous blocks of patch ids (no light knowledge).
+    Naive,
+    /// Pilot trace + Best-Fit bin packing (the paper's method).
+    BinPacking {
+        /// Photons in the redundant pilot phase (the paper's `k`).
+        pilot_photons: u64,
+    },
+}
+
+/// When to stop the main loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StopRule {
+    /// Stop after at least this many photons (global).
+    Photons(u64),
+    /// Stop at this much virtual time (the Fig 5.16 "2-minute run").
+    VirtualSeconds(f64),
+}
+
+/// Configuration of a distributed run.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// Seed of the global random stream (leapfrogged across ranks).
+    pub seed: u64,
+    /// Bin splitting policy.
+    pub split: SplitConfig,
+    /// Number of ranks ("processors").
+    pub nranks: usize,
+    /// Virtual-time platform model.
+    pub platform: Platform,
+    /// Ownership strategy.
+    pub balance: BalanceMode,
+    /// Batch sizing.
+    pub batch: BatchMode,
+    /// Stop rule.
+    pub stop: StopRule,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            seed: 0x5EED,
+            split: SplitConfig::default(),
+            nranks: 2,
+            platform: Platform::power_onyx(),
+            balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+            batch: BatchMode::Fixed(500),
+            stop: StopRule::Photons(10_000),
+        }
+    }
+}
+
+/// Result of a distributed run.
+pub struct DistRunResult {
+    /// Aggregate photon counters (pilot photons included in `emitted`).
+    pub stats: SimStats,
+    /// Virtual-time speed trace (global rate per batch).
+    pub speed: SpeedTrace,
+    /// Photon interactions *processed* per rank (local + received) — the
+    /// Table 5.2 metric.
+    pub per_rank_tallies: Vec<u64>,
+    /// Batch sizes used, in order (Table 5.3).
+    pub batch_history: Vec<u64>,
+    /// The merged answer (owner trees only, each patch exactly once).
+    pub answer: Answer,
+    /// Final synchronized virtual clock.
+    pub virtual_elapsed: f64,
+    /// The ownership map used.
+    pub ownership: Ownership,
+    /// Bytes shipped through the all-to-all, total.
+    pub bytes_forwarded: u64,
+}
+
+/// The tally sink of Fig 5.3's inner loop: local tallies update the rank's
+/// own trees; foreign tallies are queued for their owner.
+struct DistSink<'a> {
+    ownership: &'a Ownership,
+    my_rank: usize,
+    forest: &'a mut BinForest,
+    queues: &'a mut [Vec<u8>],
+    processed: &'a mut u64,
+}
+
+impl TallySink for DistSink<'_> {
+    #[inline]
+    fn tally(&mut self, patch_id: u32, point: &BinPoint, energy: Rgb) {
+        let owner = self.ownership.owner_of(patch_id);
+        if owner == self.my_rank {
+            self.forest.tally(patch_id, point, energy);
+            *self.processed += 1;
+        } else {
+            PhotonRecord { patch_id, point: *point, energy }
+                .encode_into(&mut self.queues[owner]);
+        }
+    }
+}
+
+/// What each rank hands back at the end.
+struct RankResult {
+    stats: SimStats,
+    owned_trees: Vec<(u32, photon_hist::BinTree)>,
+    processed: u64,
+    speed: SpeedTrace,
+    batch_history: Vec<u64>,
+    final_clock: f64,
+    bytes_forwarded: u64,
+    ownership: Ownership,
+}
+
+/// Runs the full distributed simulation; blocks until all ranks finish.
+pub fn run_distributed(scene: &Scene, config: &DistConfig) -> DistRunResult {
+    assert!(config.nranks >= 1);
+    let npolys = scene.polygon_count();
+    let pilot_photons = match config.balance {
+        BalanceMode::BinPacking { pilot_photons } => pilot_photons,
+        BalanceMode::Naive => 0,
+    };
+
+    let rank_results: Vec<RankResult> = run_world(config.nranks, config.platform, |comm| {
+        run_rank(scene, config, comm)
+    });
+
+    // Merge: every patch's tree comes from its unique owner.
+    let mut trees: Vec<Option<photon_hist::BinTree>> = (0..npolys).map(|_| None).collect();
+    let mut stats = SimStats::default();
+    let mut per_rank_tallies = Vec::with_capacity(config.nranks);
+    let mut bytes_forwarded = 0;
+    let mut speed = SpeedTrace::new();
+    let mut batch_history = Vec::new();
+    let mut virtual_elapsed = 0.0f64;
+    let mut ownership = None;
+    for (rank, r) in rank_results.into_iter().enumerate() {
+        stats.emitted += r.stats.emitted;
+        stats.absorbed += r.stats.absorbed;
+        stats.escaped += r.stats.escaped;
+        stats.capped += r.stats.capped;
+        stats.reflections += r.stats.reflections;
+        per_rank_tallies.push(r.processed);
+        bytes_forwarded += r.bytes_forwarded;
+        virtual_elapsed = virtual_elapsed.max(r.final_clock);
+        for (pid, tree) in r.owned_trees {
+            debug_assert!(trees[pid as usize].is_none(), "patch {pid} owned twice");
+            trees[pid as usize] = Some(tree);
+        }
+        if rank == 0 {
+            speed = r.speed;
+            batch_history = r.batch_history;
+            ownership = Some(r.ownership);
+        }
+    }
+    // Pilot photons were emitted once, globally; rank 0 already accounted
+    // for them (every rank traced the same ones redundantly; their tallies
+    // exist exactly once in the merged forest because only owners merge).
+    let _ = pilot_photons;
+    let forest = BinForest::from_trees(
+        trees.into_iter().map(|t| t.expect("all patches owned")).collect(),
+    );
+    let answer = Answer::from_forest(&forest, stats.emitted);
+    DistRunResult {
+        stats,
+        speed,
+        per_rank_tallies,
+        batch_history,
+        answer,
+        virtual_elapsed,
+        ownership: ownership.expect("at least one rank"),
+        bytes_forwarded,
+    }
+}
+
+/// The per-rank SPMD body.
+fn run_rank(scene: &Scene, config: &DistConfig, comm: &mut Comm) -> RankResult {
+    let npolys = scene.polygon_count();
+    let nranks = comm.size();
+    let my_rank = comm.rank();
+    let generator = PhotonGenerator::new(scene);
+    let mut stats = SimStats::default();
+
+    // ---- Load-balancing phase (redundant pilot trace; ch. 5) ----
+    let mut forest = BinForest::new(npolys, config.split);
+    let ownership = match config.balance {
+        BalanceMode::Naive => balance::naive(npolys, nranks),
+        BalanceMode::BinPacking { pilot_photons } => {
+            // Every rank traces the *same* photons with the same seed,
+            // producing the same forest and hence the same packing. Only
+            // rank 0 reports the pilot in its stats — the photons are
+            // global, not per rank.
+            let mut pilot_rng = Lcg48::new(config.seed ^ 0x9E3779B97F4A7C15);
+            let mut segments = 0u64;
+            for _ in 0..pilot_photons {
+                let out = trace_photon(scene, &generator, &mut pilot_rng, &mut forest);
+                segments += 1 + out.bounces as u64;
+                if my_rank == 0 {
+                    stats.emitted += 1;
+                    stats.reflections += out.bounces as u64;
+                    match out.termination {
+                        Termination::Absorbed => stats.absorbed += 1,
+                        Termination::Escaped => stats.escaped += 1,
+                        Termination::BounceCapped => stats.capped += 1,
+                    }
+                }
+            }
+            comm.charge_compute(segments, npolys);
+            let counts: Vec<u64> = forest.iter().map(|(_, t)| t.tallies()).collect();
+            balance::best_fit(&counts, nranks)
+        }
+    };
+    comm.barrier(); // end of the balancing phase; clocks sync
+
+    // ---- Main loop (Fig 5.3) ----
+    let mut rng = Lcg48::new(config.seed).leapfrog(my_rank, nranks);
+    let mut processed = 0u64;
+    let mut bytes_forwarded = 0u64;
+    let mut speed = SpeedTrace::new();
+    let mut controller = match config.batch {
+        BatchMode::Adaptive(params) => Some(BatchController::new(params)),
+        BatchMode::Fixed(_) => None,
+    };
+    let mut total_done = 0u64;
+    let mut t_batch_start = sync_clock(comm);
+    loop {
+        match config.stop {
+            StopRule::Photons(n) => {
+                if total_done >= n {
+                    break;
+                }
+            }
+            StopRule::VirtualSeconds(t) => {
+                if t_batch_start >= t {
+                    break;
+                }
+            }
+        }
+        let per_rank = match (&controller, config.batch) {
+            (Some(c), _) => c.size(),
+            (None, BatchMode::Fixed(n)) => n,
+            _ => unreachable!(),
+        };
+
+        // Trace this rank's share.
+        let mut queues: Vec<Vec<u8>> = (0..nranks).map(|_| Vec::new()).collect();
+        let mut segments = 0u64;
+        {
+            let mut sink = DistSink {
+                ownership: &ownership,
+                my_rank,
+                forest: &mut forest,
+                queues: &mut queues,
+                processed: &mut processed,
+            };
+            for _ in 0..per_rank {
+                let out = trace_photon(scene, &generator, &mut rng, &mut sink);
+                stats.emitted += 1;
+                stats.reflections += out.bounces as u64;
+                match out.termination {
+                    Termination::Absorbed => stats.absorbed += 1,
+                    Termination::Escaped => stats.escaped += 1,
+                    Termination::BounceCapped => stats.capped += 1,
+                }
+                segments += 1 + out.bounces as u64;
+            }
+        }
+        comm.charge_compute(segments, npolys);
+        // Fixed per-batch bookkeeping (queue setup, flush, rate sampling):
+        // the cost the adaptive controller amortizes by growing batches.
+        comm.advance(comm.platform().batch_overhead_s);
+        bytes_forwarded += queues.iter().map(|q| q.len() as u64).sum::<u64>();
+
+        // All-to-all exchange; receivers process foreign tallies.
+        let incoming = comm.alltoallv(queues);
+        let mut received = 0u64;
+        for (src, buf) in incoming.iter().enumerate() {
+            if src == my_rank {
+                continue;
+            }
+            for rec in PhotonRecord::decode_all(buf) {
+                debug_assert_eq!(ownership.owner_of(rec.patch_id), my_rank);
+                forest.tally(rec.patch_id, &rec.point, rec.energy);
+                received += 1;
+            }
+        }
+        processed += received;
+        comm.advance(comm.platform().tally_cost(received));
+
+        // Batch accounting on the synchronized clock: identical on every
+        // rank, so the adaptive controller stays in lockstep with zero
+        // extra coordination.
+        let t_batch_end = sync_clock(comm);
+        let global_batch = per_rank * nranks as u64;
+        total_done += global_batch;
+        let batch_secs = (t_batch_end - t_batch_start).max(1e-12);
+        let rate = global_batch as f64 / batch_secs;
+        if my_rank == 0 {
+            speed.push_batch(t_batch_end, global_batch, batch_secs);
+        }
+        if let Some(c) = controller.as_mut() {
+            c.observe(rate);
+        }
+        t_batch_start = t_batch_end;
+    }
+
+    // Hand back the trees this rank owns.
+    let final_clock = comm.clock();
+    let all_trees = forest.into_trees();
+    let mut owned_trees = Vec::new();
+    for (pid, tree) in all_trees.into_iter().enumerate() {
+        if ownership.owner_of(pid as u32) == my_rank {
+            owned_trees.push((pid as u32, tree));
+        }
+    }
+    RankResult {
+        stats,
+        owned_trees,
+        processed,
+        speed,
+        batch_history: controller.map(|c| c.history().to_vec()).unwrap_or_default(),
+        final_clock,
+        bytes_forwarded,
+        ownership,
+    }
+}
+
+/// Synchronizes every rank's virtual clock to the global maximum and
+/// returns it.
+fn sync_clock(comm: &mut Comm) -> f64 {
+    let t = comm.allreduce_max_f64(comm.clock());
+    let dt = t - comm.clock();
+    if dt > 0.0 {
+        comm.advance(dt);
+    }
+    comm.clock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_core::{SimConfig, Simulator};
+    use photon_scenes::cornell_box;
+
+    fn base_config() -> DistConfig {
+        DistConfig {
+            seed: 424242,
+            nranks: 4,
+            platform: Platform::power_onyx(),
+            balance: BalanceMode::BinPacking { pilot_photons: 500 },
+            batch: BatchMode::Fixed(250),
+            stop: StopRule::Photons(6000),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn photons_conserved_across_ranks() {
+        let scene = cornell_box();
+        let r = run_distributed(&scene, &base_config());
+        // emitted = pilot + ceil-to-batch main photons.
+        assert!(r.stats.emitted >= 6500, "{:?}", r.stats);
+        assert!(r.stats.is_conserved(), "{:?}", r.stats);
+    }
+
+    #[test]
+    fn merged_forest_has_every_tally_exactly_once() {
+        // Every interaction — pilot and main, local and forwarded — lands
+        // in exactly one owner tree: total tallies = emissions +
+        // reflections, both of which include the pilot via rank 0's stats.
+        let scene = cornell_box();
+        let r = run_distributed(&scene, &base_config());
+        let total_tallies: u64 = (0..r.answer.patch_count() as u32)
+            .map(|pid| r.answer.tree(pid).tallies())
+            .sum();
+        assert_eq!(total_tallies, r.stats.emitted + r.stats.reflections);
+    }
+
+    #[test]
+    fn single_rank_naive_matches_serial_exactly() {
+        let scene = cornell_box();
+        let config = DistConfig {
+            seed: 777,
+            nranks: 1,
+            balance: BalanceMode::Naive,
+            batch: BatchMode::Fixed(1000),
+            stop: StopRule::Photons(5000),
+            ..Default::default()
+        };
+        let dist = run_distributed(&scene, &config);
+        let mut serial = Simulator::new(cornell_box(), SimConfig { seed: 777, ..Default::default() });
+        serial.run_photons(5000);
+        assert_eq!(dist.stats.emitted, serial.stats().emitted);
+        assert_eq!(dist.stats.reflections, serial.stats().reflections);
+        assert_eq!(dist.stats.absorbed, serial.stats().absorbed);
+        let dist_tallies: u64 = (0..dist.answer.patch_count() as u32)
+            .map(|p| dist.answer.tree(p).tallies())
+            .sum();
+        assert_eq!(dist_tallies, serial.forest().total_tallies());
+        assert_eq!(dist.answer.total_leaf_bins(), serial.forest().total_leaf_bins());
+    }
+
+    #[test]
+    fn bin_packing_balances_processed_tallies() {
+        let scene = cornell_box();
+        let naive = run_distributed(
+            &scene,
+            &DistConfig { balance: BalanceMode::Naive, ..base_config() },
+        );
+        let packed = run_distributed(&scene, &base_config());
+        let imbalance = |v: &[u64]| {
+            let total: u64 = v.iter().sum();
+            let mean = total as f64 / v.len() as f64;
+            v.iter().copied().max().unwrap() as f64 / mean
+        };
+        let ni = imbalance(&naive.per_rank_tallies);
+        let bi = imbalance(&packed.per_rank_tallies);
+        assert!(
+            bi < ni,
+            "bin packing {bi:.3} not better than naive {ni:.3}: {:?} vs {:?}",
+            packed.per_rank_tallies,
+            naive.per_rank_tallies
+        );
+    }
+
+    #[test]
+    fn adaptive_batches_grow_from_500() {
+        let scene = cornell_box();
+        let config = DistConfig {
+            batch: BatchMode::Adaptive(AdaptiveBatch::default()),
+            stop: StopRule::Photons(30_000),
+            ..base_config()
+        };
+        let r = run_distributed(&scene, &config);
+        assert_eq!(r.batch_history[0], 500);
+        assert!(r.batch_history.len() > 2);
+        assert!(
+            r.batch_history.iter().any(|&b| b > 500),
+            "batch never grew: {:?}",
+            r.batch_history
+        );
+    }
+
+    #[test]
+    fn virtual_time_budget_stops_the_run() {
+        let scene = cornell_box();
+        let config = DistConfig {
+            stop: StopRule::VirtualSeconds(3.0),
+            batch: BatchMode::Fixed(200),
+            ..base_config()
+        };
+        let r = run_distributed(&scene, &config);
+        assert!(r.virtual_elapsed >= 3.0);
+        // One batch of overshoot at most.
+        assert!(r.virtual_elapsed < 10.0, "{}", r.virtual_elapsed);
+        assert!(r.stats.emitted > 0);
+    }
+
+    #[test]
+    fn more_ranks_mean_more_photons_per_virtual_second() {
+        let scene = cornell_box();
+        let rate_of = |nranks: usize| {
+            let r = run_distributed(
+                &scene,
+                &DistConfig {
+                    nranks,
+                    stop: StopRule::Photons(8000),
+                    batch: BatchMode::Fixed(500),
+                    ..base_config()
+                },
+            );
+            r.speed.steady_rate()
+        };
+        let r1 = rate_of(1);
+        let r4 = rate_of(4);
+        assert!(r4 > 2.0 * r1, "speedup too low: 1 rank {r1}, 4 ranks {r4}");
+    }
+
+    #[test]
+    fn forwarded_bytes_are_multiple_of_record_size() {
+        let scene = cornell_box();
+        let r = run_distributed(&scene, &base_config());
+        assert!(r.bytes_forwarded > 0);
+        assert_eq!(r.bytes_forwarded % record::RECORD_BYTES as u64, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The wire format of forwarded photon interactions.
+//!
+//! In distributed Photon every reflected photon whose bin lives on another
+//! processor is queued and shipped in the all-to-all phase (Fig 5.3). A
+//! record carries everything `DetermineBin` needs on the owner: the patch,
+//! the 4-D bin coordinates and the RGB energy — 32 bytes, a small fraction
+//! of the "100 bytes per photon" the paper attributes to ray-history
+//! approaches.
+
+use photon_hist::BinPoint;
+use photon_math::Rgb;
+
+/// Byte length of one encoded record.
+pub const RECORD_BYTES: usize = 32;
+
+/// One forwarded photon interaction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhotonRecord {
+    /// Owning patch.
+    pub patch_id: u32,
+    /// 4-D bin coordinates.
+    pub point: BinPoint,
+    /// Outgoing energy.
+    pub energy: Rgb,
+}
+
+impl PhotonRecord {
+    /// Appends the 32-byte encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.patch_id.to_le_bytes());
+        for v in [
+            self.point.s as f32,
+            self.point.t as f32,
+            self.point.theta as f32,
+            self.point.r_sq as f32,
+            self.energy.r as f32,
+            self.energy.g as f32,
+            self.energy.b as f32,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decodes one record from a 32-byte chunk.
+    pub fn decode(chunk: &[u8]) -> PhotonRecord {
+        assert_eq!(chunk.len(), RECORD_BYTES, "record must be {RECORD_BYTES} bytes");
+        let u32_at = |i: usize| u32::from_le_bytes(chunk[i..i + 4].try_into().unwrap());
+        let f32_at = |i: usize| f32::from_le_bytes(chunk[i..i + 4].try_into().unwrap()) as f64;
+        PhotonRecord {
+            patch_id: u32_at(0),
+            point: BinPoint::new(f32_at(4), f32_at(8), f32_at(12), f32_at(16)),
+            energy: Rgb::new(f32_at(20), f32_at(24), f32_at(28)),
+        }
+    }
+
+    /// Decodes a buffer of concatenated records.
+    pub fn decode_all(buf: &[u8]) -> impl Iterator<Item = PhotonRecord> + '_ {
+        assert_eq!(buf.len() % RECORD_BYTES, 0, "truncated record buffer");
+        buf.chunks_exact(RECORD_BYTES).map(PhotonRecord::decode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhotonRecord {
+        PhotonRecord {
+            patch_id: 1234,
+            point: BinPoint::new(0.25, 0.75, 3.0, 0.5),
+            energy: Rgb::new(1.5, 0.5, 0.125),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let mut buf = Vec::new();
+        r.encode_into(&mut buf);
+        assert_eq!(buf.len(), RECORD_BYTES);
+        let back = PhotonRecord::decode(&buf);
+        assert_eq!(back.patch_id, r.patch_id);
+        // f32 round trip loses precision below 1e-7 relative.
+        assert!((back.point.s - r.point.s).abs() < 1e-6);
+        assert!((back.point.theta - r.point.theta).abs() < 1e-6);
+        assert!((back.energy.r - r.energy.r).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_all_iterates_packed_records() {
+        let mut buf = Vec::new();
+        for i in 0..10u32 {
+            let mut r = sample();
+            r.patch_id = i;
+            r.encode_into(&mut buf);
+        }
+        let ids: Vec<u32> = PhotonRecord::decode_all(&buf).map(|r| r.patch_id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_buffer_panics() {
+        let mut buf = Vec::new();
+        sample().encode_into(&mut buf);
+        buf.pop();
+        let _: Vec<_> = PhotonRecord::decode_all(&buf).collect();
+    }
+}

@@ -1,0 +1,24 @@
+//! Scene geometry for the Photon global-illumination system.
+//!
+//! A scene is a flat list of planar quadrilateral patches
+//! ([`SurfacePatch`]), each with a [`Material`] and a cached local frame, a
+//! set of [`Luminaire`]s referencing emitting patches, and an [`Octree`] over
+//! the patches for logarithmic ray intersection (the paper's geometry
+//! decomposition, Fig 4.6 bottom layer).
+//!
+//! The octree is the structure the dissertation singles out for future
+//! massive parallelism: it "orders the intersection testing for a given
+//! photon such that we only test polygons in the space the photon is
+//! traveling through" (ch. 6). Traversal here visits child octants in ray
+//! order and prunes octants entered beyond the best hit, so the first
+//! accepted hit is provably the nearest.
+
+#![deny(missing_docs)]
+
+pub mod material;
+pub mod octree;
+pub mod scene;
+
+pub use material::{Material, SurfaceKind};
+pub use octree::{Octree, OctreeStats};
+pub use scene::{Luminaire, Scene, SceneHit, SurfacePatch};

@@ -1,0 +1,309 @@
+//! Octree spatial decomposition for nearest-hit ray queries.
+//!
+//! Patches are inserted into every leaf octant their bounding box overlaps.
+//! Queries traverse children in the order the ray enters them and prune any
+//! octant whose entry parameter lies beyond the best hit found so far, which
+//! makes the first surviving hit the global nearest (duplicated patch
+//! references across octants cost redundant tests but never correctness).
+//!
+//! Construction is top-down: a node holding more than [`LEAF_CAPACITY`]
+//! patches splits into eight octants (until [`MAX_DEPTH`]), each receiving
+//! the patches whose boxes overlap it.
+
+use crate::scene::{SceneHit, SurfacePatch};
+use photon_math::{Aabb, Ray};
+
+/// Maximum tree depth; 2^8 cells per axis is plenty for the paper's scenes.
+pub const MAX_DEPTH: u32 = 8;
+/// A node holding more than this many patches splits (unless at max depth).
+pub const LEAF_CAPACITY: usize = 8;
+
+/// Arena-allocated octree over patch indices.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    nodes: Vec<Node>,
+    bounds: Aabb,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    bounds: Aabb,
+    /// Arena indices of the eight children, or `None` for a leaf.
+    children: Option<[u32; 8]>,
+    /// Patch indices stored in this node (leaves only).
+    items: Vec<u32>,
+}
+
+/// Structural statistics, reported by the Fig 4.6 demo and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OctreeStats {
+    /// Total nodes in the arena.
+    pub nodes: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Maximum depth reached.
+    pub max_depth: u32,
+    /// Total patch references across leaves (can exceed the patch count
+    /// because a patch overlapping several octants is stored in each).
+    pub item_refs: usize,
+}
+
+impl Octree {
+    /// Builds the tree over `patches` within `bounds`.
+    pub fn build(patches: &[SurfacePatch], bounds: Aabb) -> Self {
+        let boxes: Vec<Aabb> = patches.iter().map(|p| p.patch.aabb().padded(1e-9)).collect();
+        let all: Vec<u32> = (0..patches.len() as u32).collect();
+        let mut tree = Octree { nodes: Vec::new(), bounds };
+        tree.build_node(bounds, all, &boxes, 0);
+        tree
+    }
+
+    /// Recursively constructs the node for `bounds` holding `items`;
+    /// returns its arena index.
+    fn build_node(&mut self, bounds: Aabb, items: Vec<u32>, boxes: &[Aabb], depth: u32) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { bounds, children: None, items: Vec::new() });
+        if items.len() <= LEAF_CAPACITY || depth >= MAX_DEPTH {
+            self.nodes[idx as usize].items = items;
+            return idx;
+        }
+        let octants = bounds.octants();
+        let mut parts: [Vec<u32>; 8] = Default::default();
+        for &it in &items {
+            for (c, ob) in octants.iter().enumerate() {
+                if ob.overlaps(&boxes[it as usize]) {
+                    parts[c].push(it);
+                }
+            }
+        }
+        // If splitting separates nothing (every item spans every octant),
+        // keep the leaf: descending would cost 8x memory for no pruning.
+        if parts.iter().all(|p| p.len() == items.len()) {
+            self.nodes[idx as usize].items = items;
+            return idx;
+        }
+        let mut children = [0u32; 8];
+        for (c, ob) in octants.iter().enumerate() {
+            let child_items = std::mem::take(&mut parts[c]);
+            children[c] = self.build_node(*ob, child_items, boxes, depth + 1);
+        }
+        self.nodes[idx as usize].children = Some(children);
+        idx
+    }
+
+    /// Nearest hit along `ray` within `(t_min, t_max)` — the paper's
+    /// `DetermineIntersection` accelerated by the geometry octree.
+    pub fn intersect(
+        &self,
+        patches: &[SurfacePatch],
+        ray: &Ray,
+        t_min: f64,
+        t_max: f64,
+    ) -> Option<SceneHit> {
+        let mut best: Option<SceneHit> = None;
+        let mut limit = t_max;
+        // The root box must be entered at all for any hit to exist.
+        if self.nodes.is_empty() || self.bounds.hit(ray, t_min, limit).is_none() {
+            return None;
+        }
+        self.visit(0, patches, ray, t_min, &mut limit, &mut best);
+        best
+    }
+
+    fn visit(
+        &self,
+        node: usize,
+        patches: &[SurfacePatch],
+        ray: &Ray,
+        t_min: f64,
+        limit: &mut f64,
+        best: &mut Option<SceneHit>,
+    ) {
+        let n = &self.nodes[node];
+        let Some(children) = n.children else {
+            for &pi in &n.items {
+                let sp = &patches[pi as usize];
+                if let Some(h) = sp.patch.intersect(ray, t_min, *limit) {
+                    *limit = h.t;
+                    *best = Some(SceneHit {
+                        patch_id: pi,
+                        t: h.t,
+                        point: h.point,
+                        s: h.s,
+                        v: h.v,
+                        front: ray.dir.dot(sp.frame.w) < 0.0,
+                    });
+                }
+            }
+            return;
+        };
+        // Order children by ray entry parameter; prune those entered beyond
+        // the current best hit.
+        let mut order: [(f64, u32); 8] = [(f64::INFINITY, 0); 8];
+        let mut cnt = 0;
+        for &ci in &children {
+            let cn = &self.nodes[ci as usize];
+            if cn.children.is_none() && cn.items.is_empty() {
+                continue; // empty leaf
+            }
+            if let Some((t0, _)) = cn.bounds.hit(ray, t_min, *limit) {
+                order[cnt] = (t0, ci);
+                cnt += 1;
+            }
+        }
+        order[..cnt].sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for &(t0, ci) in &order[..cnt] {
+            if t0 > *limit {
+                break;
+            }
+            self.visit(ci as usize, patches, ray, t_min, limit, best);
+        }
+    }
+
+    /// Root bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> OctreeStats {
+        let mut s = OctreeStats { nodes: self.nodes.len(), ..Default::default() };
+        self.stat_walk(0, 0, &mut s);
+        s
+    }
+
+    fn stat_walk(&self, node: usize, depth: u32, s: &mut OctreeStats) {
+        let n = &self.nodes[node];
+        match n.children {
+            None => {
+                s.leaves += 1;
+                s.item_refs += n.items.len();
+                s.max_depth = s.max_depth.max(depth);
+            }
+            Some(children) => {
+                for ci in children {
+                    self.stat_walk(ci as usize, depth + 1, s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::Material;
+    use photon_math::{Patch, Rgb, Vec3};
+    use photon_rng::{Lcg48, PhotonRng};
+
+    /// A jittered grid of small floor tiles, good octree fodder.
+    fn tile_scene(n: usize, seed: u64) -> Vec<SurfacePatch> {
+        let mut rng = Lcg48::new(seed);
+        let mut patches = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let x = i as f64 + 0.1 * rng.next_f64();
+                let z = j as f64 + 0.1 * rng.next_f64();
+                let y = rng.next_f64() * 2.0;
+                let p = Patch::from_origin_edges(
+                    Vec3::new(x, y, z),
+                    Vec3::new(0.8, 0.0, 0.0),
+                    Vec3::new(0.0, 0.0, 0.8),
+                );
+                patches.push(SurfacePatch::new(p, Material::matte(Rgb::gray(0.5))));
+            }
+        }
+        patches
+    }
+
+    fn bounds_of(patches: &[SurfacePatch]) -> Aabb {
+        patches
+            .iter()
+            .fold(Aabb::EMPTY, |b, p| b.union(&p.patch.aabb()))
+            .padded(1e-6)
+    }
+
+    fn brute(patches: &[SurfacePatch], ray: &Ray) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        let mut limit = f64::INFINITY;
+        for (i, sp) in patches.iter().enumerate() {
+            if let Some(h) = sp.patch.intersect(ray, 1e-7, limit) {
+                limit = h.t;
+                best = Some((i as u32, h.t));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn octree_matches_brute_force_on_random_rays() {
+        let patches = tile_scene(8, 42);
+        let tree = Octree::build(&patches, bounds_of(&patches));
+        let mut rng = Lcg48::new(7);
+        let mut hits = 0;
+        for _ in 0..500 {
+            let origin = Vec3::new(
+                rng.next_f64() * 8.0,
+                rng.next_f64() * 4.0 - 1.0,
+                rng.next_f64() * 8.0,
+            );
+            let dir = Vec3::new(
+                rng.next_f64() * 2.0 - 1.0,
+                rng.next_f64() * 2.0 - 1.0,
+                rng.next_f64() * 2.0 - 1.0,
+            )
+            .normalized();
+            let ray = Ray::new(origin, dir);
+            let fast = tree.intersect(&patches, &ray, 1e-7, f64::INFINITY);
+            let slow = brute(&patches, &ray);
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(f), Some((pi, t))) => {
+                    hits += 1;
+                    assert_eq!(f.patch_id, pi, "different patch");
+                    assert!((f.t - t).abs() < 1e-9, "different t");
+                }
+                (f, s) => panic!("octree {f:?} vs brute {s:?}"),
+            }
+        }
+        assert!(hits > 50, "test rays barely hit anything ({hits})");
+    }
+
+    #[test]
+    fn tree_actually_subdivides() {
+        let patches = tile_scene(8, 1);
+        let tree = Octree::build(&patches, bounds_of(&patches));
+        let s = tree.stats();
+        assert!(s.nodes > 8, "{s:?}");
+        assert!(s.max_depth >= 1);
+        assert!(s.leaves > 1);
+        assert!(s.item_refs >= patches.len());
+    }
+
+    #[test]
+    fn small_scene_stays_single_leaf() {
+        let patches = tile_scene(2, 2); // 4 patches <= capacity
+        let tree = Octree::build(&patches, bounds_of(&patches));
+        assert_eq!(tree.stats().nodes, 1);
+    }
+
+    #[test]
+    fn ray_outside_bounds_misses_cheaply() {
+        let patches = tile_scene(4, 3);
+        let tree = Octree::build(&patches, bounds_of(&patches));
+        let ray = Ray::new(Vec3::new(100.0, 100.0, 100.0), Vec3::X);
+        assert!(tree.intersect(&patches, &ray, 1e-7, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn respects_t_max() {
+        let patches = tile_scene(4, 4);
+        let tree = Octree::build(&patches, bounds_of(&patches));
+        // A ray straight down onto a tile from high above.
+        let ray = Ray::new(Vec3::new(0.5, 50.0, 0.5), Vec3::new(0.0, -1.0, 0.0));
+        let hit = tree.intersect(&patches, &ray, 1e-7, f64::INFINITY);
+        assert!(hit.is_some());
+        let t = hit.unwrap().t;
+        assert!(tree.intersect(&patches, &ray, 1e-7, t - 1.0).is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! Scenes: patches, luminaires, and nearest-hit queries.
+
+use crate::material::Material;
+use crate::octree::Octree;
+use photon_math::{Aabb, Onb, Patch, Ray, Rgb, Vec3};
+
+/// Distance offset applied when re-emitting reflected photons so they do not
+/// re-hit the surface they left.
+pub const RAY_EPS: f64 = 1e-7;
+
+/// A scene patch: geometry + material + cached derived quantities.
+#[derive(Clone, Debug)]
+pub struct SurfacePatch {
+    /// The quadrilateral.
+    pub patch: Patch,
+    /// Its material.
+    pub material: Material,
+    /// Cached local frame (`w` = front normal, `u` anchored to the s edge);
+    /// defines the zero azimuth of the angular histogram axes.
+    pub frame: Onb,
+    /// Cached surface area.
+    pub area: f64,
+}
+
+impl SurfacePatch {
+    /// Builds a surface patch, caching frame and area.
+    pub fn new(patch: Patch, material: Material) -> Self {
+        let frame = patch.frame();
+        let area = patch.area();
+        SurfacePatch { patch, material, frame, area }
+    }
+}
+
+/// A light source: an emitting patch with power and collimation.
+#[derive(Clone, Copy, Debug)]
+pub struct Luminaire {
+    /// Index of the emitting patch in the scene.
+    pub patch_id: u32,
+    /// Total radiant power (energy per emitted-photon batch is
+    /// `power / photons`).
+    pub power: Rgb,
+    /// Scale of the unit circle in the generation kernel (ch. 4, Fig 4.4):
+    /// `1.0` = fully diffuse hemisphere; `0.005` collimates emission to
+    /// ±0.29°, the paper's sun model ("the unit circle must be scaled such
+    /// that θ is one quarter degree").
+    pub collimation: f64,
+}
+
+/// Result of a nearest-hit query.
+#[derive(Clone, Copy, Debug)]
+pub struct SceneHit {
+    /// Index of the patch hit.
+    pub patch_id: u32,
+    /// Ray parameter of the hit.
+    pub t: f64,
+    /// World-space hit point.
+    pub point: Vec3,
+    /// Bilinear coordinates on the patch.
+    pub s: f64,
+    /// Bilinear coordinates on the patch.
+    pub v: f64,
+    /// True when the front face (normal side) was hit.
+    pub front: bool,
+}
+
+/// A complete scene: patches, luminaires, octree acceleration.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    patches: Vec<SurfacePatch>,
+    luminaires: Vec<Luminaire>,
+    octree: Octree,
+    bounds: Aabb,
+}
+
+impl Scene {
+    /// Builds a scene and its octree from patches and luminaires.
+    ///
+    /// Every `Luminaire::patch_id` must reference a patch whose material has
+    /// nonzero emission.
+    pub fn new(patches: Vec<SurfacePatch>, luminaires: Vec<Luminaire>) -> Self {
+        assert!(!patches.is_empty(), "a scene needs at least one patch");
+        for l in &luminaires {
+            let m = &patches[l.patch_id as usize].material;
+            assert!(
+                m.emission.max_channel() > 0.0,
+                "luminaire patch {} has no emissive material",
+                l.patch_id
+            );
+        }
+        let bounds = patches
+            .iter()
+            .fold(Aabb::EMPTY, |b, p| b.union(&p.patch.aabb()))
+            .padded(1e-6);
+        let octree = Octree::build(&patches, bounds);
+        Scene { patches, luminaires, octree, bounds }
+    }
+
+    /// All patches.
+    #[inline]
+    pub fn patches(&self) -> &[SurfacePatch] {
+        &self.patches
+    }
+
+    /// Patch by id.
+    #[inline]
+    pub fn patch(&self, id: u32) -> &SurfacePatch {
+        &self.patches[id as usize]
+    }
+
+    /// Number of defining polygons (Table 5.1, column 1).
+    #[inline]
+    pub fn polygon_count(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// All luminaires.
+    #[inline]
+    pub fn luminaires(&self) -> &[Luminaire] {
+        &self.luminaires
+    }
+
+    /// Total emitted power over all luminaires.
+    pub fn total_power(&self) -> Rgb {
+        self.luminaires.iter().fold(Rgb::BLACK, |acc, l| acc + l.power)
+    }
+
+    /// Scene bounding box.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// The octree (exposed for stats and benches).
+    #[inline]
+    pub fn octree(&self) -> &Octree {
+        &self.octree
+    }
+
+    /// Nearest patch hit along `ray` with `t` in `(RAY_EPS, t_max)`, using
+    /// the octree — the paper's `DetermineIntersection`.
+    pub fn intersect(&self, ray: &Ray, t_max: f64) -> Option<SceneHit> {
+        self.octree.intersect(&self.patches, ray, RAY_EPS, t_max)
+    }
+
+    /// Nearest hit by exhaustive scan — the correctness oracle for the
+    /// octree, and the baseline of the `intersect` bench.
+    pub fn intersect_brute_force(&self, ray: &Ray, t_max: f64) -> Option<SceneHit> {
+        let mut best: Option<SceneHit> = None;
+        let mut limit = t_max;
+        for (i, sp) in self.patches.iter().enumerate() {
+            if let Some(h) = sp.patch.intersect(ray, RAY_EPS, limit) {
+                limit = h.t;
+                best = Some(SceneHit {
+                    patch_id: i as u32,
+                    t: h.t,
+                    point: h.point,
+                    s: h.s,
+                    v: h.v,
+                    front: ray.dir.dot(sp.frame.w) < 0.0,
+                });
+            }
+        }
+        best
+    }
+
+    /// True when the straight segment between `a` and `b` is unobstructed —
+    /// the geometry term `g(x, x')` of the Rendering Equation, used by the
+    /// radiosity and ray-tracing baselines.
+    pub fn visible(&self, a: Vec3, b: Vec3) -> bool {
+        let d = b - a;
+        let len = d.length();
+        if len < RAY_EPS {
+            return true;
+        }
+        let ray = Ray::new(a, d / len);
+        match self.intersect(&ray, len - 10.0 * RAY_EPS) {
+            None => true,
+            Some(h) => h.t >= len - 10.0 * RAY_EPS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_math::Rgb;
+
+    fn two_walls() -> Scene {
+        // Wall A at z = 0 facing +z, wall B at z = 2 facing -z (toward A).
+        let a = Patch::from_origin_edges(Vec3::ZERO, Vec3::X, Vec3::Y);
+        let b = Patch::from_origin_edges(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::Y,
+            Vec3::X,
+        );
+        let mut pa = SurfacePatch::new(a, Material::matte(Rgb::gray(0.5)));
+        pa.material.emission = Rgb::WHITE;
+        let pb = SurfacePatch::new(b, Material::matte(Rgb::gray(0.5)));
+        Scene::new(
+            vec![pa, pb],
+            vec![Luminaire { patch_id: 0, power: Rgb::WHITE, collimation: 1.0 }],
+        )
+    }
+
+    #[test]
+    fn nearest_hit_is_returned() {
+        let scene = two_walls();
+        let ray = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::Z);
+        let hit = scene.intersect(&ray, f64::INFINITY).expect("hit");
+        assert_eq!(hit.patch_id, 0);
+        assert!((hit.t - 1.0).abs() < 1e-9);
+        assert!(!hit.front); // approaching wall A from behind (-z side)
+    }
+
+    #[test]
+    fn brute_force_agrees() {
+        let scene = two_walls();
+        let ray = Ray::new(Vec3::new(0.25, 0.75, 0.5), Vec3::Z);
+        let a = scene.intersect(&ray, f64::INFINITY).unwrap();
+        let b = scene.intersect_brute_force(&ray, f64::INFINITY).unwrap();
+        assert_eq!(a.patch_id, b.patch_id);
+        assert!((a.t - b.t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn visibility_between_facing_walls() {
+        let scene = two_walls();
+        let a = Vec3::new(0.5, 0.5, 0.0);
+        let b = Vec3::new(0.5, 0.5, 2.0);
+        assert!(scene.visible(a + Vec3::Z * 1e-6, b - Vec3::Z * 1e-6));
+    }
+
+    #[test]
+    fn visibility_blocked_by_inserted_wall() {
+        let a = Patch::from_origin_edges(Vec3::ZERO, Vec3::X, Vec3::Y);
+        let b = Patch::from_origin_edges(Vec3::new(0.0, 0.0, 2.0), Vec3::Y, Vec3::X);
+        let blocker =
+            Patch::from_origin_edges(Vec3::new(-1.0, -1.0, 1.0), Vec3::X * 3.0, Vec3::Y * 3.0);
+        let mut pa = SurfacePatch::new(a, Material::matte(Rgb::gray(0.5)));
+        pa.material.emission = Rgb::WHITE;
+        let scene = Scene::new(
+            vec![
+                pa,
+                SurfacePatch::new(b, Material::matte(Rgb::gray(0.5))),
+                SurfacePatch::new(blocker, Material::matte(Rgb::gray(0.5))),
+            ],
+            vec![Luminaire { patch_id: 0, power: Rgb::WHITE, collimation: 1.0 }],
+        );
+        assert!(!scene.visible(
+            Vec3::new(0.5, 0.5, 1e-6),
+            Vec3::new(0.5, 0.5, 2.0 - 1e-6)
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn luminaire_must_be_emissive() {
+        let a = Patch::from_origin_edges(Vec3::ZERO, Vec3::X, Vec3::Y);
+        Scene::new(
+            vec![SurfacePatch::new(a, Material::matte(Rgb::gray(0.5)))],
+            vec![Luminaire { patch_id: 0, power: Rgb::WHITE, collimation: 1.0 }],
+        );
+    }
+
+    #[test]
+    fn total_power_sums() {
+        let scene = two_walls();
+        assert_eq!(scene.total_power(), Rgb::WHITE);
+    }
+}

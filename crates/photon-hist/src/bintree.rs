@@ -1,0 +1,650 @@
+//! Four-dimensional adaptive bin trees (dissertation ch. 4, Figs 4.5/4.6).
+//!
+//! Every scene polygon owns one `BinTree` recording the photons it reflected,
+//! binned over four hierarchically subdividable parameters:
+//!
+//! | axis | meaning | range |
+//! |------|---------|-------|
+//! | `S` | bilinear position along the patch `s` edge | `[0, 1]` |
+//! | `T` | bilinear position along the patch `t` edge | `[0, 1]` |
+//! | `Theta` | cylindrical azimuth of the reflection direction | `[0, 2π)` |
+//! | `RSq` | squared projected radius of the direction | `[0, 1]` |
+//!
+//! Color is a fifth, unsubdivided dimension: each leaf accumulates RGB
+//! energy. The squared-radius axis is chosen because halving it halves a
+//! Lambertian direction distribution (see `photon_math::angle`), so diffuse
+//! surfaces refine spatially while mirrors refine angularly.
+//!
+//! **Speculative binning.** Each leaf tracks, for all four axes, how many of
+//! its tallies fell into the lower half of its range on that axis. When any
+//! axis rejects the uniform hypothesis at 3σ ([`crate::stats`]), the leaf
+//! splits *on the most decisive axis*; the observed half-counts become the
+//! daughters' (exact) totals on the split axis, and the daughters restart
+//! their speculative statistics.
+//!
+//! The tree is stored as an index-linked arena for cache locality and cheap
+//! whole-tree serialization.
+
+use crate::stats::SplitRule;
+use photon_math::Rgb;
+use std::f64::consts::TAU;
+
+/// The four subdividable histogram axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Axis {
+    /// Bilinear `s` position on the patch.
+    S = 0,
+    /// Bilinear `t` position on the patch.
+    T = 1,
+    /// Cylindrical azimuth of the reflected direction.
+    Theta = 2,
+    /// Squared projected radius of the reflected direction.
+    RSq = 3,
+}
+
+impl Axis {
+    /// All axes in index order.
+    pub const ALL: [Axis; 4] = [Axis::S, Axis::T, Axis::Theta, Axis::RSq];
+
+    /// Axis from its index (0..4).
+    #[inline]
+    pub fn from_index(i: usize) -> Axis {
+        Axis::ALL[i]
+    }
+}
+
+/// A photon interaction in bin coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BinPoint {
+    /// Bilinear `s` in `[0, 1]`.
+    pub s: f64,
+    /// Bilinear `t` in `[0, 1]`.
+    pub t: f64,
+    /// Azimuth in `[0, 2π)`.
+    pub theta: f64,
+    /// Squared projected radius in `[0, 1]`.
+    pub r_sq: f64,
+}
+
+impl BinPoint {
+    /// Creates a point, clamping tiny out-of-range rounding noise.
+    pub fn new(s: f64, t: f64, theta: f64, r_sq: f64) -> Self {
+        BinPoint {
+            s: s.clamp(0.0, 1.0),
+            t: t.clamp(0.0, 1.0),
+            theta: theta.rem_euclid(TAU),
+            r_sq: r_sq.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Coordinate along an axis.
+    #[inline]
+    pub fn coord(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::S => self.s,
+            Axis::T => self.t,
+            Axis::Theta => self.theta,
+            Axis::RSq => self.r_sq,
+        }
+    }
+}
+
+/// The 4-D parameter box covered by a node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BinRange {
+    /// Lower bounds, indexed by `Axis`.
+    pub lo: [f64; 4],
+    /// Upper bounds, indexed by `Axis`.
+    pub hi: [f64; 4],
+}
+
+impl BinRange {
+    /// The root range: full patch, full hemisphere.
+    pub fn full() -> Self {
+        BinRange { lo: [0.0; 4], hi: [1.0, 1.0, TAU, 1.0] }
+    }
+
+    /// Midpoint along an axis.
+    #[inline]
+    pub fn mid(&self, axis: Axis) -> f64 {
+        0.5 * (self.lo[axis as usize] + self.hi[axis as usize])
+    }
+
+    /// Width along an axis.
+    #[inline]
+    pub fn width(&self, axis: Axis) -> f64 {
+        self.hi[axis as usize] - self.lo[axis as usize]
+    }
+
+    /// True when the point is inside (half-open on every axis, closed at the
+    /// global upper boundary which callers clamp to).
+    pub fn contains(&self, p: &BinPoint) -> bool {
+        Axis::ALL.iter().all(|&a| {
+            let x = p.coord(a);
+            x >= self.lo[a as usize] && (x < self.hi[a as usize] || x == self.hi[a as usize])
+        })
+    }
+
+    /// The lower/upper half along `axis`.
+    pub fn split(&self, axis: Axis) -> (BinRange, BinRange) {
+        let m = self.mid(axis);
+        let mut lo_half = *self;
+        let mut hi_half = *self;
+        lo_half.hi[axis as usize] = m;
+        hi_half.lo[axis as usize] = m;
+        (lo_half, hi_half)
+    }
+
+    /// Fraction of the patch area covered: product of `S` and `T` widths
+    /// (bilinear parameters; exact for parallelograms, the paper accepts the
+    /// approximation for trapezoids).
+    pub fn area_fraction(&self) -> f64 {
+        self.width(Axis::S) * self.width(Axis::T)
+    }
+
+    /// Fraction of the *Lambertian* direction measure covered: the `θ`
+    /// fraction of the circle times the `r²` width (projected-disc area —
+    /// the reason the paper bins squared radius).
+    pub fn solid_angle_fraction(&self) -> f64 {
+        (self.width(Axis::Theta) / TAU) * self.width(Axis::RSq)
+    }
+
+    /// Center point of the range.
+    pub fn center(&self) -> BinPoint {
+        BinPoint {
+            s: self.mid(Axis::S),
+            t: self.mid(Axis::T),
+            theta: self.mid(Axis::Theta),
+            r_sq: self.mid(Axis::RSq),
+        }
+    }
+}
+
+/// Accumulated statistics of a leaf bin.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LeafStats {
+    /// Total photons credited to this bin, including the share inherited
+    /// from ancestors at split time (exact on the split axis — see module
+    /// docs). Conserved: summing over leaves equals total tallies.
+    pub n_total: u64,
+    /// Accumulated RGB energy (inherited proportionally at splits).
+    pub rgb: Rgb,
+    /// Tallies since this leaf was created (basis of the split statistics).
+    pub stat_n: u32,
+    /// Of `stat_n`, how many fell in the lower half per axis.
+    pub left: [u32; 4],
+}
+
+/// Split policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitConfig {
+    /// The statistical rule (3σ by default).
+    pub rule: SplitRule,
+    /// Maximum tree depth (root = 0). Bounds memory under adversarial input.
+    pub max_depth: u16,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig { rule: SplitRule::default(), max_depth: 24 }
+    }
+}
+
+/// Arena node: leaf statistics or an internal split.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf(LeafStats),
+    Internal {
+        axis: Axis,
+        /// Arena indices of the `(lower, upper)` children.
+        children: [u32; 2],
+    },
+}
+
+/// A four-dimensional adaptive histogram tree for one polygon.
+#[derive(Clone, Debug)]
+pub struct BinTree {
+    nodes: Vec<Node>,
+    config: SplitConfig,
+    tallies: u64,
+    leaves: u32,
+}
+
+impl BinTree {
+    /// A fresh tree: one leaf covering the full range.
+    pub fn new(config: SplitConfig) -> Self {
+        BinTree {
+            nodes: vec![Node::Leaf(LeafStats::default())],
+            config,
+            tallies: 0,
+            leaves: 1,
+        }
+    }
+
+    /// Total photons tallied into this tree.
+    pub fn tallies(&self) -> u64 {
+        self.tallies
+    }
+
+    /// Number of leaf bins. This is the paper's "view-dependent polygon"
+    /// count for the owning patch (Table 5.1).
+    pub fn leaf_count(&self) -> u32 {
+        self.leaves
+    }
+
+    /// Number of arena nodes (leaves + internals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate resident bytes of this tree.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>() + std::mem::size_of::<Self>()
+    }
+
+    /// The split policy in force.
+    pub fn config(&self) -> &SplitConfig {
+        &self.config
+    }
+
+    /// Descends to the leaf containing `p`; returns `(arena index, range,
+    /// depth)`.
+    fn descend(&self, p: &BinPoint) -> (usize, BinRange, u16) {
+        let mut idx = 0usize;
+        let mut range = BinRange::full();
+        let mut depth = 0u16;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf(_) => return (idx, range, depth),
+                Node::Internal { axis, children } => {
+                    let (lo_half, hi_half) = range.split(*axis);
+                    if p.coord(*axis) < range.mid(*axis) {
+                        idx = children[0] as usize;
+                        range = lo_half;
+                    } else {
+                        idx = children[1] as usize;
+                        range = hi_half;
+                    }
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Records a photon interaction with energy `rgb`. Returns `true` when
+    /// the containing bin split as a result (the `NeedsSplit`/`Split` path of
+    /// the paper's Fig 4.1 algorithm).
+    pub fn tally(&mut self, p: &BinPoint, rgb: Rgb) -> bool {
+        self.tallies += 1;
+        let (idx, range, depth) = self.descend(p);
+        let Node::Leaf(stats) = &mut self.nodes[idx] else { unreachable!() };
+        stats.n_total += 1;
+        stats.rgb += rgb;
+        stats.stat_n += 1;
+        for (i, &axis) in Axis::ALL.iter().enumerate() {
+            if p.coord(axis) < range.mid(axis) {
+                stats.left[i] += 1;
+            }
+        }
+        if depth >= self.config.max_depth {
+            return false;
+        }
+        // NeedsSplit: most decisive axis beyond 3σ.
+        let mut best_axis = None;
+        let mut best_excess = 1.0f64;
+        for (i, &axis) in Axis::ALL.iter().enumerate() {
+            let l = stats.left[i];
+            let r = stats.stat_n - l;
+            let e = self.config.rule.excess(l, r);
+            if e > best_excess {
+                best_excess = e;
+                best_axis = Some(axis);
+            }
+        }
+        let Some(axis) = best_axis else { return false };
+        self.split_leaf(idx, axis);
+        true
+    }
+
+    /// Splits leaf `idx` along `axis`, distributing its tallies exactly on
+    /// the split axis and proportionally in energy.
+    fn split_leaf(&mut self, idx: usize, axis: Axis) {
+        let Node::Leaf(stats) = self.nodes[idx].clone() else {
+            panic!("split_leaf on internal node")
+        };
+        let ai = axis as usize;
+        let l = stats.left[ai] as u64;
+        let r = stats.stat_n as u64 - l;
+        // The pre-statistics inheritance (n_total - stat_n) is distributed
+        // by the same observed proportion; the observed counts themselves
+        // are exact.
+        let inherited = stats.n_total - stats.stat_n as u64;
+        let frac_l = if stats.stat_n > 0 { l as f64 / stats.stat_n as f64 } else { 0.5 };
+        let inh_l = (inherited as f64 * frac_l).round() as u64;
+        let n_lo = l + inh_l;
+        let n_hi = r + (inherited - inh_l.min(inherited));
+        let rgb_lo = stats.rgb * frac_l;
+        let rgb_hi = stats.rgb * (1.0 - frac_l);
+        let lo = Node::Leaf(LeafStats { n_total: n_lo, rgb: rgb_lo, stat_n: 0, left: [0; 4] });
+        let hi = Node::Leaf(LeafStats { n_total: n_hi, rgb: rgb_hi, stat_n: 0, left: [0; 4] });
+        let lo_idx = self.nodes.len() as u32;
+        self.nodes.push(lo);
+        let hi_idx = self.nodes.len() as u32;
+        self.nodes.push(hi);
+        self.nodes[idx] = Node::Internal { axis, children: [lo_idx, hi_idx] };
+        self.leaves += 1;
+    }
+
+    /// Looks up the leaf containing `p` without modifying anything.
+    /// Returns the leaf statistics and its range (for measure computations).
+    pub fn lookup(&self, p: &BinPoint) -> (&LeafStats, BinRange) {
+        let (idx, range, _) = self.descend(p);
+        let Node::Leaf(stats) = &self.nodes[idx] else { unreachable!() };
+        (stats, range)
+    }
+
+    /// Visits every leaf with its range, in depth-first order.
+    pub fn for_each_leaf<F: FnMut(&BinRange, &LeafStats)>(&self, mut f: F) {
+        self.walk(0, BinRange::full(), &mut f);
+    }
+
+    fn walk<F: FnMut(&BinRange, &LeafStats)>(&self, idx: usize, range: BinRange, f: &mut F) {
+        match &self.nodes[idx] {
+            Node::Leaf(stats) => f(&range, stats),
+            Node::Internal { axis, children } => {
+                let (lo, hi) = range.split(*axis);
+                self.walk(children[0] as usize, lo, f);
+                self.walk(children[1] as usize, hi, f);
+            }
+        }
+    }
+
+    /// Maximum leaf depth.
+    pub fn max_depth(&self) -> u16 {
+        fn depth_of(nodes: &[Node], idx: usize, d: u16) -> u16 {
+            match &nodes[idx] {
+                Node::Leaf(_) => d,
+                Node::Internal { children, .. } => depth_of(nodes, children[0] as usize, d + 1)
+                    .max(depth_of(nodes, children[1] as usize, d + 1)),
+            }
+        }
+        depth_of(&self.nodes, 0, 0)
+    }
+
+    /// Flat snapshot of the tree for the answer-file codec:
+    /// internal nodes as `(axis, child_lo, child_hi)`, leaves as stats,
+    /// in arena order. See `photon-core::answer` for the byte format.
+    pub fn export_nodes(&self) -> Vec<ExportNode> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf(s) => ExportNode::Leaf(*s),
+                Node::Internal { axis, children } => ExportNode::Internal {
+                    axis: *axis,
+                    children: *children,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuilds a tree from an export produced by [`BinTree::export_nodes`].
+    /// Returns `None` if the node graph is malformed.
+    pub fn from_export(nodes: Vec<ExportNode>, config: SplitConfig) -> Option<BinTree> {
+        if nodes.is_empty() {
+            return None;
+        }
+        let mut arena = Vec::with_capacity(nodes.len());
+        let mut leaves = 0u32;
+        let mut tallies = 0u64;
+        for n in &nodes {
+            match n {
+                ExportNode::Leaf(s) => {
+                    leaves += 1;
+                    tallies += s.n_total;
+                    arena.push(Node::Leaf(*s));
+                }
+                ExportNode::Internal { axis, children } => {
+                    if children[0] as usize >= nodes.len() || children[1] as usize >= nodes.len()
+                    {
+                        return None;
+                    }
+                    arena.push(Node::Internal { axis: *axis, children: *children });
+                }
+            }
+        }
+        Some(BinTree { nodes: arena, config, tallies, leaves })
+    }
+}
+
+/// Serializable node snapshot (see [`BinTree::export_nodes`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExportNode {
+    /// A leaf with its statistics.
+    Leaf(LeafStats),
+    /// An internal split node.
+    Internal {
+        /// Split axis.
+        axis: Axis,
+        /// Arena indices of the two children.
+        children: [u32; 2],
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_rng::{Lcg48, PhotonRng};
+
+    fn uniform_point(rng: &mut Lcg48) -> BinPoint {
+        BinPoint::new(
+            rng.next_f64(),
+            rng.next_f64(),
+            rng.next_f64() * TAU,
+            rng.next_f64(),
+        )
+    }
+
+    #[test]
+    fn root_range_measures() {
+        let r = BinRange::full();
+        assert!((r.area_fraction() - 1.0).abs() < 1e-12);
+        assert!((r.solid_angle_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_split_halves_measure() {
+        let r = BinRange::full();
+        for axis in Axis::ALL {
+            let (a, b) = r.split(axis);
+            let total = a.area_fraction() * a.solid_angle_fraction()
+                + b.area_fraction() * b.solid_angle_fraction();
+            assert!((total - 1.0).abs() < 1e-12, "axis {axis:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_data_rarely_splits() {
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(21);
+        for _ in 0..20_000 {
+            tree.tally(&uniform_point(&mut rng), Rgb::WHITE);
+        }
+        // 4 axes tested per tally; a few false splits are expected but the
+        // tree must stay tiny.
+        assert!(tree.leaf_count() < 32, "leaves = {}", tree.leaf_count());
+    }
+
+    #[test]
+    fn concentrated_data_splits_on_the_right_axis() {
+        // All photons in s < 0.1: the tree must split on S, repeatedly.
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(22);
+        for _ in 0..20_000 {
+            let mut p = uniform_point(&mut rng);
+            p.s *= 0.1;
+            tree.tally(&p, Rgb::WHITE);
+        }
+        assert!(tree.leaf_count() > 3);
+        // The populated fine leaves must lie at small s.
+        let mut hot_leaves = 0;
+        tree.for_each_leaf(|range, stats| {
+            if stats.n_total > 1000 {
+                hot_leaves += 1;
+                assert!(range.lo[0] < 0.1, "hot leaf outside gradient: {range:?}");
+            }
+        });
+        assert!(hot_leaves >= 1);
+    }
+
+    #[test]
+    fn angular_concentration_splits_angular_axes() {
+        // Mirror-like surface: all directions near r_sq = 1 (grazing) in a
+        // narrow theta band. Position is uniform. Expect theta/r_sq splits.
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(23);
+        for _ in 0..20_000 {
+            let p = BinPoint::new(
+                rng.next_f64(),
+                rng.next_f64(),
+                0.1 + 0.05 * rng.next_f64(),
+                0.9 + 0.1 * rng.next_f64(),
+            );
+            tree.tally(&p, Rgb::WHITE);
+        }
+        let mut angular_splits = 0;
+        let mut spatial_splits = 0;
+        for n in tree.export_nodes() {
+            if let ExportNode::Internal { axis, .. } = n {
+                match axis {
+                    Axis::Theta | Axis::RSq => angular_splits += 1,
+                    _ => spatial_splits += 1,
+                }
+            }
+        }
+        assert!(
+            angular_splits > spatial_splits,
+            "angular {angular_splits} vs spatial {spatial_splits}"
+        );
+    }
+
+    #[test]
+    fn tally_conservation_across_splits() {
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(24);
+        let n = 30_000u64;
+        for _ in 0..n {
+            let mut p = uniform_point(&mut rng);
+            p.t = p.t * p.t; // gradient in t
+            tree.tally(&p, Rgb::new(0.5, 0.25, 0.125));
+        }
+        assert_eq!(tree.tallies(), n);
+        let mut sum = 0u64;
+        let mut rgb_sum = Rgb::BLACK;
+        let mut leaf_count = 0;
+        tree.for_each_leaf(|_, s| {
+            sum += s.n_total;
+            rgb_sum += s.rgb;
+            leaf_count += 1;
+        });
+        assert_eq!(leaf_count, tree.leaf_count());
+        // Exact count conservation; proportional rounding can drift by at
+        // most one photon per split.
+        let drift = sum.abs_diff(n);
+        assert!(drift <= tree.node_count() as u64 / 2, "drift {drift}");
+        assert!((rgb_sum.r - 0.5 * n as f64).abs() / (0.5 * n as f64) < 1e-9);
+    }
+
+    #[test]
+    fn lookup_finds_populated_leaf() {
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(25);
+        for _ in 0..10_000 {
+            let mut p = uniform_point(&mut rng);
+            p.s *= 0.25;
+            tree.tally(&p, Rgb::WHITE);
+        }
+        let (stats, range) = tree.lookup(&BinPoint::new(0.1, 0.5, 1.0, 0.5));
+        assert!(range.contains(&BinPoint::new(0.1, 0.5, 1.0, 0.5)));
+        assert!(stats.n_total > 0);
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let cfg = SplitConfig { max_depth: 3, ..SplitConfig::default() };
+        let mut tree = BinTree::new(cfg);
+        let mut rng = Lcg48::new(26);
+        for _ in 0..100_000 {
+            // Pathological: everything at nearly the same point.
+            let p = BinPoint::new(
+                0.001 * rng.next_f64(),
+                0.001 * rng.next_f64(),
+                0.001 * rng.next_f64(),
+                0.001 * rng.next_f64(),
+            );
+            tree.tally(&p, Rgb::WHITE);
+        }
+        assert!(tree.max_depth() <= 3);
+        assert!(tree.leaf_count() <= 16);
+    }
+
+    #[test]
+    fn export_round_trip() {
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(27);
+        for _ in 0..20_000 {
+            let mut p = uniform_point(&mut rng);
+            p.r_sq = p.r_sq.powi(3);
+            tree.tally(&p, Rgb::new(1.0, 0.5, 0.2));
+        }
+        let export = tree.export_nodes();
+        let rebuilt = BinTree::from_export(export, SplitConfig::default()).unwrap();
+        assert_eq!(rebuilt.leaf_count(), tree.leaf_count());
+        assert_eq!(rebuilt.tallies(), {
+            let mut s = 0;
+            tree.for_each_leaf(|_, l| s += l.n_total);
+            s
+        });
+        // Lookups agree everywhere.
+        for _ in 0..100 {
+            let p = uniform_point(&mut rng);
+            let (a, ra) = tree.lookup(&p);
+            let (b, rb) = rebuilt.lookup(&p);
+            assert_eq!(a.n_total, b.n_total);
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn from_export_rejects_bad_children() {
+        let bad = vec![ExportNode::Internal { axis: Axis::S, children: [5, 6] }];
+        assert!(BinTree::from_export(bad, SplitConfig::default()).is_none());
+        assert!(BinTree::from_export(vec![], SplitConfig::default()).is_none());
+    }
+
+    #[test]
+    fn memory_grows_sublinearly_once_refined() {
+        // Fig 5.4's qualitative claim: after initial buildup the forest grows
+        // much more slowly than the photon count.
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(28);
+        let tally_n = |tree: &mut BinTree, rng: &mut Lcg48, n: u64| {
+            for _ in 0..n {
+                let mut p = uniform_point(rng);
+                p.s = p.s.powi(2);
+                p.t = p.t.powi(2);
+                tree.tally(&p, Rgb::WHITE);
+            }
+        };
+        tally_n(&mut tree, &mut rng, 20_000);
+        let leaves_early = tree.leaf_count() as f64;
+        tally_n(&mut tree, &mut rng, 180_000); // 10x total photons
+        let leaves_late = tree.leaf_count() as f64;
+        // Sublinear: 10x the photons must grow the forest by strictly less
+        // than 10x (bins per photon falls as refinement converges).
+        assert!(
+            leaves_late / leaves_early < 8.0,
+            "10x photons grew bins {leaves_early} -> {leaves_late}"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The binomial 3σ split criterion (dissertation ch. 3, Fig 3.5; ch. 4).
+//!
+//! A bin hypothesized to be uniform receives `n` points, `l` of which land in
+//! its left half. Under the null hypothesis the split is binomial with
+//! `p = q = 1/2`; for large `n` it is approximated as normal with
+//! `σ = sqrt(n·p·q)`. Following the dissertation, `p` is estimated from the
+//! *larger* proposed daughter (`p = max(l, n−l)/n`), which widens σ slightly
+//! and makes the test more conservative near extreme imbalance. The bin is
+//! split when `|l − (n−l)| > k·σ` with `k = 3` by default (99.7 % confidence
+//! of a real gradient).
+
+/// Split rule parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SplitRule {
+    /// Number of standard deviations the halves must differ by (paper: 3).
+    pub sigmas: f64,
+    /// Minimum tallies in a bin before the normal approximation (and hence
+    /// the test) is trusted.
+    pub min_count: u32,
+}
+
+impl Default for SplitRule {
+    fn default() -> Self {
+        // The paper's choices: 3σ, and "a significant number of points";
+        // 32 keeps the normal approximation honest without hoarding storage.
+        SplitRule { sigmas: 3.0, min_count: 32 }
+    }
+}
+
+impl SplitRule {
+    /// Returns how decisively the `(left, right)` half-counts reject the
+    /// uniform hypothesis, as a multiple of the allowed threshold:
+    /// values `> 1` mean *split*. Returns 0 when below `min_count`.
+    pub fn excess(&self, left: u32, right: u32) -> f64 {
+        split_excess(left, right, self.sigmas, self.min_count)
+    }
+
+    /// True when the halves are statistically different.
+    pub fn should_split(&self, left: u32, right: u32) -> bool {
+        self.excess(left, right) > 1.0
+    }
+}
+
+/// Core of the criterion; see [`SplitRule::excess`].
+///
+/// The test statistic is the deviation of one half's count from its null
+/// mean: `|l − n/2| / σ` with `σ = sqrt(n·p·q)`, `p = max(l,r)/n`. A split
+/// fires when the statistic exceeds `k` (= `sigmas`). At `k = 3` a uniform
+/// bin is split spuriously with probability ≈ 0.27 % per test — the 99.74 %
+/// confidence the dissertation quotes. (Reading the paper's "halves differ
+/// by more than 3σ" as `|l − r| > 3σ` instead would reject ~13 % of uniform
+/// bins, contradicting its own stated confidence, so the deviation form is
+/// the intended one; the two coincide up to the factor `|l − r| = 2·|l − n/2|`.)
+///
+/// When one half is empty σ is 0; any imbalance with `n ≥ min_count` is then
+/// treated as infinitely decisive (the steepest possible gradient).
+pub fn split_excess(left: u32, right: u32, sigmas: f64, min_count: u32) -> f64 {
+    let n = left + right;
+    if n < min_count.max(1) {
+        return 0.0;
+    }
+    let half_dev = left.abs_diff(right) as f64 * 0.5;
+    if half_dev == 0.0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let p = left.max(right) as f64 / nf;
+    let q = 1.0 - p;
+    let sigma = (nf * p * q).sqrt();
+    if sigma == 0.0 {
+        // All points in one half: maximal evidence.
+        return f64::INFINITY;
+    }
+    half_dev / (sigmas * sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_halves_never_split() {
+        let rule = SplitRule::default();
+        assert!(!rule.should_split(500, 500));
+        assert!(!rule.should_split(0, 0));
+    }
+
+    #[test]
+    fn below_min_count_never_splits() {
+        let rule = SplitRule::default();
+        // Wildly imbalanced but too few samples.
+        assert!(!rule.should_split(31, 0));
+        assert_eq!(rule.excess(31, 0), 0.0);
+    }
+
+    #[test]
+    fn extreme_imbalance_splits_at_min_count() {
+        let rule = SplitRule::default();
+        assert!(rule.should_split(32, 0));
+        assert!(rule.excess(32, 0).is_infinite());
+    }
+
+    #[test]
+    fn paper_figure_3_5_example() {
+        // Fig 3.5's spirit: with n = 100 points, a ~1σ imbalance must not
+        // split, a >3σ imbalance must.
+        // (55, 45): half-deviation 5, sigma = sqrt(100*.55*.45) = 4.97 -> 1.0σ.
+        let rule = SplitRule::default();
+        assert!(!rule.should_split(55, 45));
+        // (66, 34): half-deviation 16, sigma = 4.74 -> 3.4σ.
+        assert!(rule.should_split(66, 34));
+    }
+
+    #[test]
+    fn threshold_scales_with_sigmas() {
+        let loose = SplitRule { sigmas: 1.0, min_count: 32 };
+        let strict = SplitRule { sigmas: 6.0, min_count: 32 };
+        // (60, 40): half-deviation 10, sigma ~ 4.9 -> ~2.0σ.
+        assert!(loose.should_split(60, 40));
+        assert!(!strict.should_split(60, 40));
+    }
+
+    #[test]
+    fn excess_is_monotonic_in_imbalance() {
+        let rule = SplitRule::default();
+        let mut last = 0.0;
+        for l in 50..100u32 {
+            let e = rule.excess(l, 100 - l);
+            assert!(e >= last, "excess should grow with imbalance");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_small_under_uniform_null() {
+        // Simulate uniform bins; the 3σ rule should fire rarely (< 1%).
+        use photon_rng::{Lcg48, PhotonRng};
+        let rule = SplitRule::default();
+        let mut rng = Lcg48::new(7);
+        let trials = 2000;
+        let mut fired = 0;
+        for _ in 0..trials {
+            let mut l = 0u32;
+            let n = 256u32;
+            for _ in 0..n {
+                if rng.next_f64() < 0.5 {
+                    l += 1;
+                }
+            }
+            if rule.should_split(l, n - l) {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / trials as f64;
+        assert!(rate < 0.01, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn real_gradient_is_detected() {
+        // 70/30 split probability is a real gradient; with enough samples
+        // the rule must fire.
+        use photon_rng::{Lcg48, PhotonRng};
+        let rule = SplitRule::default();
+        let mut rng = Lcg48::new(8);
+        let n = 1024u32;
+        let mut l = 0u32;
+        for _ in 0..n {
+            if rng.next_f64() < 0.7 {
+                l += 1;
+            }
+        }
+        assert!(rule.should_split(l, n - l), "l={l}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests on the 4-D bin tree invariants.
+
+use photon_hist::{BinPoint, BinRange, BinTree, SplitConfig};
+use photon_math::Rgb;
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+fn arb_point() -> impl Strategy<Value = BinPoint> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..TAU, 0.0f64..1.0)
+        .prop_map(|(s, t, th, r)| BinPoint::new(s, t, th, r))
+}
+
+/// Point streams with a random warp so some runs have steep gradients.
+fn arb_stream() -> impl Strategy<Value = Vec<BinPoint>> {
+    (proptest::collection::vec(arb_point(), 100..2000), 1u32..4).prop_map(|(mut pts, warp)| {
+        for p in &mut pts {
+            p.s = p.s.powi(warp as i32);
+            p.r_sq = p.r_sq.powi(warp as i32);
+        }
+        pts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Total tallies are conserved and leaf measures partition the domain.
+    #[test]
+    fn tallies_and_measure_conserved(stream in arb_stream()) {
+        let mut tree = BinTree::new(SplitConfig::default());
+        for p in &stream {
+            tree.tally(p, Rgb::WHITE);
+        }
+        prop_assert_eq!(tree.tallies(), stream.len() as u64);
+        let mut count = 0u64;
+        let mut measure = 0.0;
+        let mut leaves = 0u32;
+        tree.for_each_leaf(|range, stats| {
+            count += stats.n_total;
+            measure += range.area_fraction() * range.solid_angle_fraction();
+            leaves += 1;
+        });
+        prop_assert_eq!(leaves, tree.leaf_count());
+        // Count drift bounded by one photon per split (rounding of the
+        // inherited share).
+        let drift = count.abs_diff(stream.len() as u64);
+        prop_assert!(drift <= tree.node_count() as u64, "drift {}", drift);
+        // Leaf 4-D measures tile the unit measure exactly.
+        prop_assert!((measure - 1.0).abs() < 1e-9, "measure {}", measure);
+    }
+
+    /// Every lookup lands in a leaf whose range contains the query.
+    #[test]
+    fn lookup_is_consistent(stream in arb_stream(), probe in arb_point()) {
+        let mut tree = BinTree::new(SplitConfig::default());
+        for p in &stream {
+            tree.tally(p, Rgb::WHITE);
+        }
+        let (_, range) = tree.lookup(&probe);
+        prop_assert!(range.contains(&probe), "{:?} not in {:?}", probe, range);
+    }
+
+    /// Export/import round-trips arbitrary trees.
+    #[test]
+    fn export_round_trip(stream in arb_stream()) {
+        let mut tree = BinTree::new(SplitConfig::default());
+        for p in &stream {
+            tree.tally(p, Rgb::new(0.3, 0.5, 0.7));
+        }
+        let rebuilt = BinTree::from_export(tree.export_nodes(), SplitConfig::default())
+            .expect("valid export");
+        prop_assert_eq!(rebuilt.leaf_count(), tree.leaf_count());
+        prop_assert_eq!(rebuilt.max_depth(), tree.max_depth());
+    }
+
+    /// Ranges produced by splitting always nest inside their parent.
+    #[test]
+    fn range_split_nests(axis_idx in 0usize..4) {
+        let root = BinRange::full();
+        let axis = photon_hist::Axis::from_index(axis_idx);
+        let (lo, hi) = root.split(axis);
+        for child in [lo, hi] {
+            for a in photon_hist::Axis::ALL {
+                prop_assert!(child.lo[a as usize] >= root.lo[a as usize] - 1e-12);
+                prop_assert!(child.hi[a as usize] <= root.hi[a as usize] + 1e-12);
+            }
+        }
+        prop_assert!((lo.width(axis) - hi.width(axis)).abs() < 1e-12);
+    }
+}

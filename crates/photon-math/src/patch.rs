@@ -1,0 +1,341 @@
+//! Planar quadrilateral patches with bilinear `(s, t)` parameterization.
+//!
+//! The defining polygons of a Photon scene are planar quads. Each carries a
+//! bilinear parameterization used for (a) histogram binning of hit positions
+//! and (b) reconstructing bin centers for viewing. The dissertation notes that
+//! `(s, t)` "cannot be easily determined from an arbitrary point" on a general
+//! patch and recovers them by recursive bisection inside the bin tree; for
+//! planar quads we additionally provide a direct inversion
+//! ([`Patch::st_of_point`]) that agrees with the bisection and is used by the
+//! fast path (exact for parallelograms, Newton-refined for general planar
+//! quads).
+
+use crate::{Aabb, Onb, Ray, Vec3};
+
+/// A planar quadrilateral `p00 → p10 → p11 → p01` (counter-clockwise seen from
+/// the front, i.e. from the side its normal points toward).
+///
+/// Bilinear map: `P(s, t) = (1-s)(1-t) p00 + s(1-t) p10 + s t p11 + (1-s) t p01`.
+#[derive(Clone, Copy, Debug)]
+pub struct Patch {
+    /// Corner at `(s, t) = (0, 0)`.
+    pub p00: Vec3,
+    /// Corner at `(s, t) = (1, 0)`.
+    pub p10: Vec3,
+    /// Corner at `(s, t) = (1, 1)`.
+    pub p11: Vec3,
+    /// Corner at `(s, t) = (0, 1)`.
+    pub p01: Vec3,
+}
+
+/// Result of a ray/patch intersection.
+#[derive(Clone, Copy, Debug)]
+pub struct PatchHit {
+    /// Ray parameter (distance for unit-length directions).
+    pub t: f64,
+    /// Bilinear `s` coordinate in `[0, 1]`.
+    pub s: f64,
+    /// Bilinear `t` coordinate in `[0, 1]` (named `v` to avoid clashing with
+    /// the ray parameter).
+    pub v: f64,
+    /// World-space hit point.
+    pub point: Vec3,
+}
+
+impl Patch {
+    /// Creates a patch from four corners. Corners are expected to be planar;
+    /// small deviations are tolerated (intersection uses the best-fit plane).
+    pub fn new(p00: Vec3, p10: Vec3, p11: Vec3, p01: Vec3) -> Self {
+        Patch { p00, p10, p11, p01 }
+    }
+
+    /// Axis-aligned rectangle helper: builds the patch spanning `origin`,
+    /// `origin + e_s`, `origin + e_s + e_t`, `origin + e_t`.
+    pub fn from_origin_edges(origin: Vec3, e_s: Vec3, e_t: Vec3) -> Self {
+        Patch {
+            p00: origin,
+            p10: origin + e_s,
+            p11: origin + e_s + e_t,
+            p01: origin + e_t,
+        }
+    }
+
+    /// The bilinear point at `(s, t)`.
+    #[inline]
+    pub fn point_at(&self, s: f64, t: f64) -> Vec3 {
+        self.p00 * ((1.0 - s) * (1.0 - t))
+            + self.p10 * (s * (1.0 - t))
+            + self.p11 * (s * t)
+            + self.p01 * ((1.0 - s) * t)
+    }
+
+    /// Unit normal of the best-fit plane (Newell's method), pointing toward
+    /// the front side.
+    pub fn normal(&self) -> Vec3 {
+        // Newell's method is robust for slightly non-planar quads.
+        let pts = [self.p00, self.p10, self.p11, self.p01];
+        let mut n = Vec3::ZERO;
+        for i in 0..4 {
+            let a = pts[i];
+            let b = pts[(i + 1) % 4];
+            n.x += (a.y - b.y) * (a.z + b.z);
+            n.y += (a.z - b.z) * (a.x + b.x);
+            n.z += (a.x - b.x) * (a.y + b.y);
+        }
+        n.normalized()
+    }
+
+    /// Surface area (sum of the two triangle halves).
+    pub fn area(&self) -> f64 {
+        let t1 = (self.p10 - self.p00).cross(self.p11 - self.p00).length() * 0.5;
+        let t2 = (self.p11 - self.p00).cross(self.p01 - self.p00).length() * 0.5;
+        t1 + t2
+    }
+
+    /// Centroid (bilinear center).
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        self.point_at(0.5, 0.5)
+    }
+
+    /// Bounding box of the four corners.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points([self.p00, self.p10, self.p11, self.p01])
+    }
+
+    /// Local frame: `w` = normal, `u` anchored to the `s` edge so the angular
+    /// histogram axes are stable across runs.
+    pub fn frame(&self) -> Onb {
+        Onb::from_wu(self.normal(), self.p10 - self.p00)
+    }
+
+    /// Ray intersection against the patch plane followed by bilinear
+    /// containment, returning the nearest hit in `(t_min, t_max)`.
+    ///
+    /// Hits on either face are reported; callers decide what to do with
+    /// back-face hits via the sign of `ray.dir · normal`.
+    pub fn intersect(&self, ray: &Ray, t_min: f64, t_max: f64) -> Option<PatchHit> {
+        let n = self.normal();
+        let denom = ray.dir.dot(n);
+        if denom.abs() < 1e-14 {
+            return None; // Parallel to the plane.
+        }
+        let t = (self.p00 - ray.origin).dot(n) / denom;
+        if t <= t_min || t >= t_max {
+            return None;
+        }
+        let p = ray.at(t);
+        let (s, v) = self.st_of_point(p)?;
+        Some(PatchHit { t, s, v, point: p })
+    }
+
+    /// Inverts the bilinear map for a point on (or very near) the patch
+    /// plane. Returns `None` when the point lies outside `[0,1]^2` beyond a
+    /// small tolerance.
+    ///
+    /// Exact in one step for parallelograms; for general planar quads a few
+    /// Newton iterations on the 2-D projected bilinear system are used.
+    pub fn st_of_point(&self, p: Vec3) -> Option<(f64, f64)> {
+        // Project everything into the patch plane's 2-D coordinates.
+        let frame = self.frame();
+        let to2d = |q: Vec3| {
+            let l = frame.to_local(q - self.p00);
+            (l.x, l.y)
+        };
+        let (a0, a1) = to2d(self.p00); // == (0, 0)
+        let (b0, b1) = to2d(self.p10);
+        let (c0, c1) = to2d(self.p11);
+        let (d0, d1) = to2d(self.p01);
+        let (px, py) = to2d(p);
+
+        // Bilinear in 2-D: P(s,t) = A + s*B + t*D + s*t*E with
+        // A = p00, B = p10-p00, D = p01-p00, E = p11-p10-p01+p00.
+        let bx = b0 - a0;
+        let by = b1 - a1;
+        let dx = d0 - a0;
+        let dy = d1 - a1;
+        let ex = c0 - b0 - d0 + a0;
+        let ey = c1 - b1 - d1 + a1;
+
+        // Initial guess: solve the parallelogram part.
+        let det = bx * dy - by * dx;
+        if det.abs() < 1e-18 {
+            return None; // Degenerate quad.
+        }
+        let mut s = ((px - a0) * dy - (py - a1) * dx) / det;
+        let mut t = (bx * (py - a1) - by * (px - a0)) / det;
+
+        // Newton refinement handles the s*t cross term of non-parallelogram
+        // quads (converges in <= 4 iterations for convex planar quads).
+        for _ in 0..4 {
+            let fx = a0 + s * bx + t * dx + s * t * ex - px;
+            let fy = a1 + s * by + t * dy + s * t * ey - py;
+            if fx.abs() + fy.abs() < 1e-12 {
+                break;
+            }
+            let j00 = bx + t * ex;
+            let j01 = dx + s * ex;
+            let j10 = by + t * ey;
+            let j11 = dy + s * ey;
+            let jd = j00 * j11 - j01 * j10;
+            if jd.abs() < 1e-18 {
+                break;
+            }
+            s -= (fx * j11 - fy * j01) / jd;
+            t -= (j00 * fy - j10 * fx) / jd;
+        }
+
+        const TOL: f64 = 1e-9;
+        if !(-TOL..=1.0 + TOL).contains(&s) || !(-TOL..=1.0 + TOL).contains(&t) {
+            return None;
+        }
+        Some((s.clamp(0.0, 1.0), t.clamp(0.0, 1.0)))
+    }
+
+    /// Splits into the `(lo, hi)` halves of the `s` range — used by tests
+    /// validating bin-tree spatial splits against real geometry.
+    pub fn split_s(&self) -> (Patch, Patch) {
+        let m0 = self.p00.lerp(self.p10, 0.5);
+        let m1 = self.p01.lerp(self.p11, 0.5);
+        (
+            Patch::new(self.p00, m0, m1, self.p01),
+            Patch::new(m0, self.p10, self.p11, m1),
+        )
+    }
+
+    /// Splits into the `(lo, hi)` halves of the `t` range.
+    pub fn split_t(&self) -> (Patch, Patch) {
+        let m0 = self.p00.lerp(self.p01, 0.5);
+        let m1 = self.p10.lerp(self.p11, 0.5);
+        (
+            Patch::new(self.p00, self.p10, m1, m0),
+            Patch::new(m0, m1, self.p11, self.p01),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, EPS};
+
+    fn unit_floor() -> Patch {
+        // Floor in the xz plane, normal +y.
+        Patch::from_origin_edges(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0))
+    }
+
+    #[test]
+    fn corners_map_to_unit_square() {
+        let p = unit_floor();
+        assert_eq!(p.point_at(0.0, 0.0), p.p00);
+        assert_eq!(p.point_at(1.0, 0.0), p.p10);
+        assert_eq!(p.point_at(1.0, 1.0), p.p11);
+        assert_eq!(p.point_at(0.0, 1.0), p.p01);
+    }
+
+    #[test]
+    fn normal_of_floor_points_up() {
+        let n = unit_floor().normal();
+        assert!(approx_eq(n.y, 1.0, EPS), "{n:?}");
+    }
+
+    #[test]
+    fn area_of_unit_square() {
+        assert!(approx_eq(unit_floor().area(), 1.0, EPS));
+        // A 2x3 rectangle.
+        let p = Patch::from_origin_edges(Vec3::ZERO, Vec3::X * 2.0, Vec3::Z * -3.0);
+        assert!(approx_eq(p.area(), 6.0, EPS));
+    }
+
+    #[test]
+    fn st_inversion_round_trip_parallelogram() {
+        let p = Patch::from_origin_edges(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(2.0, 0.0, 1.0),
+            Vec3::new(0.0, 0.0, -2.0),
+        );
+        for &(s, t) in &[(0.0, 0.0), (1.0, 1.0), (0.25, 0.75), (0.5, 0.5), (0.9, 0.1)] {
+            let q = p.point_at(s, t);
+            let (s2, t2) = p.st_of_point(q).expect("inside");
+            assert!(approx_eq(s2, s, 1e-9), "s {s} -> {s2}");
+            assert!(approx_eq(t2, t, 1e-9), "t {t} -> {t2}");
+        }
+    }
+
+    #[test]
+    fn st_inversion_round_trip_trapezoid() {
+        // Planar but not a parallelogram: needs the Newton refinement.
+        let p = Patch::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(1.5, 0.0, 1.0),
+            Vec3::new(0.5, 0.0, 1.0),
+        );
+        for &(s, t) in &[(0.1, 0.2), (0.5, 0.5), (0.8, 0.9), (0.0, 1.0)] {
+            let q = p.point_at(s, t);
+            let (s2, t2) = p.st_of_point(q).expect("inside");
+            assert!(approx_eq(s2, s, 1e-7), "s {s} -> {s2}");
+            assert!(approx_eq(t2, t, 1e-7), "t {t} -> {t2}");
+        }
+    }
+
+    #[test]
+    fn st_outside_returns_none() {
+        let p = unit_floor();
+        assert!(p.st_of_point(Vec3::new(2.0, 0.0, -0.5)).is_none());
+        assert!(p.st_of_point(Vec3::new(-0.5, 0.0, -0.5)).is_none());
+    }
+
+    #[test]
+    fn ray_hits_center() {
+        let p = unit_floor();
+        let r = Ray::new(Vec3::new(0.5, 1.0, -0.5), Vec3::new(0.0, -1.0, 0.0));
+        let hit = p.intersect(&r, 1e-9, f64::INFINITY).expect("hit");
+        assert!(approx_eq(hit.t, 1.0, EPS));
+        assert!(approx_eq(hit.s, 0.5, EPS));
+        assert!(approx_eq(hit.v, 0.5, EPS));
+    }
+
+    #[test]
+    fn ray_misses_outside_quad() {
+        let p = unit_floor();
+        let r = Ray::new(Vec3::new(1.5, 1.0, -0.5), Vec3::new(0.0, -1.0, 0.0));
+        assert!(p.intersect(&r, 1e-9, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn ray_parallel_misses() {
+        let p = unit_floor();
+        let r = Ray::new(Vec3::new(0.5, 1.0, 0.0), Vec3::X);
+        assert!(p.intersect(&r, 1e-9, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn ray_respects_t_window() {
+        let p = unit_floor();
+        let r = Ray::new(Vec3::new(0.5, 1.0, -0.5), Vec3::new(0.0, -1.0, 0.0));
+        assert!(p.intersect(&r, 1e-9, 0.5).is_none());
+        assert!(p.intersect(&r, 1.5, 2.0).is_none());
+    }
+
+    #[test]
+    fn splits_cover_parent_area() {
+        let p = unit_floor();
+        let (a, b) = p.split_s();
+        assert!(approx_eq(a.area() + b.area(), p.area(), EPS));
+        let (c, d) = p.split_t();
+        assert!(approx_eq(c.area() + d.area(), p.area(), EPS));
+        // Sub-patch midpoints land where the parent parameterization says.
+        assert_eq!(a.point_at(1.0, 0.0), p.point_at(0.5, 0.0));
+        assert_eq!(c.point_at(0.0, 1.0), p.point_at(0.0, 0.5));
+    }
+
+    #[test]
+    fn frame_w_matches_normal() {
+        let p = unit_floor();
+        let f = p.frame();
+        assert!(approx_eq(f.w.dot(p.normal()), 1.0, EPS));
+        // u anchored to the s edge.
+        assert!(approx_eq(f.u.dot((p.p10 - p.p00).normalized()), 1.0, EPS));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests on the geometric primitives.
+
+use photon_math::{Aabb, CylDir, Onb, Patch, Ray, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3(r: f64) -> impl Strategy<Value = Vec3> {
+    (-r..r, -r..r, -r..r).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_unit() -> impl Strategy<Value = Vec3> {
+    arb_vec3(1.0)
+        .prop_filter("nonzero", |v| v.length_sq() > 1e-4)
+        .prop_map(|v| v.normalized())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reflection preserves length and flips only the normal component.
+    #[test]
+    fn reflect_involution(d in arb_unit(), n in arb_unit()) {
+        let r = d.reflect(n);
+        prop_assert!((r.length() - 1.0).abs() < 1e-9);
+        // Reflecting twice returns the original direction.
+        let rr = r.reflect(n);
+        prop_assert!((rr - d).length() < 1e-9);
+    }
+
+    /// Cross products are orthogonal to both inputs.
+    #[test]
+    fn cross_orthogonality(a in arb_vec3(10.0), b in arb_vec3(10.0)) {
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-6 * (1.0 + a.length() * b.length()));
+        prop_assert!(c.dot(b).abs() < 1e-6 * (1.0 + a.length() * b.length()));
+    }
+
+    /// Any normal yields a right-handed orthonormal basis whose round trip
+    /// is the identity.
+    #[test]
+    fn onb_round_trip(n in arb_unit(), v in arb_vec3(5.0)) {
+        let onb = Onb::from_w(n);
+        prop_assert!((onb.u.cross(onb.v).dot(onb.w) - 1.0).abs() < 1e-6);
+        let back = onb.to_world(onb.to_local(v));
+        prop_assert!((back - v).length() < 1e-8 * (1.0 + v.length()));
+    }
+
+    /// Cylindrical direction coordinates round-trip on the hemisphere.
+    #[test]
+    fn cyl_dir_round_trip(d in arb_unit()) {
+        let up = Vec3::new(d.x, d.y, d.z.abs().max(1e-6));
+        let up = up.normalized();
+        let c = CylDir::from_local(up);
+        prop_assert!(c.is_valid());
+        let back = c.to_local();
+        prop_assert!((back - up).length() < 1e-6, "{:?} -> {:?} -> {:?}", up, c, back);
+    }
+
+    /// A ray hitting an AABB enters before it exits, and points sampled in
+    /// the interval are inside (padded for roundoff).
+    #[test]
+    fn aabb_slab_interval(
+        lo in arb_vec3(5.0),
+        ext in (0.1f64..5.0, 0.1f64..5.0, 0.1f64..5.0),
+        origin in arb_vec3(20.0),
+        dir in arb_unit(),
+    ) {
+        let b = Aabb::new(lo, lo + Vec3::new(ext.0, ext.1, ext.2));
+        let ray = Ray::new(origin, dir);
+        if let Some((t0, t1)) = b.hit(&ray, 0.0, f64::INFINITY) {
+            prop_assert!(t0 <= t1);
+            let mid = ray.at(0.5 * (t0 + t1));
+            prop_assert!(b.padded(1e-6).contains(mid), "{:?} not in {:?}", mid, b);
+        }
+    }
+
+    /// Patch area equals the parallelogram area for parallelogram patches,
+    /// and the bilinear center is the average of the corners.
+    #[test]
+    fn patch_area_and_center(origin in arb_vec3(5.0), e1 in arb_vec3(3.0), e2 in arb_vec3(3.0)) {
+        prop_assume!(e1.cross(e2).length() > 1e-3);
+        let p = Patch::from_origin_edges(origin, e1, e2);
+        prop_assert!((p.area() - e1.cross(e2).length()).abs() < 1e-9 * (1.0 + p.area()));
+        let avg = (p.p00 + p.p10 + p.p11 + p.p01) / 4.0;
+        prop_assert!((p.center() - avg).length() < 1e-9);
+    }
+
+    /// Ray/patch hits land on the patch plane at the reported parameter.
+    #[test]
+    fn patch_hit_is_on_plane(
+        origin in arb_vec3(3.0),
+        e1 in arb_vec3(2.0),
+        e2 in arb_vec3(2.0),
+        ro in arb_vec3(10.0),
+        rd in arb_unit(),
+    ) {
+        prop_assume!(e1.cross(e2).length() > 1e-2);
+        let p = Patch::from_origin_edges(origin, e1, e2);
+        let ray = Ray::new(ro, rd);
+        if let Some(hit) = p.intersect(&ray, 1e-9, f64::INFINITY) {
+            // Point is consistent with the ray parameter.
+            prop_assert!((ray.at(hit.t) - hit.point).length() < 1e-9);
+            // And on the plane.
+            let n = p.normal();
+            let dist = (hit.point - p.p00).dot(n).abs();
+            prop_assert!(dist < 1e-6, "off plane by {}", dist);
+            // And the bilinear coordinates reproduce the point.
+            let q = p.point_at(hit.s, hit.v);
+            prop_assert!((q - hit.point).length() < 1e-6);
+        }
+    }
+}

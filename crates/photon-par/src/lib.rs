@@ -1,0 +1,314 @@
+//! Shared-memory parallel Photon (dissertation ch. 5, Fig 5.2).
+//!
+//! "The geometry data structure becomes a shared database with multiple
+//! processors accessing and modifying it. … Mutually exclusive access is
+//! insured through the use of semaphores to lock access to nodes in the bin
+//! forest, and follows a multiple reader, single writer protocol."
+//!
+//! Here each worker thread traces its own photons (geometry is shared
+//! read-only) and tallies through a [`SharedForest`]: one
+//! `parking_lot::RwLock` per patch tree. A tally takes the write lock of the
+//! *one* tree it touches — the same granularity that matters for contention
+//! (patches are the unit of conflict), with the lock-per-split refinement of
+//! the paper subsumed by the short critical section. An optional
+//! [`LockMode::Global`] ablation serializes the whole forest behind a single
+//! lock to quantify what fine-grained locking buys (see the `ablation`
+//! bench).
+//!
+//! Work is issued in batches; after every batch the coordinator records a
+//! speed sample, reproducing the speed-vs-time traces of Figs 5.6–5.8.
+//! Random streams are leapfrogged so the union of all threads' photons is
+//! exactly the serial photon stream, partitioned.
+
+#![deny(missing_docs)]
+
+use parking_lot::{Mutex, RwLock};
+use photon_core::{Answer, SpeedTrace};
+use photon_core::generate::PhotonGenerator;
+use photon_core::sim::SimStats;
+use photon_core::trace::{trace_photon, TallySink, Termination};
+use photon_geom::Scene;
+use photon_hist::{BinPoint, BinTree, SplitConfig};
+use photon_math::Rgb;
+use photon_rng::Lcg48;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Locking granularity for the shared bin forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// One reader/writer lock per patch tree (the production mode).
+    PerTree,
+    /// A single lock around the whole forest (ablation baseline).
+    Global,
+}
+
+/// Configuration of a shared-memory run.
+#[derive(Clone, Copy, Debug)]
+pub struct ParConfig {
+    /// Seed of the global (pre-leapfrog) random stream.
+    pub seed: u64,
+    /// Bin splitting policy.
+    pub split: SplitConfig,
+    /// Worker thread count (the paper's "processors").
+    pub threads: usize,
+    /// Photons per batch (across all threads).
+    pub batch_size: u64,
+    /// Locking granularity.
+    pub lock: LockMode,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            seed: 0x5EED,
+            split: SplitConfig::default(),
+            threads: 2,
+            batch_size: 2000,
+            lock: LockMode::PerTree,
+        }
+    }
+}
+
+/// The shared bin forest: per-tree writer locks plus an optional global
+/// serialization lock for the ablation mode.
+pub struct SharedForest {
+    trees: Vec<RwLock<BinTree>>,
+    global: Mutex<()>,
+    mode: LockMode,
+    tallies: AtomicU64,
+}
+
+impl SharedForest {
+    /// One tree per patch.
+    pub fn new(patch_count: usize, split: SplitConfig, mode: LockMode) -> Self {
+        SharedForest {
+            trees: (0..patch_count).map(|_| RwLock::new(BinTree::new(split))).collect(),
+            global: Mutex::new(()),
+            mode,
+            tallies: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one interaction (thread-safe).
+    #[inline]
+    pub fn tally(&self, patch_id: u32, point: &BinPoint, energy: Rgb) {
+        self.tallies.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            LockMode::PerTree => {
+                self.trees[patch_id as usize].write().tally(point, energy);
+            }
+            LockMode::Global => {
+                let _g = self.global.lock();
+                self.trees[patch_id as usize].write().tally(point, energy);
+            }
+        }
+    }
+
+    /// Total tallies recorded (exact).
+    pub fn total_tallies(&self) -> u64 {
+        self.tallies.load(Ordering::Relaxed)
+    }
+
+    /// Total leaf bins across trees.
+    pub fn total_leaf_bins(&self) -> u64 {
+        self.trees.iter().map(|t| t.read().leaf_count() as u64).sum()
+    }
+
+    /// Collapses into a serial forest.
+    pub fn into_forest(self) -> photon_core::BinForest {
+        photon_core::BinForest::from_trees(
+            self.trees.into_iter().map(|t| t.into_inner()).collect(),
+        )
+    }
+}
+
+/// Per-thread sink borrowing the shared forest.
+struct SharedSink<'a> {
+    forest: &'a SharedForest,
+}
+
+impl TallySink for SharedSink<'_> {
+    #[inline]
+    fn tally(&mut self, patch_id: u32, point: &BinPoint, energy: Rgb) {
+        self.forest.tally(patch_id, point, energy);
+    }
+}
+
+/// Result of a shared-memory run.
+pub struct ParRunResult {
+    /// Aggregate photon counters.
+    pub stats: SimStats,
+    /// Speed-vs-time trace (one sample per batch).
+    pub speed: SpeedTrace,
+    /// The answer snapshot.
+    pub answer: Answer,
+    /// Leaf bins at the end (Table 5.1's view-dependent polygons).
+    pub leaf_bins: u64,
+}
+
+/// Runs `total_photons` through `config.threads` workers over the shared
+/// forest, batch by batch (Fig 5.2's `forall` loop).
+pub fn run(scene: &Scene, config: &ParConfig, total_photons: u64) -> ParRunResult {
+    assert!(config.threads >= 1);
+    assert!(config.batch_size >= config.threads as u64);
+    let forest = SharedForest::new(scene.polygon_count(), config.split, config.lock);
+    let generator = PhotonGenerator::new(scene);
+    let base = Lcg48::new(config.seed);
+    let nthreads = config.threads;
+
+    // Per-thread leapfrogged RNG streams: the union of all threads' draws is
+    // the serial stream (ch. 5, Random Number Generation).
+    let rngs: Vec<Lcg48> = (0..nthreads).map(|r| base.leapfrog(r, nthreads)).collect();
+    let rngs: Vec<Mutex<Lcg48>> = rngs.into_iter().map(Mutex::new).collect();
+
+    let nbatches = total_photons.div_ceil(config.batch_size);
+    let mut speed = SpeedTrace::new();
+    let stats_acc = Mutex::new(SimStats::default());
+    let barrier = Barrier::new(nthreads);
+    let batch_of = |b: u64| -> u64 {
+        (total_photons - b * config.batch_size).min(config.batch_size)
+    };
+
+    let t0 = Instant::now();
+    let batch_times = Mutex::new(Vec::<(f64, u64, f64)>::new());
+    std::thread::scope(|scope| {
+        for tid in 0..nthreads {
+            let forest = &forest;
+            let generator = &generator;
+            let rngs = &rngs;
+            let stats_acc = &stats_acc;
+            let barrier = &barrier;
+            let batch_times = &batch_times;
+            scope.spawn(move || {
+                let mut rng = rngs[tid].lock().clone();
+                let mut sink = SharedSink { forest };
+                let mut local = SimStats::default();
+                for b in 0..nbatches {
+                    let n = batch_of(b);
+                    // Split the batch across threads (remainder to low tids).
+                    let share = n / nthreads as u64
+                        + u64::from((n % nthreads as u64) > tid as u64);
+                    let batch_start = Instant::now();
+                    for _ in 0..share {
+                        let out = trace_photon(scene, generator, &mut rng, &mut sink);
+                        local.emitted += 1;
+                        local.reflections += out.bounces as u64;
+                        match out.termination {
+                            Termination::Absorbed => local.absorbed += 1,
+                            Termination::Escaped => local.escaped += 1,
+                            Termination::BounceCapped => local.capped += 1,
+                        }
+                    }
+                    barrier.wait();
+                    // Thread 0 records the batch sample after the barrier so
+                    // the time covers the slowest worker.
+                    if tid == 0 {
+                        let elapsed = t0.elapsed().as_secs_f64();
+                        batch_times
+                            .lock()
+                            .push((elapsed, n, batch_start.elapsed().as_secs_f64()));
+                    }
+                    barrier.wait();
+                }
+                let mut acc = stats_acc.lock();
+                acc.emitted += local.emitted;
+                acc.absorbed += local.absorbed;
+                acc.escaped += local.escaped;
+                acc.capped += local.capped;
+                acc.reflections += local.reflections;
+            });
+        }
+    });
+
+    for (elapsed, n, secs) in batch_times.into_inner() {
+        speed.push_batch(elapsed, n, secs);
+    }
+    let stats = *stats_acc.lock();
+    let leaf_bins = forest.total_leaf_bins();
+    let forest = forest.into_forest();
+    let answer = Answer::from_forest(&forest, stats.emitted);
+    ParRunResult { stats, speed, answer, leaf_bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_scenes::cornell_box;
+
+    fn small_run(threads: usize, lock: LockMode) -> ParRunResult {
+        let scene = cornell_box();
+        let config = ParConfig {
+            seed: 99,
+            threads,
+            batch_size: 2000,
+            lock,
+            ..Default::default()
+        };
+        run(&scene, &config, 10_000)
+    }
+
+    #[test]
+    fn photons_are_conserved_across_threads() {
+        for threads in [1, 2, 4] {
+            let r = small_run(threads, LockMode::PerTree);
+            assert_eq!(r.stats.emitted, 10_000, "threads={threads}");
+            assert!(r.stats.is_conserved(), "threads={threads}: {:?}", r.stats);
+        }
+    }
+
+    #[test]
+    fn tallies_equal_emissions_plus_reflections() {
+        let scene = cornell_box();
+        let config = ParConfig { seed: 7, threads: 4, batch_size: 1000, ..Default::default() };
+        let forest = SharedForest::new(scene.polygon_count(), config.split, config.lock);
+        // run() consumes the forest internally; recompute via the public API.
+        let r = run(&scene, &config, 5_000);
+        drop(forest);
+        // answer trees tally exactly emissions + reflections.
+        let total: u64 = (0..r.answer.patch_count() as u32)
+            .map(|pid| r.answer.tree(pid).tallies())
+            .sum();
+        assert_eq!(total, r.stats.emitted + r.stats.reflections);
+    }
+
+    #[test]
+    fn parallel_run_statistically_matches_serial() {
+        // Same seed, 1 thread vs 4 threads: leapfrog partitions the same
+        // stream, so aggregate statistics agree closely (split decisions
+        // may differ by interleaving, counts may not drift).
+        let serial = small_run(1, LockMode::PerTree);
+        let par = small_run(4, LockMode::PerTree);
+        assert_eq!(serial.stats.emitted, par.stats.emitted);
+        let s = serial.stats.reflections as f64;
+        let p = par.stats.reflections as f64;
+        // Different photons -> different bounce totals, but within a few
+        // percent for 10k photons.
+        assert!((s - p).abs() / s < 0.1, "serial {s} vs par {p}");
+    }
+
+    #[test]
+    fn lock_modes_agree_on_totals() {
+        let a = small_run(4, LockMode::PerTree);
+        let b = small_run(4, LockMode::Global);
+        assert_eq!(a.stats.emitted, b.stats.emitted);
+        // Identical streams => identical reflection totals, regardless of
+        // lock granularity.
+        assert_eq!(a.stats.reflections, b.stats.reflections);
+    }
+
+    #[test]
+    fn speed_trace_has_one_sample_per_batch() {
+        let r = small_run(2, LockMode::PerTree);
+        assert_eq!(r.speed.samples().len(), 5);
+        assert_eq!(r.speed.total_photons(), 10_000);
+        assert!(r.speed.total_elapsed() > 0.0);
+    }
+
+    #[test]
+    fn forest_refines_in_parallel() {
+        let r = small_run(4, LockMode::PerTree);
+        assert!(r.leaf_bins > 30, "leaf bins {}", r.leaf_bins);
+    }
+}

@@ -1,0 +1,58 @@
+//! Distributed rendering on a simulated 1997 cluster.
+//!
+//! Runs the full distributed-memory Photon pipeline — pilot trace, Best-Fit
+//! bin packing, leapfrogged photon streams, all-to-all tally exchange,
+//! adaptive batch sizing — on eight virtual IBM SP-2 ranks, then renders
+//! the merged answer.
+//!
+//! ```sh
+//! cargo run --release --example cluster_render
+//! ```
+
+use photon_gi::core::view::{auto_exposure, render};
+use photon_gi::core::Camera;
+use photon_gi::dist::{
+    run_distributed, AdaptiveBatch, BalanceMode, BatchMode, DistConfig, StopRule,
+};
+use photon_gi::mpi::Platform;
+use photon_gi::scenes::TestScene;
+
+fn main() {
+    let scene_kind = TestScene::CornellBox;
+    let scene = scene_kind.build();
+    let config = DistConfig {
+        seed: 64,
+        nranks: 8,
+        platform: Platform::sp2(),
+        balance: BalanceMode::BinPacking { pilot_photons: 2000 },
+        batch: BatchMode::Adaptive(AdaptiveBatch::default()),
+        stop: StopRule::Photons(400_000),
+        ..Default::default()
+    };
+    println!("running {} ranks on the {} model...", config.nranks, config.platform.name);
+    let r = run_distributed(&scene, &config);
+
+    println!("photons: {} emitted, {} reflections", r.stats.emitted, r.stats.reflections);
+    println!("virtual time: {:.2} s; steady rate {:.0} photons/s", r.virtual_elapsed, r.speed.steady_rate());
+    println!("batch sizes: {:?}", &r.batch_history[..r.batch_history.len().min(10)]);
+    println!("per-rank tallies processed: {:?}", r.per_rank_tallies);
+    println!(
+        "forwarded {} MB of photon records through the all-to-all",
+        r.bytes_forwarded / 1_000_000
+    );
+
+    let view = scene_kind.view();
+    let cam = Camera {
+        eye: view.eye,
+        target: view.target,
+        up: view.up,
+        vfov_deg: view.vfov_deg,
+        width: 200,
+        height: 150,
+    };
+    let img = render(&scene, &r.answer, &cam, auto_exposure(&scene, &r.answer));
+    let path = std::env::temp_dir().join("cluster_render.ppm");
+    let mut f = std::fs::File::create(&path).expect("create output");
+    img.write_ppm(&mut f).expect("write ppm");
+    println!("merged answer rendered -> {}", path.display());
+}

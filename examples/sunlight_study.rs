@@ -1,0 +1,59 @@
+//! Sunlight study: directional emission by scaling the generation circle.
+//!
+//! The paper's Fig 4.4 mechanism as an experiment: a square occluder above
+//! a floor under (a) the 0.5° collimated sun, (b) a broader lamp, (c) fully
+//! diffuse sky — watch the shadow edge sharpen as collimation tightens and
+//! blur as the occluder rises. The scan is restricted to the shadow's `t`
+//! band so the 1-D profile keeps full contrast.
+//!
+//! ```sh
+//! cargo run --release --example sunlight_study
+//! ```
+
+use photon_gi::core::generate::PhotonGenerator;
+use photon_gi::core::trace::trace_photon;
+use photon_gi::hist::BinPoint;
+use photon_gi::math::Rgb;
+use photon_gi::rng::Lcg48;
+use photon_gi::scenes::sun_room;
+
+fn shadow_scan(h: f64, c: f64, strips: usize) -> Vec<f64> {
+    let scene = sun_room(h, c);
+    let generator = PhotonGenerator::new(&scene);
+    let mut rng = Lcg48::new(404);
+    let mut counts = vec![0u64; strips];
+    let mut sink = |pid: u32, p: &BinPoint, _e: Rgb| {
+        if pid == 0 && (p.t - 0.5).abs() < 0.05 {
+            counts[((p.s * strips as f64) as usize).min(strips - 1)] += 1;
+        }
+    };
+    for _ in 0..400_000 {
+        trace_photon(&scene, &generator, &mut rng, &mut sink);
+    }
+    counts.into_iter().map(|v| v as f64).collect()
+}
+
+fn sparkline(profile: &[f64]) -> String {
+    let max = profile.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    profile
+        .iter()
+        .map(|v| glyphs[((v / max) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    println!("floor irradiance through the shadow (s axis, t in the shadow band):\n");
+    for (label, h, c) in [
+        ("sun (0.5 deg), occluder at 0.5 m", 0.5, 0.005),
+        ("sun (0.5 deg), occluder at 4.0 m", 4.0, 0.005),
+        ("lamp (c = 0.15), occluder at 0.5 m", 0.5, 0.15),
+        ("lamp (c = 0.15), occluder at 4.0 m", 4.0, 0.15),
+        ("diffuse sky (c = 1.0), occluder at 0.5 m", 0.5, 1.0),
+    ] {
+        let profile = shadow_scan(h, c, 64);
+        println!("{label:44} |{}|", sparkline(&profile));
+    }
+    println!("\nsharp shadow under the collimated sun near the floor; edges blur as the");
+    println!("occluder rises or the source widens — what point-light tracers cannot do.");
+}

@@ -1,0 +1,89 @@
+//! Cross-crate integration: the full answer-file pipeline — simulate,
+//! serialize, reload, render — is lossless and deterministic.
+
+use photon_gi::core::view::{auto_exposure, render};
+use photon_gi::core::{Answer, Camera, SimConfig, Simulator};
+use photon_gi::scenes::TestScene;
+
+fn camera() -> Camera {
+    let v = TestScene::CornellBox.view();
+    Camera {
+        eye: v.eye,
+        target: v.target,
+        up: v.up,
+        vfov_deg: v.vfov_deg,
+        width: 64,
+        height: 48,
+    }
+}
+
+#[test]
+fn render_from_reloaded_answer_is_identical() {
+    let mut sim =
+        Simulator::new(TestScene::CornellBox.build(), SimConfig { seed: 99, ..Default::default() });
+    sim.run_photons(60_000);
+    let answer = sim.answer_snapshot();
+    let scene = sim.scene();
+
+    let mut bytes = Vec::new();
+    answer.write_to(&mut bytes).expect("serialize");
+    let reloaded = Answer::read_from(&mut bytes.as_slice()).expect("deserialize");
+
+    let exposure = auto_exposure(scene, &answer);
+    let img1 = render(scene, &answer, &camera(), exposure);
+    let img2 = render(scene, &reloaded, &camera(), exposure);
+    assert_eq!(img1.pixels().len(), img2.pixels().len());
+    for (a, b) in img1.pixels().iter().zip(img2.pixels()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn answer_file_size_scales_with_bins_not_photons() {
+    // The paper's storage argument: the answer is a distillation, so
+    // doubling photons must NOT double file size once refinement slows.
+    let size_at = |photons: u64| {
+        let mut sim = Simulator::new(
+            TestScene::CornellBox.build(),
+            SimConfig { seed: 98, ..Default::default() },
+        );
+        sim.run_photons(photons);
+        let mut bytes = Vec::new();
+        sim.answer_snapshot().write_to(&mut bytes).expect("serialize");
+        bytes.len() as f64
+    };
+    let small = size_at(50_000);
+    let big = size_at(200_000);
+    assert!(
+        big / small < 3.0,
+        "4x photons grew the answer file {small} -> {big}"
+    );
+}
+
+#[test]
+fn mirror_patch_refines_angularly() {
+    // The Cornell Box mirror must hold view-dependent (angular) structure:
+    // its bin tree refines beyond pure position splits.
+    use photon_gi::hist::{Axis, ExportNode};
+    let mut sim =
+        Simulator::new(TestScene::CornellBox.build(), SimConfig { seed: 97, ..Default::default() });
+    sim.run_photons(250_000);
+    let scene = sim.scene();
+    let mirror_pid = (0..scene.polygon_count() as u32)
+        .find(|&p| scene.patch(p).material.kind() == photon_gi::geom::SurfaceKind::Mirror)
+        .expect("cornell box has a mirror");
+    let tree = sim.forest().tree(mirror_pid);
+    let mut angular = 0;
+    for n in tree.export_nodes() {
+        if let ExportNode::Internal { axis, .. } = n {
+            if matches!(axis, Axis::Theta | Axis::RSq) {
+                angular += 1;
+            }
+        }
+    }
+    assert!(
+        angular > 0,
+        "mirror tree has {} leaves but no angular splits",
+        tree.leaf_count()
+    );
+}

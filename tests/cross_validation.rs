@@ -1,0 +1,104 @@
+//! Cross-validation: Photon's Monte Carlo radiance estimator against the
+//! radiosity matrix solve — two independent algorithms, one answer.
+//!
+//! For an all-diffuse scene both must agree: radiosity solves
+//! `(I − ρF) b = e` deterministically; Photon simulates photons and
+//! estimates radiance from histogram tallies. Their agreement validates,
+//! in one test, the cosine-weighted generation kernel, the transport and
+//! energy weighting, the bin-measure normalization of the radiance
+//! estimator, and the form-factor assembly + iterative solver.
+
+use photon_gi::baselines::radiosity::RadiositySystem;
+use photon_gi::core::{SimConfig, Simulator};
+use photon_gi::geom::{Luminaire, Material, Scene, SurfacePatch};
+use photon_gi::math::{Patch, Rgb, Vec3};
+
+/// Unit emitter square at z = 1 facing a unit diffuse receiver at z = 0,
+/// 1 apart — the configuration with the known analytic form factor 0.1998.
+fn facing_squares(rho: f64) -> Scene {
+    // Receiver at z = 0 faces +z.
+    let receiver = Patch::from_origin_edges(Vec3::ZERO, Vec3::X, Vec3::Y);
+    // Emitter at z = 1 faces -z (toward the receiver).
+    let emitter = Patch::from_origin_edges(Vec3::new(0.0, 0.0, 1.0), Vec3::Y, Vec3::X);
+    let mut ep = SurfacePatch::new(emitter, Material::emitter(Rgb::WHITE));
+    ep.material.emission = Rgb::WHITE;
+    Scene::new(
+        vec![SurfacePatch::new(receiver, Material::matte(Rgb::gray(rho))), ep],
+        vec![Luminaire {
+            patch_id: 1,
+            // Power 1 over a unit-area emitter => emitter radiosity 1.
+            power: Rgb::gray(1.0),
+            collimation: 1.0,
+        }],
+    )
+}
+
+#[test]
+fn photon_radiance_matches_radiosity_solution() {
+    let rho = 0.5;
+    let scene = facing_squares(rho);
+
+    // Deterministic path: assemble and solve the radiosity system. With a
+    // non-reflective emitter of radiosity 1, the receiver's radiosity is
+    // exactly rho * F_receiver->emitter.
+    let sys = RadiositySystem::assemble(&scene, 4000, 71);
+    let sol = sys.solve_gauss_seidel(1e-12, 1000);
+    let b_receiver = sol.b[0].g;
+    let radiosity_l = b_receiver / std::f64::consts::PI;
+
+    // Monte Carlo path: simulate and read the receiver's mean radiance
+    // from the bin forest.
+    let mut sim = Simulator::new(facing_squares(rho), SimConfig { seed: 71, ..Default::default() });
+    sim.run_photons(400_000);
+    let answer = sim.answer_snapshot();
+    let photon_l = answer.mean_patch_radiance(sim.scene(), 0).g;
+
+    // Both must also agree with the analytic expectation
+    // rho * F / pi with F ~ 0.1998 for parallel unit squares at unit gap.
+    let analytic_l = rho * 0.1998 / std::f64::consts::PI;
+
+    let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-12);
+    assert!(
+        rel(photon_l, radiosity_l) < 0.05,
+        "Photon {photon_l} vs radiosity {radiosity_l}"
+    );
+    assert!(
+        rel(photon_l, analytic_l) < 0.05,
+        "Photon {photon_l} vs analytic {analytic_l}"
+    );
+    assert!(
+        rel(radiosity_l, analytic_l) < 0.05,
+        "radiosity {radiosity_l} vs analytic {analytic_l}"
+    );
+}
+
+#[test]
+fn agreement_holds_across_albedos() {
+    // The receiver's radiance is linear in rho for this single-bounce
+    // configuration; both methods must track it.
+    let mut photon_ls = Vec::new();
+    for (i, &rho) in [0.25, 0.75].iter().enumerate() {
+        let mut sim = Simulator::new(
+            facing_squares(rho),
+            SimConfig { seed: 72 + i as u64, ..Default::default() },
+        );
+        sim.run_photons(300_000);
+        let answer = sim.answer_snapshot();
+        photon_ls.push(answer.mean_patch_radiance(sim.scene(), 0).g);
+    }
+    let ratio = photon_ls[1] / photon_ls[0].max(1e-12);
+    assert!((ratio - 3.0).abs() < 0.2, "radiance not linear in albedo: ratio {ratio}");
+}
+
+#[test]
+fn emitter_radiance_matches_its_power() {
+    // The light patch's own mean radiance must equal P / (A * pi): unit
+    // power over unit area => 1/pi.
+    let scene = facing_squares(0.5);
+    let mut sim = Simulator::new(scene, SimConfig { seed: 73, ..Default::default() });
+    sim.run_photons(200_000);
+    let answer = sim.answer_snapshot();
+    let l = answer.mean_patch_radiance(sim.scene(), 1).g;
+    let expect = 1.0 / std::f64::consts::PI;
+    assert!((l - expect).abs() / expect < 0.03, "emitter L {l} vs {expect}");
+}

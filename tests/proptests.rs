@@ -1,0 +1,146 @@
+//! Cross-crate property tests on the core invariants.
+
+use photon_gi::dist::{balance, PhotonRecord};
+use photon_gi::geom::{Material, Scene, SurfacePatch};
+use photon_gi::hist::BinPoint;
+use photon_gi::math::{Patch, Ray, Rgb, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (
+        -range..range,
+        -range..range,
+        -range..range,
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_unit() -> impl Strategy<Value = Vec3> {
+    arb_vec3(1.0)
+        .prop_filter("nonzero", |v| v.length_sq() > 1e-6)
+        .prop_map(|v| v.normalized())
+}
+
+/// Random tile scenes for the octree oracle.
+fn arb_scene() -> impl Strategy<Value = Scene> {
+    proptest::collection::vec((0.0f64..8.0, 0.0f64..4.0, 0.0f64..8.0), 2..40).prop_map(|tiles| {
+        let mut patches: Vec<SurfacePatch> = tiles
+            .iter()
+            .map(|&(x, y, z)| {
+                SurfacePatch::new(
+                    Patch::from_origin_edges(
+                        Vec3::new(x, y, z),
+                        Vec3::new(0.9, 0.0, 0.1),
+                        Vec3::new(0.0, 0.2, 0.9),
+                    ),
+                    Material::matte(Rgb::gray(0.5)),
+                )
+            })
+            .collect();
+        // One emitter so Scene's invariant holds.
+        patches.push(SurfacePatch::new(
+            Patch::from_origin_edges(Vec3::new(0.0, 10.0, 0.0), Vec3::X, Vec3::Z),
+            Material::emitter(Rgb::WHITE),
+        ));
+        let id = patches.len() as u32 - 1;
+        Scene::new(
+            patches,
+            vec![photon_gi::geom::Luminaire { patch_id: id, power: Rgb::WHITE, collimation: 1.0 }],
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The octree must agree with exhaustive search on every ray.
+    #[test]
+    fn octree_matches_brute_force(scene in arb_scene(), origin in arb_vec3(10.0), dir in arb_unit()) {
+        let ray = Ray::new(origin, dir);
+        let fast = scene.intersect(&ray, f64::INFINITY);
+        let slow = scene.intersect_brute_force(&ray, f64::INFINITY);
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(f), Some(s)) => {
+                prop_assert_eq!(f.patch_id, s.patch_id);
+                prop_assert!((f.t - s.t).abs() < 1e-9);
+            }
+            (f, s) => prop_assert!(false, "octree {:?} vs brute {:?}", f.is_some(), s.is_some()),
+        }
+    }
+
+    /// Photon records survive the wire format (f32 precision).
+    #[test]
+    fn record_codec_round_trips(
+        patch_id in 0u32..100_000,
+        s in 0.0f64..1.0,
+        t in 0.0f64..1.0,
+        theta in 0.0f64..std::f64::consts::TAU,
+        r_sq in 0.0f64..1.0,
+        e in 0.0f64..1000.0,
+    ) {
+        let rec = PhotonRecord {
+            patch_id,
+            point: BinPoint::new(s, t, theta, r_sq),
+            energy: Rgb::new(e, e * 0.5, e * 0.25),
+        };
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        let back = PhotonRecord::decode(&buf);
+        prop_assert_eq!(back.patch_id, patch_id);
+        prop_assert!((back.point.s - s).abs() < 1e-6);
+        prop_assert!((back.point.theta - theta).abs() < 1e-5);
+        prop_assert!((back.energy.r - e).abs() / e.max(1.0) < 1e-6);
+    }
+
+    /// Every patch gets exactly one owner, and Best-Fit never loses to the
+    /// naive contiguous split.
+    #[test]
+    fn ownership_covers_and_best_fit_wins(
+        weights in proptest::collection::vec(0u64..50_000, 1..200),
+        nranks in 1usize..16,
+    ) {
+        let naive = balance::naive(weights.len(), nranks);
+        let packed = balance::best_fit(&weights, nranks);
+        let mut seen = vec![false; weights.len()];
+        for r in 0..nranks {
+            for pid in packed.patches_of(r) {
+                prop_assert!(!seen[pid as usize], "patch owned twice");
+                seen[pid as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "unowned patch");
+        prop_assert!(packed.imbalance(&weights) <= naive.imbalance(&weights) + 1e-9);
+    }
+
+    /// Bilinear inversion round-trips on arbitrary parallelogram patches.
+    #[test]
+    fn patch_st_inversion(
+        origin in arb_vec3(5.0),
+        e1 in arb_vec3(3.0),
+        e2 in arb_vec3(3.0),
+        s in 0.001f64..0.999,
+        t in 0.001f64..0.999,
+    ) {
+        prop_assume!(e1.cross(e2).length() > 1e-3); // non-degenerate
+        let p = Patch::from_origin_edges(origin, e1, e2);
+        let q = p.point_at(s, t);
+        let (s2, t2) = p.st_of_point(q).expect("inside");
+        prop_assert!((s2 - s).abs() < 1e-6, "s {} -> {}", s, s2);
+        prop_assert!((t2 - t).abs() < 1e-6, "t {} -> {}", t, t2);
+    }
+
+    /// Leapfrog substreams partition the base stream for any rank count.
+    #[test]
+    fn leapfrog_partition(seed in 0u64..1_000_000, nranks in 1usize..12) {
+        use photon_gi::rng::Lcg48;
+        let base = Lcg48::new(seed);
+        let mut subs: Vec<Lcg48> = (0..nranks).map(|r| base.leapfrog(r, nranks)).collect();
+        let mut reference = base.clone();
+        for step in 0..nranks * 8 {
+            let expect = reference.next_u48();
+            let got = subs[step % nranks].next_u48();
+            prop_assert_eq!(got, expect, "step {}", step);
+        }
+    }
+}
