@@ -74,12 +74,16 @@ pub fn particle_trace(scene: &Scene, photons: u64, seed: u64) -> HitFile {
     let mut rng = Lcg48::new(seed);
     let mut file = HitFile::default();
     let mut sink = |patch_id: u32, point: &BinPoint, energy: Rgb| {
-        file.hits.push(HitPoint { patch_id, s: point.s, t: point.t, energy });
+        file.hits.push(HitPoint {
+            patch_id,
+            s: point.s,
+            t: point.t,
+            energy,
+        });
     };
     let mut absorbed = 0u64;
     for _ in 0..photons {
-        if trace_photon(scene, &generator, &mut rng, &mut sink).termination
-            == Termination::Absorbed
+        if trace_photon(scene, &generator, &mut rng, &mut sink).termination == Termination::Absorbed
         {
             absorbed += 1;
         }
@@ -173,7 +177,10 @@ pub fn parallel_phase_model(per_patch: &[u64], procs: usize, startup: f64) -> Ph
     }
     let makespan = loads.into_iter().max().unwrap_or(0).max(1);
     let density_meshing = total as f64 / makespan as f64;
-    PhaseSpeedups { particle_tracing, density_meshing }
+    PhaseSpeedups {
+        particle_tracing,
+        density_meshing,
+    }
 }
 
 #[cfg(test)]
@@ -202,7 +209,11 @@ mod tests {
         );
         Scene::new(
             vec![floor, light],
-            vec![Luminaire { patch_id: 1, power: Rgb::gray(50.0), collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 1,
+                power: Rgb::gray(50.0),
+                collimation: 1.0,
+            }],
         )
     }
 
@@ -232,7 +243,9 @@ mod tests {
         let grid = vec![vec![1.0; 8]; 8];
         let verts = mesh_vertices(&grid);
         assert_eq!(verts.len(), 64);
-        assert!(verts.iter().all(|&(s, t, _)| (0.0..=1.0).contains(&s) && (0.0..=1.0).contains(&t)));
+        assert!(verts
+            .iter()
+            .all(|&(s, t, _)| (0.0..=1.0).contains(&s) && (0.0..=1.0).contains(&t)));
     }
 
     #[test]
@@ -265,7 +278,13 @@ mod tests {
         let scene = lit_floor();
         let photons = 50_000;
         let file = particle_trace(&scene, photons, 7);
-        let mut sim = Simulator::new(lit_floor(), SimConfig { seed: 7, ..Default::default() });
+        let mut sim = Simulator::new(
+            lit_floor(),
+            SimConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
         sim.run_photons(photons);
         let forest_bytes = sim.forest().memory_bytes();
         assert!(

@@ -84,7 +84,12 @@ impl HierarchicalRadiosity {
                 b: sp.material.emission,
             })
             .collect();
-        HierarchicalRadiosity { elements, links: Vec::new(), f_eps, a_eps }
+        HierarchicalRadiosity {
+            elements,
+            links: Vec::new(),
+            f_eps,
+            a_eps,
+        }
     }
 
     /// Disc-approximation form factor from element `i` toward `j`.
@@ -141,7 +146,11 @@ impl HierarchicalRadiosity {
         }
         let small = self.elements[i].area <= self.a_eps && self.elements[j].area <= self.a_eps;
         if fij < self.f_eps || small || depth >= 12 {
-            self.links.push(Link { from: j, to: i, ff: fij });
+            self.links.push(Link {
+                from: j,
+                to: i,
+                ff: fij,
+            });
             return;
         }
         // Subdivide the larger element.
@@ -154,7 +163,11 @@ impl HierarchicalRadiosity {
                 self.refine(i, c, depth + 1);
             }
         } else {
-            self.links.push(Link { from: j, to: i, ff: fij });
+            self.links.push(Link {
+                from: j,
+                to: i,
+                ff: fij,
+            });
         }
     }
 
@@ -170,7 +183,11 @@ impl HierarchicalRadiosity {
             }
         }
         let rhos: Vec<Rgb> = scene.patches().iter().map(|p| p.material.diffuse).collect();
-        let emits: Vec<Rgb> = scene.patches().iter().map(|p| p.material.emission).collect();
+        let emits: Vec<Rgb> = scene
+            .patches()
+            .iter()
+            .map(|p| p.material.emission)
+            .collect();
         for _ in 0..sweeps {
             // Gather over links.
             let snapshot: Vec<Rgb> = self.elements.iter().map(|e| e.b).collect();
@@ -197,7 +214,11 @@ impl HierarchicalRadiosity {
                 stats.dark_elements += 1;
             }
         }
-        let leaves = self.elements.iter().filter(|e| e.children.is_none()).count();
+        let leaves = self
+            .elements
+            .iter()
+            .filter(|e| e.children.is_none())
+            .count();
         stats.dark_fraction = stats.dark_elements as f64 / leaves.max(1) as f64;
         stats
     }
@@ -291,7 +312,11 @@ mod tests {
         );
         Scene::new(
             vec![floor, light, dark_panel],
-            vec![Luminaire { patch_id: 1, power: Rgb::gray(10.0), collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 1,
+                power: Rgb::gray(10.0),
+                collimation: 1.0,
+            }],
         )
     }
 
@@ -310,7 +335,10 @@ mod tests {
         let mut h = HierarchicalRadiosity::new(&scene, 0.05, 0.05);
         h.solve(&scene, 6, 1e-3);
         let floor_leaves = h.leaves_of(0);
-        let bright = floor_leaves.iter().filter(|(_, _, b)| b.luminance() > 1e-3).count();
+        let bright = floor_leaves
+            .iter()
+            .filter(|(_, _, b)| b.luminance() > 1e-3)
+            .count();
         assert!(bright > 0, "floor never lit");
     }
 

@@ -14,6 +14,7 @@
 //! Form factors between patches use the disc-to-point approximation the
 //! paper mentions, Monte-Carlo-sampled visibility for `g(i,j)`.
 
+#![allow(clippy::needless_range_loop)] // i/j matrix kernels index both sides
 use photon_geom::Scene;
 use photon_math::Rgb;
 use photon_rng::{Lcg48, PhotonRng};
@@ -93,8 +94,16 @@ impl RadiositySystem {
             }
         }
         let rho = scene.patches().iter().map(|p| p.material.diffuse).collect();
-        let emit = scene.patches().iter().map(|p| p.material.emission).collect();
-        RadiositySystem { form_factors, rho, emit }
+        let emit = scene
+            .patches()
+            .iter()
+            .map(|p| p.material.emission)
+            .collect();
+        RadiositySystem {
+            form_factors,
+            rho,
+            emit,
+        }
     }
 
     /// Number of patches.
@@ -133,16 +142,27 @@ impl RadiositySystem {
                     gather += b[j] * self.form_factors[i][j];
                 }
                 let v = self.emit[i] + self.rho[i].filter(gather);
-                let d = (v.r - b[i].r).abs().max((v.g - b[i].g).abs()).max((v.b - b[i].b).abs());
+                let d = (v.r - b[i].r)
+                    .abs()
+                    .max((v.g - b[i].g).abs())
+                    .max((v.b - b[i].b).abs());
                 residual = residual.max(d);
                 next[i] = v;
             }
             std::mem::swap(&mut b, &mut next);
             if residual < tol {
-                return RadiosityResult { b, iterations: it, residual };
+                return RadiosityResult {
+                    b,
+                    iterations: it,
+                    residual,
+                };
             }
         }
-        RadiosityResult { b, iterations: max_iters, residual: f64::INFINITY }
+        RadiosityResult {
+            b,
+            iterations: max_iters,
+            residual: f64::INFINITY,
+        }
     }
 
     /// Gauss-Seidel iteration (in-place sweeps; converges no slower than
@@ -158,15 +178,26 @@ impl RadiositySystem {
                     gather += b[j] * self.form_factors[i][j];
                 }
                 let v = self.emit[i] + self.rho[i].filter(gather);
-                let d = (v.r - b[i].r).abs().max((v.g - b[i].g).abs()).max((v.b - b[i].b).abs());
+                let d = (v.r - b[i].r)
+                    .abs()
+                    .max((v.g - b[i].g).abs())
+                    .max((v.b - b[i].b).abs());
                 residual = residual.max(d);
                 b[i] = v;
             }
             if residual < tol {
-                return RadiosityResult { b, iterations: it, residual };
+                return RadiosityResult {
+                    b,
+                    iterations: it,
+                    residual,
+                };
             }
         }
-        RadiosityResult { b, iterations: max_iters, residual: f64::INFINITY }
+        RadiosityResult {
+            b,
+            iterations: max_iters,
+            residual: f64::INFINITY,
+        }
     }
 }
 
@@ -181,18 +212,23 @@ mod tests {
     fn facing_squares() -> Scene {
         let a = Patch::from_origin_edges(Vec3::ZERO, Vec3::X, Vec3::Y); // faces +z
         let b = Patch::from_origin_edges(Vec3::new(0.0, 0.0, 1.0), Vec3::Y, Vec3::X); // faces -z
-        let side = Patch::from_origin_edges(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::Y); // faces +x at x=0
+        let side =
+            Patch::from_origin_edges(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::Y); // faces +x at x=0
         let mut pa = SurfacePatch::new(a, Material::matte(Rgb::gray(0.5)));
         pa.material.emission = Rgb::WHITE;
-        let scene = Scene::new(
+
+        Scene::new(
             vec![
                 pa,
                 SurfacePatch::new(b, Material::matte(Rgb::gray(0.5))),
                 SurfacePatch::new(side, Material::matte(Rgb::gray(0.5))),
             ],
-            vec![Luminaire { patch_id: 0, power: Rgb::WHITE, collimation: 1.0 }],
-        );
-        scene
+            vec![Luminaire {
+                patch_id: 0,
+                power: Rgb::WHITE,
+                collimation: 1.0,
+            }],
+        )
     }
 
     #[test]
@@ -267,7 +303,7 @@ mod tests {
         // by the spectral radius (rho*F), unchanged.
         let mut brighter = sys.clone();
         for e in brighter.emit.iter_mut() {
-            *e = *e * 1000.0;
+            *e *= 1000.0;
         }
         let its_big = brighter.solve_jacobi(1e-8 * 1000.0, 1000).iterations;
         assert!((its_small as i64 - its_big as i64).abs() <= 2);
@@ -281,7 +317,11 @@ mod tests {
         pa.material.emission = Rgb::new(0.0, 0.0, 1e-12); // nominal emitter
         let scene = Scene::new(
             vec![pa],
-            vec![Luminaire { patch_id: 0, power: Rgb::new(0.0, 0.0, 1e-12), collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 0,
+                power: Rgb::new(0.0, 0.0, 1e-12),
+                collimation: 1.0,
+            }],
         );
         let sys = RadiositySystem::assemble(&scene, 10, 17);
         let sol = sys.solve_jacobi(1e-9, 10);

@@ -35,7 +35,11 @@ pub struct RayTracer {
 impl RayTracer {
     /// A tracer with the given lights and a small ambient floor.
     pub fn new(lights: Vec<PointLight>) -> Self {
-        RayTracer { lights, ambient: Rgb::gray(0.03), max_depth: 4 }
+        RayTracer {
+            lights,
+            ambient: Rgb::gray(0.03),
+            max_depth: 4,
+        }
     }
 
     /// Renders the scene.
@@ -158,12 +162,19 @@ mod tests {
         );
         Scene::new(
             vec![floor, occ, lamp],
-            vec![Luminaire { patch_id: 2, power: Rgb::gray(1.0), collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 2,
+                power: Rgb::gray(1.0),
+                collimation: 1.0,
+            }],
         )
     }
 
     fn tracer() -> RayTracer {
-        RayTracer::new(vec![PointLight { pos: Vec3::new(0.0, 8.0, 0.0), intensity: Rgb::gray(100.0) }])
+        RayTracer::new(vec![PointLight {
+            pos: Vec3::new(0.0, 8.0, 0.0),
+            intensity: Rgb::gray(100.0),
+        }])
     }
 
     #[test]
@@ -188,8 +199,12 @@ mod tests {
         let scene = occluder_scene(1.0);
         let t = tracer();
         let shadowed = t.shadow_profile(&scene, Vec3::ZERO, Vec3::new(0.01, 0.0, 0.0), 2);
-        let lit =
-            t.shadow_profile(&scene, Vec3::new(4.0, 0.0, 0.0), Vec3::new(4.01, 0.0, 0.0), 2);
+        let lit = t.shadow_profile(
+            &scene,
+            Vec3::new(4.0, 0.0, 0.0),
+            Vec3::new(4.01, 0.0, 0.0),
+            2,
+        );
         assert!(shadowed[0] < 1e-9, "under the occluder should be black");
         assert!(lit[0] > 0.1, "open floor should be lit");
     }
@@ -231,7 +246,11 @@ mod tests {
         );
         let scene = Scene::new(
             vec![mirror_floor, lamp],
-            vec![Luminaire { patch_id: 1, power: Rgb::gray(1.0), collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 1,
+                power: Rgb::gray(1.0),
+                collimation: 1.0,
+            }],
         );
         let t = tracer();
         // Aim at the floor point whose mirror image of the eye sees the
@@ -273,16 +292,26 @@ mod tests {
         );
         let scene = Scene::new(
             vec![floor, red_wall, lamp],
-            vec![Luminaire { patch_id: 2, power: Rgb::gray(1.0), collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 2,
+                power: Rgb::gray(1.0),
+                collimation: 1.0,
+            }],
         );
         let t = RayTracer::new(vec![PointLight {
             pos: Vec3::new(0.0, 3.0, 0.0),
             intensity: Rgb::gray(50.0),
         }]);
         // Floor point right next to the red wall.
-        let ray = Ray::new(Vec3::new(0.0, 2.0, 0.0), (Vec3::new(0.0, 0.0, 1.8) - Vec3::new(0.0, 2.0, 0.0)).normalized());
+        let ray = Ray::new(
+            Vec3::new(0.0, 2.0, 0.0),
+            (Vec3::new(0.0, 0.0, 1.8) - Vec3::new(0.0, 2.0, 0.0)).normalized(),
+        );
         let c = t.trace(&scene, &ray, 0);
         // Perfectly gray response: r == g == b (no bleed).
-        assert!((c.r - c.g).abs() < 1e-12 && (c.g - c.b).abs() < 1e-12, "{c:?}");
+        assert!(
+            (c.r - c.g).abs() < 1e-12 && (c.g - c.b).abs() < 1e-12,
+            "{c:?}"
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! rotationally symmetric lobe the expansion reduces to *zonal* harmonics —
 //! Legendre polynomials in `cos(deviation)` — which is what we expand here.
 
+#![allow(clippy::needless_range_loop)] // i/j matrix kernels index both sides
 /// Evaluates Legendre polynomials `P_0..P_{n-1}` at `x` by the recurrence.
 pub fn legendre_all(n: usize, x: f64) -> Vec<f64> {
     let mut p = Vec::with_capacity(n);
@@ -70,7 +71,12 @@ impl ZonalExpansion {
 
     /// Samples `(deviation, truth, approximation)` over
     /// `[-range, range]` — the data behind Fig 2.4.
-    pub fn figure_series(&self, sharpness: f64, range: f64, samples: usize) -> Vec<(f64, f64, f64)> {
+    pub fn figure_series(
+        &self,
+        sharpness: f64,
+        range: f64,
+        samples: usize,
+    ) -> Vec<(f64, f64, f64)> {
         (0..samples)
             .map(|i| {
                 let d = -range + 2.0 * range * i as f64 / (samples - 1) as f64;
@@ -151,7 +157,10 @@ mod tests {
         let sharp = 800.0;
         let e = ZonalExpansion::project(sharp, 30, 8000);
         let undershoot = e.max_undershoot(1.5, 2000);
-        assert!(undershoot > 0.01, "expected ringing, undershoot {undershoot}");
+        assert!(
+            undershoot > 0.01,
+            "expected ringing, undershoot {undershoot}"
+        );
         // And the peak is underestimated.
         let peak = e.eval(0.0);
         assert!(peak < 0.95, "peak {peak} too good for 30 terms");

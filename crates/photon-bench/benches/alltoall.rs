@@ -9,22 +9,26 @@ fn bench_alltoall(c: &mut Criterion) {
     let mut g = c.benchmark_group("simmpi_alltoall");
     g.sample_size(10);
     for &nranks in &[2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("rounds100_4KB", nranks), &nranks, |b, &nranks| {
-            b.iter(|| {
-                let out = run_world(nranks, Platform::power_onyx(), |comm| {
-                    let payload = vec![7u8; 4096];
-                    let mut bytes = 0usize;
-                    for _ in 0..100 {
-                        let outgoing: Vec<Vec<u8>> =
-                            (0..comm.size()).map(|_| payload.clone()).collect();
-                        let incoming = comm.alltoallv(outgoing);
-                        bytes += incoming.iter().map(Vec::len).sum::<usize>();
-                    }
-                    bytes
-                });
-                black_box(out)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("rounds100_4KB", nranks),
+            &nranks,
+            |b, &nranks| {
+                b.iter(|| {
+                    let out = run_world(nranks, Platform::power_onyx(), |comm| {
+                        let payload = vec![7u8; 4096];
+                        let mut bytes = 0usize;
+                        for _ in 0..100 {
+                            let outgoing: Vec<Vec<u8>> =
+                                (0..comm.size()).map(|_| payload.clone()).collect();
+                            let incoming = comm.alltoallv(outgoing);
+                            bytes += incoming.iter().map(Vec::len).sum::<usize>();
+                        }
+                        bytes
+                    });
+                    black_box(out)
+                })
+            },
+        );
     }
     g.finish();
 }

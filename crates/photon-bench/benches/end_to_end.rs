@@ -13,26 +13,39 @@ fn bench_end_to_end(c: &mut Criterion) {
     let photons = 5_000u64;
     g.throughput(Throughput::Elements(photons));
     for kind in TestScene::ALL {
-        g.bench_with_input(BenchmarkId::new("serial", kind.name()), &kind, |b, &kind| {
-            let scene = kind.build();
-            b.iter(|| {
-                let mut sim =
-                    Simulator::new(scene.clone(), SimConfig { seed: 1, ..Default::default() });
-                sim.run_photons(photons);
-                black_box(sim.stats().reflections)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("threads2", kind.name()), &kind, |b, &kind| {
-            let scene = kind.build();
-            let config = ParConfig {
-                seed: 1,
-                threads: 2,
-                batch_size: photons,
-                lock: LockMode::PerTree,
-                ..Default::default()
-            };
-            b.iter(|| black_box(run(&scene, &config, photons).stats.reflections))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("serial", kind.name()),
+            &kind,
+            |b, &kind| {
+                let scene = kind.build();
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        scene.clone(),
+                        SimConfig {
+                            seed: 1,
+                            ..Default::default()
+                        },
+                    );
+                    sim.run_photons(photons);
+                    black_box(sim.stats().reflections)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("threads2", kind.name()),
+            &kind,
+            |b, &kind| {
+                let scene = kind.build();
+                let config = ParConfig {
+                    seed: 1,
+                    threads: 2,
+                    batch_size: photons,
+                    lock: LockMode::PerTree,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(run(&scene, &config, photons).stats.reflections))
+            },
+        );
     }
     g.finish();
 }

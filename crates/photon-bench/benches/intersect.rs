@@ -15,7 +15,11 @@ fn rays(scene: &photon_geom::Scene, n: usize) -> Vec<Ray> {
     (0..n)
         .map(|_| {
             let origin = b.min
-                + Vec3::new(e.x * rng.next_f64(), e.y * rng.next_f64(), e.z * rng.next_f64());
+                + Vec3::new(
+                    e.x * rng.next_f64(),
+                    e.y * rng.next_f64(),
+                    e.z * rng.next_f64(),
+                );
             let dir = Vec3::new(
                 rng.next_f64() * 2.0 - 1.0,
                 rng.next_f64() * 2.0 - 1.0,
@@ -32,13 +36,17 @@ fn bench_intersect(c: &mut Criterion) {
     for kind in TestScene::ALL {
         let scene = kind.build();
         let batch = rays(&scene, 256);
-        g.bench_with_input(BenchmarkId::new("octree", kind.name()), &batch, |b, batch| {
-            b.iter(|| {
-                for r in batch {
-                    black_box(scene.intersect(r, f64::INFINITY));
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("octree", kind.name()),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    for r in batch {
+                        black_box(scene.intersect(r, f64::INFINITY));
+                    }
+                })
+            },
+        );
         // Brute force only on the small scenes; the lab would dominate the
         // suite runtime.
         if scene.polygon_count() <= 100 {

@@ -46,7 +46,13 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["scene", "threads", "per-tree rate (photons/s)", "global-lock rate", "fine/coarse ratio"],
+            &[
+                "scene",
+                "threads",
+                "per-tree rate (photons/s)",
+                "global-lock rate",
+                "fine/coarse ratio"
+            ],
             &rows
         )
     );

@@ -32,7 +32,14 @@ fn main() {
     }
     println!(
         "{}",
-        md_table(&["processors", "particle tracing speedup", "density+meshing speedup"], &rows)
+        md_table(
+            &[
+                "processors",
+                "particle tracing speedup",
+                "density+meshing speedup"
+            ],
+            &rows
+        )
     );
     println!(
         "largest surface holds {} of {} hits ({}%) — the phase-2 cap",
@@ -43,8 +50,13 @@ fn main() {
     println!("paper: 15 on 16 procs for tracing; 8.5 (as low as 4.5) for density+meshing\n");
 
     // Storage comparison on the same workload.
-    let mut sim =
-        Simulator::new(TestScene::HarpsichordRoom.build(), SimConfig { seed: 318, ..Default::default() });
+    let mut sim = Simulator::new(
+        TestScene::HarpsichordRoom.build(),
+        SimConfig {
+            seed: 318,
+            ..Default::default()
+        },
+    );
     sim.run_photons(photons);
     println!(
         "hit-point file: {} bytes; Photon bin forest: {} bytes ({}x smaller — paper: 1-2 orders)",

@@ -30,7 +30,10 @@ fn main() {
     }
     println!(
         "{}",
-        md_table(&["Occluder height", "Point-light penumbra width (fraction)"], &rows)
+        md_table(
+            &["Occluder height", "Point-light penumbra width (fraction)"],
+            &rows
+        )
     );
     println!("paper claim: point lights => penumbra ~ 0 regardless of distance");
 
@@ -43,5 +46,9 @@ fn main() {
     }]);
     let img = tracer.render(&scene, &cam);
     let path = write_ppm("fig2_2_whitted_cornell.ppm", &img);
-    println!("render: {} (mean luminance {})", path.display(), fmt(img.mean_luminance()));
+    println!(
+        "render: {} (mean luminance {})",
+        path.display(),
+        fmt(img.mean_luminance())
+    );
 }

@@ -38,7 +38,11 @@ fn main() {
     // Resolution where it matters: smallest adaptive bin vs uniform width.
     let fixed_width = 1.0 / adaptive.len() as f64;
     let rows = vec![
-        vec!["bins".into(), adaptive.len().to_string(), adaptive.len().to_string()],
+        vec![
+            "bins".into(),
+            adaptive.len().to_string(),
+            adaptive.len().to_string(),
+        ],
         vec![
             "finest bin width".into(),
             fmt(adaptive.min_bin_width()),
@@ -46,12 +50,24 @@ fn main() {
         ],
         vec![
             "bins inside [0, 0.1]".into(),
-            adaptive.bins().iter().filter(|b| b.0 < 0.1).count().to_string(),
+            adaptive
+                .bins()
+                .iter()
+                .filter(|b| b.0 < 0.1)
+                .count()
+                .to_string(),
             ((0.1 / fixed_width).round() as u64).to_string(),
         ],
-        vec!["splits performed".into(), adaptive.splits().to_string(), "0".into()],
+        vec![
+            "splits performed".into(),
+            adaptive.splits().to_string(),
+            "0".into(),
+        ],
     ];
-    println!("{}", md_table(&["metric", "adaptive", "fixed (equal storage)"], &rows));
+    println!(
+        "{}",
+        md_table(&["metric", "adaptive", "fixed (equal storage)"], &rows)
+    );
 
     let csv: Vec<String> = adaptive
         .density()

@@ -17,7 +17,13 @@ fn main() {
     heading("Fig 4.10 — four viewpoints, one answer file");
     let scene = TestScene::CornellBox.build();
     let t0 = Instant::now();
-    let mut sim = Simulator::new(scene, SimConfig { seed: 410, ..Default::default() });
+    let mut sim = Simulator::new(
+        scene,
+        SimConfig {
+            seed: 410,
+            ..Default::default()
+        },
+    );
     sim.run_photons(400_000);
     let sim_secs = t0.elapsed().as_secs_f64();
     let answer = sim.answer_snapshot();
@@ -37,14 +43,30 @@ fn main() {
     let base: Camera = camera_for(TestScene::CornellBox.view(), 240, 180);
     let views: [(&str, Vec3, Vec3); 4] = [
         ("fig4_10_front.ppm", base.eye, base.target),
-        ("fig4_10_left.ppm", Vec3::new(-2.0, 3.5, -3.0), Vec3::new(2.8, 2.5, 2.8)),
-        ("fig4_10_right.ppm", Vec3::new(7.5, 3.5, -3.0), Vec3::new(2.8, 2.5, 2.8)),
-        ("fig4_10_high.ppm", Vec3::new(2.78, 5.2, -4.5), Vec3::new(2.78, 1.0, 2.8)),
+        (
+            "fig4_10_left.ppm",
+            Vec3::new(-2.0, 3.5, -3.0),
+            Vec3::new(2.8, 2.5, 2.8),
+        ),
+        (
+            "fig4_10_right.ppm",
+            Vec3::new(7.5, 3.5, -3.0),
+            Vec3::new(2.8, 2.5, 2.8),
+        ),
+        (
+            "fig4_10_high.ppm",
+            Vec3::new(2.78, 5.2, -4.5),
+            Vec3::new(2.78, 1.0, 2.8),
+        ),
     ];
     let exposure = auto_exposure(scene, &answer);
     let t0 = Instant::now();
     for (file, eye, target) in views {
-        let cam = Camera { eye, target, ..base };
+        let cam = Camera {
+            eye,
+            target,
+            ..base
+        };
         let img = render(scene, &answer, &cam, exposure);
         let path = write_ppm(file, &img);
         println!("view {} -> {}", file, path.display());

@@ -61,7 +61,13 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["kernel", "flops (paper accounting)", "draws/dir", "ns/dir (measured)", "mean z (expect 0.667)"],
+            &[
+                "kernel",
+                "flops (paper accounting)",
+                "draws/dir",
+                "ns/dir (measured)",
+                "mean z (expect 0.667)"
+            ],
             &rows
         )
     );

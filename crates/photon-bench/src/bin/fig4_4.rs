@@ -55,7 +55,13 @@ fn main() {
     heading("Fig 4.4 — penumbra vs occluder height under a collimated source");
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for &(h, c) in &[(0.5, 0.15), (2.0, 0.15), (4.0, 0.15), (2.0, 0.05), (2.0, 0.3)] {
+    for &(h, c) in &[
+        (0.5, 0.15),
+        (2.0, 0.15),
+        (4.0, 0.15),
+        (2.0, 0.05),
+        (2.0, 0.3),
+    ] {
         let profile = shadow_scan(h, c, 2_000_000);
         let w = penumbra_width(&profile);
         let c_f64: f64 = c;

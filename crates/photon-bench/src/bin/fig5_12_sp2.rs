@@ -26,7 +26,9 @@ fn main() {
                 seed: 512,
                 nranks,
                 platform: Platform::sp2(),
-                balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+                balance: BalanceMode::BinPacking {
+                    pilot_photons: 1000,
+                },
                 batch: BatchMode::Adaptive(AdaptiveBatch::default()),
                 stop: StopRule::Photons(photons),
                 ..Default::default()
@@ -42,7 +44,11 @@ fn main() {
             if nranks == 1 {
                 serial_rate = rate;
             }
-            let step = if prev_rate > 0.0 { rate / prev_rate } else { 1.0 };
+            let step = if prev_rate > 0.0 {
+                rate / prev_rate
+            } else {
+                1.0
+            };
             prev_rate = rate;
             summary.push(vec![
                 nranks.to_string(),
@@ -56,7 +62,13 @@ fn main() {
         println!(
             "{}",
             md_table(
-                &["ranks", "steady rate", "speedup", "efficiency", "rate vs previous row"],
+                &[
+                    "ranks",
+                    "steady rate",
+                    "speedup",
+                    "efficiency",
+                    "rate vs previous row"
+                ],
                 &summary
             )
         );

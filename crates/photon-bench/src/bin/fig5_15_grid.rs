@@ -22,7 +22,9 @@ fn main() {
                     seed: 515,
                     nranks,
                     platform,
-                    balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+                    balance: BalanceMode::BinPacking {
+                        pilot_photons: 1000,
+                    },
                     batch: BatchMode::Adaptive(AdaptiveBatch::default()),
                     stop: StopRule::Photons(80_000),
                     ..Default::default()
@@ -31,11 +33,7 @@ fn main() {
             };
             let serial = run_with(1);
             let par = run_with(8);
-            let first_point = par
-                .speed
-                .samples()
-                .first()
-                .map_or(0.0, |s| s.elapsed);
+            let first_point = par.speed.samples().first().map_or(0.0, |s| s.elapsed);
             rows.push(vec![
                 platform.name.to_string(),
                 scene_kind.name().to_string(),
@@ -48,7 +46,13 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["platform", "scene", "rate @8 (photons/s)", "speedup vs serial", "first data point (s)"],
+            &[
+                "platform",
+                "scene",
+                "rate @8 (photons/s)",
+                "speedup vs serial",
+                "first data point (s)"
+            ],
             &rows
         )
     );

@@ -20,8 +20,13 @@ fn main() {
 
     // Long-run reference for the error metric.
     let reference = {
-        let mut sim =
-            Simulator::new(scene_kind.build(), SimConfig { seed: 516, ..Default::default() });
+        let mut sim = Simulator::new(
+            scene_kind.build(),
+            SimConfig {
+                seed: 516,
+                ..Default::default()
+            },
+        );
         sim.run_photons(800_000);
         let ans = sim.answer_snapshot();
         let exposure = auto_exposure(sim.scene(), &ans);
@@ -35,7 +40,9 @@ fn main() {
             seed: 516,
             nranks,
             platform: Platform::power_onyx(),
-            balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+            balance: BalanceMode::BinPacking {
+                pilot_photons: 1000,
+            },
             batch: BatchMode::Fixed(2000),
             stop: StopRule::VirtualSeconds(120.0),
             ..Default::default()
@@ -57,7 +64,13 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["processors", "photons in 2 virtual minutes", "leaf bins", "RMS error vs reference", "image"],
+            &[
+                "processors",
+                "photons in 2 virtual minutes",
+                "leaf bins",
+                "RMS error vs reference",
+                "image"
+            ],
             &rows
         )
     );

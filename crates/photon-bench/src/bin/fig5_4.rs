@@ -15,15 +15,24 @@ use photon_scenes::TestScene;
 fn main() {
     heading("Fig 5.4 — bin forest memory vs photons (harpsichord room)");
     let scene = TestScene::HarpsichordRoom.build();
-    let mut sim = Simulator::new(scene, SimConfig { seed: 54, ..Default::default() });
+    let mut sim = Simulator::new(
+        scene,
+        SimConfig {
+            seed: 54,
+            ..Default::default()
+        },
+    );
     let batches = 40;
     let per_batch = 15_000;
     for _ in 0..batches {
         sim.run_batch(per_batch);
     }
     let mem = sim.memory_trace();
-    let rows: Vec<String> =
-        mem.samples().iter().map(|(p, b)| format!("{p},{b}")).collect();
+    let rows: Vec<String> = mem
+        .samples()
+        .iter()
+        .map(|(p, b)| format!("{p},{b}"))
+        .collect();
     let path = write_csv("fig5_4.csv", "photons,bin_forest_bytes", &rows);
 
     let (p0, b0) = mem.samples()[mem.samples().len() / 4];
@@ -32,7 +41,10 @@ fn main() {
     let total_photons = sim.stats().emitted;
     let interactions = total_photons + sim.stats().reflections;
     let hit_file_bytes = interactions as usize * HIT_BYTES;
-    println!("growth exponent after buildup: {} (1.0 = linear; paper: sublinear)", fmt(exponent));
+    println!(
+        "growth exponent after buildup: {} (1.0 = linear; paper: sublinear)",
+        fmt(exponent)
+    );
     println!("sublinear: {}", mem.is_sublinear());
     println!(
         "bin forest: {} bytes vs density-estimation hit file: {} bytes ({}x larger)",

@@ -56,7 +56,15 @@ fn main() {
         println!("### {}\n", scene_kind.name());
         println!(
             "{}",
-            md_table(&["threads", "steady rate (photons/s)", "speedup vs serial", "elapsed (s)"], &rows)
+            md_table(
+                &[
+                    "threads",
+                    "steady rate (photons/s)",
+                    "speedup vs serial",
+                    "elapsed (s)"
+                ],
+                &rows
+            )
         );
     }
     println!("traces: bench_results/fig5_6_*.csv");

@@ -23,7 +23,9 @@ fn main() {
                 seed: 59,
                 nranks,
                 platform: Platform::indy_cluster(),
-                balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+                balance: BalanceMode::BinPacking {
+                    pilot_photons: 1000,
+                },
                 batch: BatchMode::Adaptive(AdaptiveBatch::default()),
                 stop: StopRule::Photons(photons),
                 ..Default::default()
@@ -51,7 +53,13 @@ fn main() {
         println!(
             "{}",
             md_table(
-                &["ranks", "steady rate (photons/s)", "speedup", "virtual elapsed (s)", "MB forwarded"],
+                &[
+                    "ranks",
+                    "steady rate (photons/s)",
+                    "speedup",
+                    "virtual elapsed (s)",
+                    "MB forwarded"
+                ],
                 &summary
             )
         );

@@ -20,9 +20,18 @@ fn main() {
     let gs = sys.solve_gauss_seidel(1e-8, 500);
     let rows = vec![
         vec!["patches".into(), sys.len().to_string()],
-        vec!["Gerschgorin off-diagonal radius (must be < 1)".into(), fmt(radius)],
-        vec!["Jacobi iterations to 1e-8".into(), jacobi.iterations.to_string()],
-        vec!["Gauss-Seidel iterations to 1e-8".into(), gs.iterations.to_string()],
+        vec![
+            "Gerschgorin off-diagonal radius (must be < 1)".into(),
+            fmt(radius),
+        ],
+        vec![
+            "Jacobi iterations to 1e-8".into(),
+            jacobi.iterations.to_string(),
+        ],
+        vec![
+            "Gauss-Seidel iterations to 1e-8".into(),
+            gs.iterations.to_string(),
+        ],
     ];
     println!("{}", md_table(&["quantity", "value"], &rows));
     println!("paper: the system (I - rho F) is diagonally dominant, iterative methods converge\n");

@@ -14,13 +14,23 @@ use photon_scenes::TestScene;
 fn main() {
     heading("Figs 4.7/4.8/5.1 — scene renders from stored answers");
     let jobs: [(TestScene, &str, u64); 3] = [
-        (TestScene::HarpsichordRoom, "fig4_7_harpsichord.ppm", 400_000),
+        (
+            TestScene::HarpsichordRoom,
+            "fig4_7_harpsichord.ppm",
+            400_000,
+        ),
         (TestScene::CornellBox, "fig4_8_cornell.ppm", 400_000),
         (TestScene::ComputerLab, "fig5_1_lab.ppm", 400_000),
     ];
     for (kind, file, photons) in jobs {
         let scene = kind.build();
-        let mut sim = Simulator::new(scene, SimConfig { seed: 47, ..Default::default() });
+        let mut sim = Simulator::new(
+            scene,
+            SimConfig {
+                seed: 47,
+                ..Default::default()
+            },
+        );
         sim.run_photons(photons);
         let answer = sim.answer_snapshot();
         let scene = sim.scene();

@@ -1,0 +1,157 @@
+//! photon-serve throughput: synthetic multi-client request streams over the
+//! three dissertation scenes, reporting queries/sec with the view cache on
+//! and off.
+//!
+//! Traffic model: each client thread issues a stream in which ~75% of
+//! requests revisit one of a small set of per-scene "landmark" views (the
+//! walkthrough pattern that makes caching pay) and the rest are unique
+//! jittered orbit positions (always cache misses). Output: a markdown
+//! summary plus `bench_results/serve_throughput.csv`.
+//!
+//! ```sh
+//! cargo run --release -p photon-bench --bin serve_throughput
+//! ```
+
+use photon_bench::{camera_for, heading, md_table, write_csv};
+use photon_core::{Camera, SimConfig, Simulator};
+use photon_rng::{Lcg48, PhotonRng};
+use photon_scenes::TestScene;
+use photon_serve::{
+    AnswerStore, MetricsSnapshot, RenderRequest, RenderService, SceneId, ServeConfig,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 40;
+const HOT_VIEWS: usize = 8;
+const HOT_FRACTION: f64 = 0.75;
+const WIDTH: usize = 96;
+const HEIGHT: usize = 72;
+
+fn main() {
+    heading("photon-serve throughput: 3 scenes, multi-client, cache on vs off");
+
+    let store = Arc::new(AnswerStore::new());
+    let mut scenes: Vec<(TestScene, SceneId)> = Vec::new();
+    for (kind, photons) in [
+        (TestScene::CornellBox, 30_000u64),
+        (TestScene::HarpsichordRoom, 20_000),
+        (TestScene::ComputerLab, 10_000),
+    ] {
+        let t0 = Instant::now();
+        let mut sim = Simulator::new(
+            kind.build(),
+            SimConfig {
+                seed: 1997,
+                ..Default::default()
+            },
+        );
+        sim.run_photons(photons);
+        let answer = sim.answer_snapshot();
+        let id = store.insert(kind.name(), sim.scene().clone(), answer);
+        println!(
+            "simulated {}: {photons} photons in {:.2} s -> {id}",
+            kind.name(),
+            t0.elapsed().as_secs_f64()
+        );
+        scenes.push((kind, id));
+    }
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for cache_on in [false, true] {
+        let (qps, wall, m) = run_stream(&store, &scenes, cache_on);
+        let label = if cache_on { "on" } else { "off" };
+        let hit_rate = (m.cache_hits + m.coalesced) as f64 / m.completed.max(1) as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", m.completed),
+            format!("{qps:.1}"),
+            format!("{:.2}", m.latency.p50_ms),
+            format!("{:.2}", m.latency.p99_ms),
+            format!("{:.0}%", hit_rate * 100.0),
+            format!("{}", m.rendered),
+        ]);
+        csv.push(format!(
+            "{label},{},{qps:.3},{:.3},{:.3},{:.3},{}",
+            m.completed, m.latency.p50_ms, m.latency.p99_ms, wall, m.rendered
+        ));
+    }
+
+    println!(
+        "\n{}",
+        md_table(
+            &[
+                "cache",
+                "requests",
+                "queries/s",
+                "p50 ms",
+                "p99 ms",
+                "hit rate",
+                "renders"
+            ],
+            &rows,
+        )
+    );
+    let path = write_csv(
+        "serve_throughput.csv",
+        "cache,requests,qps,p50_ms,p99_ms,wall_s,renders",
+        &csv,
+    );
+    println!("raw series -> {}", path.display());
+}
+
+fn run_stream(
+    store: &Arc<AnswerStore>,
+    scenes: &[(TestScene, SceneId)],
+    cache_on: bool,
+) -> (f64, f64, MetricsSnapshot) {
+    let config = ServeConfig {
+        cache_capacity: if cache_on { 512 } else { 0 },
+        ..Default::default()
+    };
+    let service = RenderService::start(Arc::clone(store), config);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let service = &service;
+            scope.spawn(move || {
+                let mut rng = Lcg48::new(0xC11E + client as u64);
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let (kind, id) = scenes[rng.index(scenes.len())];
+                    let camera = if rng.next_f64() < HOT_FRACTION {
+                        landmark_view(kind, rng.index(HOT_VIEWS))
+                    } else {
+                        jittered_view(kind, &mut rng)
+                    };
+                    service
+                        .render_blocking(RenderRequest {
+                            scene_id: id,
+                            camera,
+                        })
+                        .expect("request served");
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    (total / wall, wall, service.metrics())
+}
+
+/// One of the scene's fixed landmark viewpoints (orbit positions around the
+/// recommended view) — the repeatedly requested, cacheable traffic.
+fn landmark_view(kind: TestScene, slot: usize) -> Camera {
+    camera_for(
+        kind.view().orbited(slot as f64 / HOT_VIEWS as f64, 1.0),
+        WIDTH,
+        HEIGHT,
+    )
+}
+
+/// A never-repeating viewpoint: random phase plus radial jitter.
+fn jittered_view(kind: TestScene, rng: &mut Lcg48) -> Camera {
+    let scale = 1.05 + 0.35 * rng.next_f64();
+    camera_for(kind.view().orbited(rng.next_f64(), scale), WIDTH, HEIGHT)
+}

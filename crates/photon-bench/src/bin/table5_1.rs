@@ -26,7 +26,13 @@ fn main() {
     for (scene_kind, photons) in budgets {
         let scene = scene_kind.build();
         let defining = scene.polygon_count();
-        let mut sim = Simulator::new(scene, SimConfig { seed: 51, ..Default::default() });
+        let mut sim = Simulator::new(
+            scene,
+            SimConfig {
+                seed: 51,
+                ..Default::default()
+            },
+        );
         sim.run_photons(photons);
         let bins = sim.forest().total_leaf_bins();
         rows.push(vec![

@@ -24,7 +24,12 @@ fn main() {
         ..Default::default()
     };
     let naive = run_distributed(&scene, &mk(BalanceMode::Naive));
-    let packed = run_distributed(&scene, &mk(BalanceMode::BinPacking { pilot_photons: 2000 }));
+    let packed = run_distributed(
+        &scene,
+        &mk(BalanceMode::BinPacking {
+            pilot_photons: 2000,
+        }),
+    );
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -36,7 +41,10 @@ fn main() {
     }
     println!(
         "{}",
-        md_table(&["Processor", "Naive Load Balance (k)", "Bin Packing (k)"], &rows)
+        md_table(
+            &["Processor", "Naive Load Balance (k)", "Bin Packing (k)"],
+            &rows
+        )
     );
     let spread = |v: &[u64]| {
         let max = *v.iter().max().unwrap() as f64;
@@ -48,6 +56,10 @@ fn main() {
         fmt(spread(&naive.per_rank_tallies)),
         fmt(spread(&packed.per_rank_tallies)),
     );
-    let path = write_csv("table5_2.csv", "processor,naive_kphotons,binpacking_kphotons", &csv);
+    let path = write_csv(
+        "table5_2.csv",
+        "processor,naive_kphotons,binpacking_kphotons",
+        &csv,
+    );
     println!("csv: {}", path.display());
 }

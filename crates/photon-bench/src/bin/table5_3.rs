@@ -21,7 +21,9 @@ fn main() {
             seed: 53,
             nranks: 8,
             platform,
-            balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+            balance: BalanceMode::BinPacking {
+                pilot_photons: 1000,
+            },
             batch: BatchMode::Adaptive(AdaptiveBatch::default()),
             stop: StopRule::Photons(400_000),
             ..Default::default()
@@ -29,7 +31,12 @@ fn main() {
         let r = run_distributed(&scene, &config);
         columns.push((platform.name.to_string(), r.batch_history));
     }
-    let depth = columns.iter().map(|(_, c)| c.len()).max().unwrap_or(0).min(13);
+    let depth = columns
+        .iter()
+        .map(|(_, c)| c.len())
+        .max()
+        .unwrap_or(0)
+        .min(13);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for i in 0..depth {

@@ -85,7 +85,11 @@ pub fn heading(title: &str) {
 }
 
 /// Builds a `photon_core` camera from a scene's recommended view.
-pub fn camera_for(view: photon_scenes::ViewSpec, width: usize, height: usize) -> photon_core::Camera {
+pub fn camera_for(
+    view: photon_scenes::ViewSpec,
+    width: usize,
+    height: usize,
+) -> photon_core::Camera {
     photon_core::Camera {
         eye: view.eye,
         target: view.target,

@@ -73,12 +73,21 @@ impl Answer {
         let frame = if dir.dot(sp.frame.w) >= 0.0 {
             sp.frame
         } else {
-            Onb { u: sp.frame.u, v: -sp.frame.v, w: -sp.frame.w }
+            Onb {
+                u: sp.frame.u,
+                v: -sp.frame.v,
+                w: -sp.frame.w,
+            }
         };
         let cyl = CylDir::from_world(dir.normalized(), &frame);
         let point = BinPoint::new(s, t, cyl.theta, cyl.r_sq);
         let (stats, range) = self.trees[patch_id as usize].lookup(&point);
-        self.leaf_radiance(stats, range.area_fraction(), range.solid_angle_fraction(), sp.area)
+        self.leaf_radiance(
+            stats,
+            range.area_fraction(),
+            range.solid_angle_fraction(),
+            sp.area,
+        )
     }
 
     /// Radiance of a known leaf (shared by `radiance` and the mesh export).
@@ -171,9 +180,13 @@ impl Answer {
                         let n_total = read_u64(r)?;
                         let rgb = Rgb::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
                         let stat_n = read_u32(r)?;
-                        let left =
-                            [read_u32(r)?, read_u32(r)?, read_u32(r)?, read_u32(r)?];
-                        nodes.push(ExportNode::Leaf(LeafStats { n_total, rgb, stat_n, left }));
+                        let left = [read_u32(r)?, read_u32(r)?, read_u32(r)?, read_u32(r)?];
+                        nodes.push(ExportNode::Leaf(LeafStats {
+                            n_total,
+                            rgb,
+                            stat_n,
+                            left,
+                        }));
                     }
                     1 => {
                         let mut ax = [0u8; 1];

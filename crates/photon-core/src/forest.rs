@@ -15,7 +15,9 @@ pub struct BinForest {
 impl BinForest {
     /// One fresh tree per patch.
     pub fn new(patch_count: usize, config: SplitConfig) -> Self {
-        BinForest { trees: (0..patch_count).map(|_| BinTree::new(config)).collect() }
+        BinForest {
+            trees: (0..patch_count).map(|_| BinTree::new(config)).collect(),
+        }
     }
 
     /// Number of patches (trees).

@@ -104,7 +104,10 @@ impl PhotonGenerator {
             cdf.push(acc);
         }
         assert!(acc > 0.0, "total luminaire power is zero");
-        PhotonGenerator { cdf, total_lum: acc }
+        PhotonGenerator {
+            cdf,
+            total_lum: acc,
+        }
     }
 
     /// Picks a luminaire index in proportion to luminance.
@@ -153,6 +156,7 @@ mod tests {
     use photon_rng::{CountingRng, Lcg48};
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the inequality IS the claim under test
     fn flop_constants_match_paper() {
         assert!((FLOPS_REJECTION - 21.55).abs() < 0.05, "{FLOPS_REJECTION}");
         assert_eq!(FLOPS_DIRECT, 34.0);
@@ -200,8 +204,16 @@ mod tests {
             dir_z += d.z;
         }
         let nf = n as f64;
-        assert!((rej_rsq / nf - 0.5).abs() < 0.005, "rej r² mean {}", rej_rsq / nf);
-        assert!((dir_rsq / nf - 0.5).abs() < 0.005, "dir r² mean {}", dir_rsq / nf);
+        assert!(
+            (rej_rsq / nf - 0.5).abs() < 0.005,
+            "rej r² mean {}",
+            rej_rsq / nf
+        );
+        assert!(
+            (dir_rsq / nf - 0.5).abs() < 0.005,
+            "dir r² mean {}",
+            dir_rsq / nf
+        );
         assert!((rej_z / nf - 2.0 / 3.0).abs() < 0.005);
         assert!((dir_z / nf - 2.0 / 3.0).abs() < 0.005);
         // Azimuthal uniformity: mean x and y vanish.
@@ -216,7 +228,10 @@ mod tests {
             sample_rejection(&mut rng, 1.0);
         }
         let per = rng.draws() as f64 / n as f64;
-        assert!((per - 8.0 / std::f64::consts::PI).abs() < 0.02, "draws/dir {per}");
+        assert!(
+            (per - 8.0 / std::f64::consts::PI).abs() < 0.02,
+            "draws/dir {per}"
+        );
     }
 
     #[test]
@@ -232,17 +247,21 @@ mod tests {
     }
 
     fn one_light_scene() -> Scene {
-        let light = Patch::from_origin_edges(
-            Vec3::new(0.0, 2.0, 0.0),
-            Vec3::X,
-            Vec3::new(0.0, 0.0, 1.0),
-        );
+        let light =
+            Patch::from_origin_edges(Vec3::new(0.0, 2.0, 0.0), Vec3::X, Vec3::new(0.0, 0.0, 1.0));
         let floor = Patch::from_origin_edges(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0), Vec3::X);
         let mut lp = SurfacePatch::new(light, Material::emitter(Rgb::WHITE));
         lp.material.emission = Rgb::WHITE;
         Scene::new(
-            vec![lp, SurfacePatch::new(floor, Material::matte(Rgb::gray(0.5)))],
-            vec![Luminaire { patch_id: 0, power: Rgb::new(100.0, 50.0, 25.0), collimation: 1.0 }],
+            vec![
+                lp,
+                SurfacePatch::new(floor, Material::matte(Rgb::gray(0.5))),
+            ],
+            vec![Luminaire {
+                patch_id: 0,
+                power: Rgb::new(100.0, 50.0, 25.0),
+                collimation: 1.0,
+            }],
         )
     }
 
@@ -275,8 +294,16 @@ mod tests {
                 SurfacePatch::new(floor, Material::matte(Rgb::gray(0.5))),
             ],
             vec![
-                Luminaire { patch_id: 0, power: Rgb::new(10.0, 10.0, 10.0), collimation: 1.0 },
-                Luminaire { patch_id: 1, power: Rgb::new(1.0, 2.0, 30.0), collimation: 1.0 },
+                Luminaire {
+                    patch_id: 0,
+                    power: Rgb::new(10.0, 10.0, 10.0),
+                    collimation: 1.0,
+                },
+                Luminaire {
+                    patch_id: 1,
+                    power: Rgb::new(1.0, 2.0, 30.0),
+                    collimation: 1.0,
+                },
             ],
         );
         let g = PhotonGenerator::new(&scene);

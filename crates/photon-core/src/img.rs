@@ -15,7 +15,11 @@ impl Image {
     /// A black image.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0);
-        Image { width, height, pixels: vec![Rgb::BLACK; width * height] }
+        Image {
+            width,
+            height,
+            pixels: vec![Rgb::BLACK; width * height],
+        }
     }
 
     /// Width in pixels.
@@ -56,7 +60,7 @@ impl Image {
     /// Multiplies every pixel by `k` (exposure).
     pub fn scaled(mut self, k: f64) -> Image {
         for p in &mut self.pixels {
-            *p = *p * k;
+            *p *= k;
         }
         self
     }

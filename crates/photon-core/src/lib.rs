@@ -43,4 +43,4 @@ pub use perf::{MemoryTrace, SpeedTrace};
 pub use polar::{Polarization, PolarizedBounce};
 pub use sim::{SimConfig, SimStats, Simulator};
 pub use trace::{trace_photon, TallySink, TraceOutcome};
-pub use view::{render, Camera};
+pub use view::{render, render_tile, tiles, Camera, Tile};

@@ -37,8 +37,16 @@ impl SpeedTrace {
     /// Records a batch that finished at `elapsed` seconds, having simulated
     /// `photons` photons in `batch_seconds`.
     pub fn push_batch(&mut self, elapsed: f64, photons: u64, batch_seconds: f64) {
-        let rate = if batch_seconds > 0.0 { photons as f64 / batch_seconds } else { 0.0 };
-        self.samples.push(SpeedSample { elapsed, photons, rate });
+        let rate = if batch_seconds > 0.0 {
+            photons as f64 / batch_seconds
+        } else {
+            0.0
+        };
+        self.samples.push(SpeedSample {
+            elapsed,
+            photons,
+            rate,
+        });
         self.total_photons += photons;
     }
 
@@ -187,7 +195,12 @@ mod tests {
 
     #[test]
     fn steady_rate_skips_warmup() {
-        let t = trace(&[(1.0, 10, 1.0), (2.0, 100, 1.0), (3.0, 100, 1.0), (4.0, 100, 1.0)]);
+        let t = trace(&[
+            (1.0, 10, 1.0),
+            (2.0, 100, 1.0),
+            (3.0, 100, 1.0),
+            (4.0, 100, 1.0),
+        ]);
         assert_eq!(t.steady_rate(), 100.0);
     }
 

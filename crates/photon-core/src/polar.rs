@@ -36,7 +36,10 @@ pub struct Polarization {
 
 impl Polarization {
     /// Unpolarized light (every emitted photon).
-    pub const UNPOLARIZED: Polarization = Polarization { degree: 0.0, orientation: 0.0 };
+    pub const UNPOLARIZED: Polarization = Polarization {
+        degree: 0.0,
+        orientation: 0.0,
+    };
 
     /// True when the state is physically valid.
     pub fn is_valid(&self) -> bool {
@@ -95,14 +98,20 @@ pub fn polarized_specular(
     let (rs, rp) = fresnel_rs_rp(n, cos_i);
     let r_avg = 0.5 * (rs + rp);
     if r_avg <= 0.0 {
-        return PolarizedBounce { polarization: Polarization::UNPOLARIZED, energy_factor: 1.0 };
+        return PolarizedBounce {
+            polarization: Polarization::UNPOLARIZED,
+            energy_factor: 1.0,
+        };
     }
     // s direction: perpendicular to the plane of incidence.
     let s_axis = {
         let s = incoming.cross(normal);
         if s.length_sq() < 1e-18 {
             // Normal incidence: no plane of incidence, no polarizing effect.
-            return PolarizedBounce { polarization: incident, energy_factor: 1.0 };
+            return PolarizedBounce {
+                polarization: incident,
+                energy_factor: 1.0,
+            };
         }
         s.normalized()
     };
@@ -127,11 +136,18 @@ pub fn polarized_specular(
         };
     }
     let degree = ((is - ip) / total).abs().min(1.0);
-    let orientation = if is >= ip { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+    let orientation = if is >= ip {
+        0.0
+    } else {
+        std::f64::consts::FRAC_PI_2
+    };
     // Energy relative to the scalar (unpolarized-average) model.
     let energy_factor = total / r_avg;
     PolarizedBounce {
-        polarization: Polarization { degree, orientation },
+        polarization: Polarization {
+            degree,
+            orientation,
+        },
         energy_factor,
     }
 }
@@ -139,7 +155,10 @@ pub fn polarized_specular(
 /// Depolarization across a diffuse bounce: subsurface multiple scattering
 /// randomizes orientation; a small residual fraction survives.
 pub fn diffuse_depolarize(incident: Polarization) -> Polarization {
-    Polarization { degree: incident.degree * 0.05, orientation: incident.orientation }
+    Polarization {
+        degree: incident.degree * 0.05,
+        orientation: incident.orientation,
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +208,7 @@ mod tests {
         );
         assert!(b.polarization.degree > 0.999, "{:?}", b.polarization);
         assert_eq!(b.polarization.orientation, 0.0); // s-aligned
-        // Unpolarized input never changes total energy.
+                                                     // Unpolarized input never changes total energy.
         assert!((b.energy_factor - 1.0).abs() < 1e-9);
         assert!(b.polarization.is_valid());
     }
@@ -209,8 +228,14 @@ mod tests {
     #[test]
     fn s_polarized_light_reflects_stronger_than_p() {
         let angle = 1.0; // past Brewster for glass (0.9828)
-        let s_in = Polarization { degree: 1.0, orientation: 0.0 };
-        let p_in = Polarization { degree: 1.0, orientation: FRAC_PI_2 };
+        let s_in = Polarization {
+            degree: 1.0,
+            orientation: 0.0,
+        };
+        let p_in = Polarization {
+            degree: 1.0,
+            orientation: FRAC_PI_2,
+        };
         let bs = polarized_specular(incoming_at(angle), Vec3::Z, GLASS, s_in);
         let bp = polarized_specular(incoming_at(angle), Vec3::Z, GLASS, p_in);
         assert!(
@@ -226,14 +251,20 @@ mod tests {
     #[test]
     fn p_polarized_at_brewster_is_extinguished() {
         let theta_b = brewster_angle(GLASS);
-        let p_in = Polarization { degree: 1.0, orientation: FRAC_PI_2 };
+        let p_in = Polarization {
+            degree: 1.0,
+            orientation: FRAC_PI_2,
+        };
         let b = polarized_specular(incoming_at(theta_b), Vec3::Z, GLASS, p_in);
         assert!(b.energy_factor < 1e-9, "factor {}", b.energy_factor);
     }
 
     #[test]
     fn diffuse_bounce_depolarizes() {
-        let p = Polarization { degree: 0.9, orientation: 1.0 };
+        let p = Polarization {
+            degree: 0.9,
+            orientation: 1.0,
+        };
         let d = diffuse_depolarize(p);
         assert!(d.degree < 0.05);
         assert!(d.is_valid());
@@ -249,7 +280,10 @@ mod tests {
         let mut acc = 0.0;
         for k in 0..n {
             let phi = std::f64::consts::PI * k as f64 / n as f64;
-            let pol = Polarization { degree: 1.0, orientation: phi };
+            let pol = Polarization {
+                degree: 1.0,
+                orientation: phi,
+            };
             acc += polarized_specular(incoming_at(angle), Vec3::Z, GLASS, pol).energy_factor;
         }
         let mean = acc / n as f64;

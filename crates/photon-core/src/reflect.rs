@@ -78,7 +78,10 @@ pub fn reflect<R: PhotonRng>(
     }
     // Branch selection reuses `u`: it is uniform on [0, albedo) here.
     let (branch, filtered) = if u < p_diffuse {
-        (Branch::Diffuse, energy.filter(material.diffuse) / p_diffuse.max(1e-30))
+        (
+            Branch::Diffuse,
+            energy.filter(material.diffuse) / p_diffuse.max(1e-30),
+        )
     } else if u < p_diffuse + p_glossy {
         (Branch::Glossy, energy)
     } else {
@@ -97,8 +100,8 @@ pub fn reflect<R: PhotonRng>(
                 let cos_a = rng.next_f64().powf(1.0 / (material.gloss_exponent + 1.0));
                 let sin_a = (1.0 - cos_a * cos_a).max(0.0).sqrt();
                 let phi = rng.next_f64() * std::f64::consts::TAU;
-                let cand = lobe_frame
-                    .to_world(Vec3::new(sin_a * phi.cos(), sin_a * phi.sin(), cos_a));
+                let cand =
+                    lobe_frame.to_world(Vec3::new(sin_a * phi.cos(), sin_a * phi.sin(), cos_a));
                 out = cand;
                 if cand.z >= 0.0 {
                     break;
@@ -175,7 +178,12 @@ mod tests {
         let m = Material::mirror(1.0);
         let mut rng = Lcg48::new(3);
         match reflect(&m, &frame(), incoming(), Rgb::WHITE, &mut rng) {
-            Bounce::Reflected { dir, branch, energy, .. } => {
+            Bounce::Reflected {
+                dir,
+                branch,
+                energy,
+                ..
+            } => {
                 assert_eq!(branch, Branch::Mirror);
                 let expect = Vec3::new(1.0, 0.0, 1.0).normalized();
                 assert!((dir - expect).length() < 1e-9, "{dir:?}");
@@ -278,9 +286,18 @@ mod tests {
         let (mut d, mut g, mut mi, mut a) = (0, 0, 0, 0);
         for _ in 0..n {
             match reflect(&m, &frame(), incoming(), Rgb::WHITE, &mut rng) {
-                Bounce::Reflected { branch: Branch::Diffuse, .. } => d += 1,
-                Bounce::Reflected { branch: Branch::Glossy, .. } => g += 1,
-                Bounce::Reflected { branch: Branch::Mirror, .. } => mi += 1,
+                Bounce::Reflected {
+                    branch: Branch::Diffuse,
+                    ..
+                } => d += 1,
+                Bounce::Reflected {
+                    branch: Branch::Glossy,
+                    ..
+                } => g += 1,
+                Bounce::Reflected {
+                    branch: Branch::Mirror,
+                    ..
+                } => mi += 1,
                 Bounce::Absorbed => a += 1,
             }
         }

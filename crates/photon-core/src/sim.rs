@@ -22,7 +22,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0x5EED, split: SplitConfig::default() }
+        SimConfig {
+            seed: 0x5EED,
+            split: SplitConfig::default(),
+        }
     }
 }
 
@@ -106,7 +109,12 @@ impl Simulator {
     /// Simulates `n` photons (no batch bookkeeping).
     pub fn run_photons(&mut self, n: u64) {
         for _ in 0..n {
-            let out = trace_photon(&self.scene, &self.generator, &mut self.rng, &mut self.forest);
+            let out = trace_photon(
+                &self.scene,
+                &self.generator,
+                &mut self.rng,
+                &mut self.forest,
+            );
             self.stats.emitted += 1;
             self.stats.reflections += out.bounces as u64;
             match out.termination {
@@ -126,7 +134,8 @@ impl Simulator {
         let batch_secs = batch_start.elapsed().as_secs_f64();
         let elapsed = t0.elapsed().as_secs_f64();
         self.speed.push_batch(elapsed, n, batch_secs);
-        self.memory.push(self.stats.emitted, self.forest.memory_bytes());
+        self.memory
+            .push(self.stats.emitted, self.forest.memory_bytes());
     }
 
     /// Finishes the run, producing the answer database.
@@ -152,21 +161,36 @@ mod tests {
             SurfacePatch::new(Patch::from_origin_edges(o, e1, e2), m)
         };
         let patches = vec![
-            mk(Vec3::ZERO, Vec3::X * 2.0, Vec3::new(0.0, 0.0, 2.0), Material::matte(g)),
+            mk(
+                Vec3::ZERO,
+                Vec3::X * 2.0,
+                Vec3::new(0.0, 0.0, 2.0),
+                Material::matte(g),
+            ),
             mk(
                 Vec3::new(0.0, 2.0, 0.0),
                 Vec3::new(0.0, 0.0, 2.0),
                 Vec3::X * 2.0,
                 Material::matte(g),
             ),
-            mk(Vec3::ZERO, Vec3::new(0.0, 2.0, 0.0), Vec3::X * 2.0, Material::matte(g)),
+            mk(
+                Vec3::ZERO,
+                Vec3::new(0.0, 2.0, 0.0),
+                Vec3::X * 2.0,
+                Material::matte(g),
+            ),
             mk(
                 Vec3::new(0.0, 0.0, 2.0),
                 Vec3::X * 2.0,
                 Vec3::new(0.0, 2.0, 0.0),
                 Material::matte(g),
             ),
-            mk(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.0), Vec3::new(0.0, 2.0, 0.0), Material::matte(g)),
+            mk(
+                Vec3::ZERO,
+                Vec3::new(0.0, 0.0, 2.0),
+                Vec3::new(0.0, 2.0, 0.0),
+                Material::matte(g),
+            ),
             mk(
                 Vec3::new(2.0, 0.0, 0.0),
                 Vec3::new(0.0, 2.0, 0.0),
@@ -183,13 +207,23 @@ mod tests {
         ];
         Scene::new(
             patches,
-            vec![Luminaire { patch_id: 6, power: Rgb::gray(100.0), collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 6,
+                power: Rgb::gray(100.0),
+                collimation: 1.0,
+            }],
         )
     }
 
     #[test]
     fn stats_conserve_photons() {
-        let mut sim = Simulator::new(tiny_box(), SimConfig { seed: 1, ..Default::default() });
+        let mut sim = Simulator::new(
+            tiny_box(),
+            SimConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
         sim.run_photons(5000);
         let s = sim.stats();
         assert_eq!(s.emitted, 5000);
@@ -199,7 +233,10 @@ mod tests {
 
     #[test]
     fn determinism_per_seed() {
-        let cfg = SimConfig { seed: 42, ..Default::default() };
+        let cfg = SimConfig {
+            seed: 42,
+            ..Default::default()
+        };
         let mut a = Simulator::new(tiny_box(), cfg);
         let mut b = Simulator::new(tiny_box(), cfg);
         a.run_photons(3000);
@@ -211,8 +248,20 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mut a = Simulator::new(tiny_box(), SimConfig { seed: 1, ..Default::default() });
-        let mut b = Simulator::new(tiny_box(), SimConfig { seed: 2, ..Default::default() });
+        let mut a = Simulator::new(
+            tiny_box(),
+            SimConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let mut b = Simulator::new(
+            tiny_box(),
+            SimConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         a.run_photons(3000);
         b.run_photons(3000);
         assert_ne!(a.stats().reflections, b.stats().reflections);
@@ -235,6 +284,10 @@ mod tests {
         // floor and walls, which the adaptive bins must track.
         let mut sim = Simulator::new(tiny_box(), SimConfig::default());
         sim.run_photons(100_000);
-        assert!(sim.forest().total_leaf_bins() > 25, "{}", sim.forest().total_leaf_bins());
+        assert!(
+            sim.forest().total_leaf_bins() > 25,
+            "{}",
+            sim.forest().total_leaf_bins()
+        );
     }
 }

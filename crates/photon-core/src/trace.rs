@@ -99,7 +99,10 @@ pub fn trace_emitted<R: PhotonRng, S: TallySink + ?Sized>(
     let mut bounces = 0u32;
     loop {
         let Some(hit) = scene.intersect(&ray, f64::INFINITY) else {
-            return TraceOutcome { bounces, termination: Termination::Escaped };
+            return TraceOutcome {
+                bounces,
+                termination: Termination::Escaped,
+            };
         };
         let sp = scene.patch(hit.patch_id);
         // Frame of the side that was hit: flip the normal for back faces so
@@ -107,13 +110,25 @@ pub fn trace_emitted<R: PhotonRng, S: TallySink + ?Sized>(
         let frame = if hit.front {
             sp.frame
         } else {
-            Onb { u: sp.frame.u, v: -sp.frame.v, w: -sp.frame.w }
+            Onb {
+                u: sp.frame.u,
+                v: -sp.frame.v,
+                w: -sp.frame.w,
+            }
         };
         match reflect(&sp.material, &frame, ray.dir, energy, rng) {
             Bounce::Absorbed => {
-                return TraceOutcome { bounces, termination: Termination::Absorbed };
+                return TraceOutcome {
+                    bounces,
+                    termination: Termination::Absorbed,
+                };
             }
-            Bounce::Reflected { dir, local_dir, energy: out_energy, .. } => {
+            Bounce::Reflected {
+                dir,
+                local_dir,
+                energy: out_energy,
+                ..
+            } => {
                 bounces += 1;
                 let cyl = CylDir::from_local(local_dir);
                 sink.tally(
@@ -122,10 +137,16 @@ pub fn trace_emitted<R: PhotonRng, S: TallySink + ?Sized>(
                     out_energy,
                 );
                 if out_energy.max_channel() < MIN_ENERGY {
-                    return TraceOutcome { bounces, termination: Termination::Absorbed };
+                    return TraceOutcome {
+                        bounces,
+                        termination: Termination::Absorbed,
+                    };
                 }
                 if bounces >= MAX_BOUNCES {
-                    return TraceOutcome { bounces, termination: Termination::BounceCapped };
+                    return TraceOutcome {
+                        bounces,
+                        termination: Termination::BounceCapped,
+                    };
                 }
                 energy = out_energy;
                 ray = Ray::new(hit.point, dir).nudged(photon_geom::scene::RAY_EPS);
@@ -147,6 +168,7 @@ mod tests {
     /// `reflective_light` gives the panel the same diffuse reflectance as
     /// the walls (on top of its emission), making the box's albedo exactly
     /// uniform for the geometric-series test.
+    #[allow(clippy::vec_init_then_push)] // one push per wall reads clearest
     fn closed_box_opt(wall_albedo: f64, reflective_light: bool) -> Scene {
         let g = Rgb::gray(wall_albedo);
         let mut patches = Vec::new();
@@ -178,7 +200,11 @@ mod tests {
             Material::matte(g),
         )); // z=2
         patches.push(SurfacePatch::new(
-            Patch::from_origin_edges(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.0), Vec3::new(0.0, 2.0, 0.0)),
+            Patch::from_origin_edges(
+                Vec3::ZERO,
+                Vec3::new(0.0, 0.0, 2.0),
+                Vec3::new(0.0, 2.0, 0.0),
+            ),
             Material::matte(g),
         )); // x=0
         patches.push(SurfacePatch::new(
@@ -189,8 +215,8 @@ mod tests {
             ),
             Material::matte(g),
         )); // x=2
-        // light panel just under the ceiling, facing down (x-edge first so
-        // the Newell normal points -y, into the room).
+            // light panel just under the ceiling, facing down (x-edge first so
+            // the Newell normal points -y, into the room).
         let mut light_mat = Material::emitter(Rgb::WHITE);
         if reflective_light {
             light_mat.diffuse = g;
@@ -203,7 +229,11 @@ mod tests {
             ),
             light_mat,
         ));
-        let lum = Luminaire { patch_id: 6, power: Rgb::new(100.0, 100.0, 100.0), collimation: 1.0 };
+        let lum = Luminaire {
+            patch_id: 6,
+            power: Rgb::new(100.0, 100.0, 100.0),
+            collimation: 1.0,
+        };
         Scene::new(patches, vec![lum])
     }
 
@@ -263,7 +293,10 @@ mod tests {
         }
         let mean = total as f64 / n as f64;
         let expect = rho / (1.0 - rho);
-        assert!((mean - expect).abs() < 0.05, "mean bounces {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() < 0.05,
+            "mean bounces {mean} vs {expect}"
+        );
     }
 
     #[test]
@@ -305,16 +338,16 @@ mod tests {
             Material::matte(Rgb::gray(0.5)),
         );
         let light = SurfacePatch::new(
-            Patch::from_origin_edges(
-                Vec3::new(0.0, 1.0, 0.0),
-                Vec3::new(0.0, 0.0, 1.0),
-                Vec3::X,
-            ),
+            Patch::from_origin_edges(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::X),
             Material::emitter(Rgb::WHITE),
         );
         let scene = Scene::new(
             vec![floor, light],
-            vec![Luminaire { patch_id: 1, power: Rgb::WHITE, collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 1,
+                power: Rgb::WHITE,
+                collimation: 1.0,
+            }],
         );
         let generator = PhotonGenerator::new(&scene);
         let mut rng = Lcg48::new(5);

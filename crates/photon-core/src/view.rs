@@ -45,16 +45,102 @@ impl Camera {
     }
 }
 
+/// Default tile side used by [`render`]'s decomposition.
+pub const DEFAULT_TILE_SIZE: usize = 32;
+
+/// A rectangular image region: pixels `[x0, x1) × [y0, y1)`.
+///
+/// Tiles are the unit of work shared by the serial viewer and the
+/// tile-parallel serving layer (`photon-serve`): both call [`render_tile`]
+/// per tile, so they produce bit-identical pixels by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// Left edge (inclusive).
+    pub x0: usize,
+    /// Top edge (inclusive).
+    pub y0: usize,
+    /// Right edge (exclusive).
+    pub x1: usize,
+    /// Bottom edge (exclusive).
+    pub y1: usize,
+}
+
+impl Tile {
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.x1 - self.x0
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.y1 - self.y0
+    }
+
+    /// Pixels covered.
+    pub fn pixel_count(&self) -> usize {
+        self.width() * self.height()
+    }
+}
+
+/// Decomposes a `width × height` image into row-major tiles of side
+/// `tile_size` (edge tiles may be smaller). Covers every pixel exactly once.
+pub fn tiles(width: usize, height: usize, tile_size: usize) -> Vec<Tile> {
+    assert!(tile_size > 0, "tile_size must be positive");
+    let mut out = Vec::new();
+    let mut y0 = 0;
+    while y0 < height {
+        let y1 = (y0 + tile_size).min(height);
+        let mut x0 = 0;
+        while x0 < width {
+            let x1 = (x0 + tile_size).min(width);
+            out.push(Tile { x0, y0, x1, y1 });
+            x0 = x1;
+        }
+        y0 = y1;
+    }
+    out
+}
+
+/// Renders one tile of the view into a row-major buffer of
+/// `tile.pixel_count()` values (the pixel at `(x, y)` lands at
+/// `(y - tile.y0) * tile.width() + (x - tile.x0)`).
+pub fn render_tile(
+    scene: &Scene,
+    answer: &Answer,
+    camera: &Camera,
+    tile: Tile,
+    exposure: f64,
+) -> Vec<Rgb> {
+    let mut buf = Vec::with_capacity(tile.pixel_count());
+    for y in tile.y0..tile.y1 {
+        for x in tile.x0..tile.x1 {
+            let ray = camera.ray(x, y);
+            buf.push(shade(scene, answer, &ray) * exposure);
+        }
+    }
+    buf
+}
+
+/// Copies a tile buffer produced by [`render_tile`] into `img`.
+pub fn blit_tile(img: &mut Image, tile: Tile, buf: &[Rgb]) {
+    assert_eq!(buf.len(), tile.pixel_count(), "tile buffer size mismatch");
+    for y in tile.y0..tile.y1 {
+        for x in tile.x0..tile.x1 {
+            img.set(x, y, buf[(y - tile.y0) * tile.width() + (x - tile.x0)]);
+        }
+    }
+}
+
 /// Renders the answer from a viewpoint. `exposure` scales radiance to
 /// display range; use [`auto_exposure`] when unsure.
+///
+/// This is the serial tile loop; `photon-serve` runs the same
+/// [`render_tile`] jobs across a worker pool.
 pub fn render(scene: &Scene, answer: &Answer, camera: &Camera, exposure: f64) -> Image {
     let mut img = Image::new(camera.width, camera.height);
-    for y in 0..camera.height {
-        for x in 0..camera.width {
-            let ray = camera.ray(x, y);
-            let c = shade(scene, answer, &ray);
-            img.set(x, y, c * exposure);
-        }
+    for tile in tiles(camera.width, camera.height, DEFAULT_TILE_SIZE) {
+        let buf = render_tile(scene, answer, camera, tile, exposure);
+        blit_tile(&mut img, tile, &buf);
     }
     img
 }
@@ -115,7 +201,11 @@ mod tests {
         );
         Scene::new(
             vec![floor, light],
-            vec![Luminaire { patch_id: 1, power: Rgb::gray(50.0), collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 1,
+                power: Rgb::gray(50.0),
+                collimation: 1.0,
+            }],
         )
     }
 
@@ -131,6 +221,48 @@ mod tests {
     }
 
     #[test]
+    fn tiles_partition_the_image() {
+        for (w, h, ts) in [(64, 48, 32), (33, 17, 16), (5, 5, 8), (1, 1, 1)] {
+            let ts = tiles(w, h, ts);
+            let mut covered = vec![0u32; w * h];
+            for t in &ts {
+                assert!(t.x1 <= w && t.y1 <= h);
+                assert!(t.pixel_count() > 0);
+                for y in t.y0..t.y1 {
+                    for x in t.x0..t.x1 {
+                        covered[y * w + x] += 1;
+                    }
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "{w}x{h} not tiled exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_render_matches_per_pixel_shade() {
+        let scene = lit_floor_scene();
+        let mut sim = Simulator::new(
+            scene,
+            SimConfig {
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        sim.run_photons(5_000);
+        let answer = sim.answer_snapshot();
+        let scene = sim.scene();
+        let cam = camera();
+        let img = render(scene, &answer, &cam, 1.0);
+        for (x, y) in [(0, 0), (7, 3), (cam.width - 1, cam.height - 1)] {
+            let expect = shade(scene, &answer, &cam.ray(x, y));
+            assert_eq!(img.get(x, y), expect, "pixel ({x},{y})");
+        }
+    }
+
+    #[test]
     fn rays_pass_through_target() {
         let cam = camera();
         let center = cam.ray(cam.width / 2, cam.height / 2);
@@ -142,7 +274,13 @@ mod tests {
     #[test]
     fn render_shows_lit_floor() {
         let scene = lit_floor_scene();
-        let mut sim = Simulator::new(scene, SimConfig { seed: 5, ..Default::default() });
+        let mut sim = Simulator::new(
+            scene,
+            SimConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         sim.run_photons(40_000);
         let answer = sim.answer_snapshot();
         let scene = sim.scene();
@@ -158,7 +296,13 @@ mod tests {
     #[test]
     fn two_viewpoints_from_one_answer_differ_but_share_solution() {
         let scene = lit_floor_scene();
-        let mut sim = Simulator::new(scene, SimConfig { seed: 6, ..Default::default() });
+        let mut sim = Simulator::new(
+            scene,
+            SimConfig {
+                seed: 6,
+                ..Default::default()
+            },
+        );
         sim.run_photons(30_000);
         let answer = sim.answer_snapshot();
         let scene = sim.scene();
@@ -167,7 +311,10 @@ mod tests {
         let mut cam2 = camera();
         cam2.eye = Vec3::new(3.0, 2.0, 3.0);
         let img2 = render(scene, &answer, &cam2, e);
-        assert!(img1.rms_error(&img2) > 0.0, "different viewpoints identical");
+        assert!(
+            img1.rms_error(&img2) > 0.0,
+            "different viewpoints identical"
+        );
         assert!(img2.mean_luminance() > 0.0);
     }
 
@@ -179,7 +326,13 @@ mod tests {
         // extra photons into finer bins, so coarse-grained radiance is the
         // quantity that converges.
         let mk = |seed, n| {
-            let mut sim = Simulator::new(lit_floor_scene(), SimConfig { seed, ..Default::default() });
+            let mut sim = Simulator::new(
+                lit_floor_scene(),
+                SimConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             sim.run_photons(n);
             let ans = sim.answer_snapshot();
             let e = 0.05; // fixed exposure for comparability

@@ -1,0 +1,83 @@
+//! Round-trip and corruption tests for the `PHOTANS1` answer codec, driven
+//! through the full simulator rather than hand-built forests.
+
+use photon_core::{Answer, SimConfig, Simulator};
+use photon_scenes::cornell_box;
+
+fn simulated_answer(photons: u64) -> (photon_geom::Scene, Answer) {
+    let mut sim = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed: 123,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(photons);
+    let answer = sim.answer_snapshot();
+    (sim.scene().clone(), answer)
+}
+
+#[test]
+fn write_read_round_trip_preserves_the_solution() {
+    let (scene, answer) = simulated_answer(8_000);
+    let mut buf = Vec::new();
+    answer.write_to(&mut buf).unwrap();
+    let back = Answer::read_from(&mut buf.as_slice()).unwrap();
+
+    assert_eq!(back.emitted(), answer.emitted());
+    assert_eq!(back.patch_count(), answer.patch_count());
+    assert_eq!(back.total_leaf_bins(), answer.total_leaf_bins());
+    // Radiance queries agree everywhere we probe.
+    for pid in 0..answer.patch_count() as u32 {
+        assert_eq!(
+            answer.mean_patch_radiance(&scene, pid),
+            back.mean_patch_radiance(&scene, pid),
+            "patch {pid} radiance drifted through the codec"
+        );
+    }
+}
+
+#[test]
+fn round_trip_is_stable_under_reserialization() {
+    let (_, answer) = simulated_answer(4_000);
+    let mut once = Vec::new();
+    answer.write_to(&mut once).unwrap();
+    let back = Answer::read_from(&mut once.as_slice()).unwrap();
+    let mut twice = Vec::new();
+    back.write_to(&mut twice).unwrap();
+    assert_eq!(once, twice, "codec is not byte-stable across a round trip");
+}
+
+#[test]
+fn corrupt_magic_is_rejected() {
+    let (_, answer) = simulated_answer(2_000);
+    let mut buf = Vec::new();
+    answer.write_to(&mut buf).unwrap();
+    buf[0] ^= 0xFF; // break the PHOTANS1 magic
+    let err = Answer::read_from(&mut buf.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn corrupt_node_tag_is_rejected() {
+    let (_, answer) = simulated_answer(2_000);
+    let mut buf = Vec::new();
+    answer.write_to(&mut buf).unwrap();
+    // First node tag of the first tree sits right after magic(8) +
+    // patch count(4) + emitted(8) + node count(4).
+    buf[24] = 9;
+    assert!(Answer::read_from(&mut buf.as_slice()).is_err());
+}
+
+#[test]
+fn truncation_anywhere_errors_cleanly() {
+    let (_, answer) = simulated_answer(2_000);
+    let mut buf = Vec::new();
+    answer.write_to(&mut buf).unwrap();
+    for cut in [0, 4, 8, 19, buf.len() / 3, buf.len() - 1] {
+        assert!(
+            Answer::read_from(&mut &buf[..cut]).is_err(),
+            "truncation at {cut} bytes parsed"
+        );
+    }
+}

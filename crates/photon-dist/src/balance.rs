@@ -145,8 +145,7 @@ mod tests {
         for trial in 0..50 {
             let n = 4 + rng.index(60);
             let nranks = 1 + rng.index(8);
-            let weights: Vec<u64> =
-                (0..n).map(|_| (rng.next_f64() * 10_000.0) as u64).collect();
+            let weights: Vec<u64> = (0..n).map(|_| (rng.next_f64() * 10_000.0) as u64).collect();
             let ni = naive(n, nranks).imbalance(&weights);
             let bi = best_fit(&weights, nranks).imbalance(&weights);
             assert!(

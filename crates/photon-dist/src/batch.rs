@@ -38,7 +38,13 @@ pub struct AdaptiveBatch {
 
 impl Default for AdaptiveBatch {
     fn default() -> Self {
-        AdaptiveBatch { initial: 500, growth: 1.5, shrink: 0.9, hysteresis: 0.02, max: 1 << 20 }
+        AdaptiveBatch {
+            initial: 500,
+            growth: 1.5,
+            shrink: 0.9,
+            hysteresis: 0.02,
+            max: 1 << 20,
+        }
     }
 }
 
@@ -141,7 +147,10 @@ mod tests {
 
     #[test]
     fn respects_ceiling() {
-        let mut c = BatchController::new(AdaptiveBatch { max: 1000, ..Default::default() });
+        let mut c = BatchController::new(AdaptiveBatch {
+            max: 1000,
+            ..Default::default()
+        });
         for _ in 0..10 {
             c.observe(f64::MAX); // always "faster"
         }

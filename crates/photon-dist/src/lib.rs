@@ -81,7 +81,9 @@ impl Default for DistConfig {
             split: SplitConfig::default(),
             nranks: 2,
             platform: Platform::power_onyx(),
-            balance: BalanceMode::BinPacking { pilot_photons: 1000 },
+            balance: BalanceMode::BinPacking {
+                pilot_photons: 1000,
+            },
             batch: BatchMode::Fixed(500),
             stop: StopRule::Photons(10_000),
         }
@@ -127,8 +129,12 @@ impl TallySink for DistSink<'_> {
             self.forest.tally(patch_id, point, energy);
             *self.processed += 1;
         } else {
-            PhotonRecord { patch_id, point: *point, energy }
-                .encode_into(&mut self.queues[owner]);
+            PhotonRecord {
+                patch_id,
+                point: *point,
+                energy,
+            }
+            .encode_into(&mut self.queues[owner]);
         }
     }
 }
@@ -191,7 +197,10 @@ pub fn run_distributed(scene: &Scene, config: &DistConfig) -> DistRunResult {
     // exist exactly once in the merged forest because only owners merge).
     let _ = pilot_photons;
     let forest = BinForest::from_trees(
-        trees.into_iter().map(|t| t.expect("all patches owned")).collect(),
+        trees
+            .into_iter()
+            .map(|t| t.expect("all patches owned"))
+            .collect(),
     );
     let answer = Answer::from_forest(&forest, stats.emitted);
     DistRunResult {
@@ -421,7 +430,13 @@ mod tests {
             ..Default::default()
         };
         let dist = run_distributed(&scene, &config);
-        let mut serial = Simulator::new(cornell_box(), SimConfig { seed: 777, ..Default::default() });
+        let mut serial = Simulator::new(
+            cornell_box(),
+            SimConfig {
+                seed: 777,
+                ..Default::default()
+            },
+        );
         serial.run_photons(5000);
         assert_eq!(dist.stats.emitted, serial.stats().emitted);
         assert_eq!(dist.stats.reflections, serial.stats().reflections);
@@ -430,7 +445,10 @@ mod tests {
             .map(|p| dist.answer.tree(p).tallies())
             .sum();
         assert_eq!(dist_tallies, serial.forest().total_tallies());
-        assert_eq!(dist.answer.total_leaf_bins(), serial.forest().total_leaf_bins());
+        assert_eq!(
+            dist.answer.total_leaf_bins(),
+            serial.forest().total_leaf_bins()
+        );
     }
 
     #[test]
@@ -438,7 +456,10 @@ mod tests {
         let scene = cornell_box();
         let naive = run_distributed(
             &scene,
-            &DistConfig { balance: BalanceMode::Naive, ..base_config() },
+            &DistConfig {
+                balance: BalanceMode::Naive,
+                ..base_config()
+            },
         );
         let packed = run_distributed(&scene, &base_config());
         let imbalance = |v: &[u64]| {

@@ -43,7 +43,11 @@ impl PhotonRecord {
 
     /// Decodes one record from a 32-byte chunk.
     pub fn decode(chunk: &[u8]) -> PhotonRecord {
-        assert_eq!(chunk.len(), RECORD_BYTES, "record must be {RECORD_BYTES} bytes");
+        assert_eq!(
+            chunk.len(),
+            RECORD_BYTES,
+            "record must be {RECORD_BYTES} bytes"
+        );
         let u32_at = |i: usize| u32::from_le_bytes(chunk[i..i + 4].try_into().unwrap());
         let f32_at = |i: usize| f32::from_le_bytes(chunk[i..i + 4].try_into().unwrap()) as f64;
         PhotonRecord {

@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn over_unity_albedo_is_unphysical() {
-        let m = Material { specular: 0.5, ..Material::matte(Rgb::gray(0.8)) };
+        let m = Material {
+            specular: 0.5,
+            ..Material::matte(Rgb::gray(0.8))
+        };
         assert!(!m.is_physical());
     }
 

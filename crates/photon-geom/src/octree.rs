@@ -51,9 +51,15 @@ pub struct OctreeStats {
 impl Octree {
     /// Builds the tree over `patches` within `bounds`.
     pub fn build(patches: &[SurfacePatch], bounds: Aabb) -> Self {
-        let boxes: Vec<Aabb> = patches.iter().map(|p| p.patch.aabb().padded(1e-9)).collect();
+        let boxes: Vec<Aabb> = patches
+            .iter()
+            .map(|p| p.patch.aabb().padded(1e-9))
+            .collect();
         let all: Vec<u32> = (0..patches.len() as u32).collect();
-        let mut tree = Octree { nodes: Vec::new(), bounds };
+        let mut tree = Octree {
+            nodes: Vec::new(),
+            bounds,
+        };
         tree.build_node(bounds, all, &boxes, 0);
         tree
     }
@@ -62,7 +68,11 @@ impl Octree {
     /// returns its arena index.
     fn build_node(&mut self, bounds: Aabb, items: Vec<u32>, boxes: &[Aabb], depth: u32) -> u32 {
         let idx = self.nodes.len() as u32;
-        self.nodes.push(Node { bounds, children: None, items: Vec::new() });
+        self.nodes.push(Node {
+            bounds,
+            children: None,
+            items: Vec::new(),
+        });
         if items.len() <= LEAF_CAPACITY || depth >= MAX_DEPTH {
             self.nodes[idx as usize].items = items;
             return idx;
@@ -167,7 +177,10 @@ impl Octree {
 
     /// Structural statistics.
     pub fn stats(&self) -> OctreeStats {
-        let mut s = OctreeStats { nodes: self.nodes.len(), ..Default::default() };
+        let mut s = OctreeStats {
+            nodes: self.nodes.len(),
+            ..Default::default()
+        };
         self.stat_walk(0, 0, &mut s);
         s
     }
@@ -292,7 +305,9 @@ mod tests {
         let patches = tile_scene(4, 3);
         let tree = Octree::build(&patches, bounds_of(&patches));
         let ray = Ray::new(Vec3::new(100.0, 100.0, 100.0), Vec3::X);
-        assert!(tree.intersect(&patches, &ray, 1e-7, f64::INFINITY).is_none());
+        assert!(tree
+            .intersect(&patches, &ray, 1e-7, f64::INFINITY)
+            .is_none());
     }
 
     #[test]

@@ -27,7 +27,12 @@ impl SurfacePatch {
     pub fn new(patch: Patch, material: Material) -> Self {
         let frame = patch.frame();
         let area = patch.area();
-        SurfacePatch { patch, material, frame, area }
+        SurfacePatch {
+            patch,
+            material,
+            frame,
+            area,
+        }
     }
 }
 
@@ -92,7 +97,12 @@ impl Scene {
             .fold(Aabb::EMPTY, |b, p| b.union(&p.patch.aabb()))
             .padded(1e-6);
         let octree = Octree::build(&patches, bounds);
-        Scene { patches, luminaires, octree, bounds }
+        Scene {
+            patches,
+            luminaires,
+            octree,
+            bounds,
+        }
     }
 
     /// All patches.
@@ -121,7 +131,9 @@ impl Scene {
 
     /// Total emitted power over all luminaires.
     pub fn total_power(&self) -> Rgb {
-        self.luminaires.iter().fold(Rgb::BLACK, |acc, l| acc + l.power)
+        self.luminaires
+            .iter()
+            .fold(Rgb::BLACK, |acc, l| acc + l.power)
     }
 
     /// Scene bounding box.
@@ -188,17 +200,17 @@ mod tests {
     fn two_walls() -> Scene {
         // Wall A at z = 0 facing +z, wall B at z = 2 facing -z (toward A).
         let a = Patch::from_origin_edges(Vec3::ZERO, Vec3::X, Vec3::Y);
-        let b = Patch::from_origin_edges(
-            Vec3::new(0.0, 0.0, 2.0),
-            Vec3::Y,
-            Vec3::X,
-        );
+        let b = Patch::from_origin_edges(Vec3::new(0.0, 0.0, 2.0), Vec3::Y, Vec3::X);
         let mut pa = SurfacePatch::new(a, Material::matte(Rgb::gray(0.5)));
         pa.material.emission = Rgb::WHITE;
         let pb = SurfacePatch::new(b, Material::matte(Rgb::gray(0.5)));
         Scene::new(
             vec![pa, pb],
-            vec![Luminaire { patch_id: 0, power: Rgb::WHITE, collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 0,
+                power: Rgb::WHITE,
+                collimation: 1.0,
+            }],
         )
     }
 
@@ -244,12 +256,13 @@ mod tests {
                 SurfacePatch::new(b, Material::matte(Rgb::gray(0.5))),
                 SurfacePatch::new(blocker, Material::matte(Rgb::gray(0.5))),
             ],
-            vec![Luminaire { patch_id: 0, power: Rgb::WHITE, collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 0,
+                power: Rgb::WHITE,
+                collimation: 1.0,
+            }],
         );
-        assert!(!scene.visible(
-            Vec3::new(0.5, 0.5, 1e-6),
-            Vec3::new(0.5, 0.5, 2.0 - 1e-6)
-        ));
+        assert!(!scene.visible(Vec3::new(0.5, 0.5, 1e-6), Vec3::new(0.5, 0.5, 2.0 - 1e-6)));
     }
 
     #[test]
@@ -258,7 +271,11 @@ mod tests {
         let a = Patch::from_origin_edges(Vec3::ZERO, Vec3::X, Vec3::Y);
         Scene::new(
             vec![SurfacePatch::new(a, Material::matte(Rgb::gray(0.5)))],
-            vec![Luminaire { patch_id: 0, power: Rgb::WHITE, collimation: 1.0 }],
+            vec![Luminaire {
+                patch_id: 0,
+                power: Rgb::WHITE,
+                collimation: 1.0,
+            }],
         );
     }
 

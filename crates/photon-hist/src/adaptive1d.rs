@@ -22,7 +22,12 @@ impl FixedHistogram1D {
     /// Creates a histogram with `nbins` equal bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(hi > lo && nbins > 0);
-        FixedHistogram1D { lo, hi, counts: vec![0; nbins], total: 0 }
+        FixedHistogram1D {
+            lo,
+            hi,
+            counts: vec![0; nbins],
+            total: 0,
+        }
     }
 
     /// Tallies a sample; out-of-range samples are ignored.
@@ -54,7 +59,11 @@ impl FixedHistogram1D {
             .enumerate()
             .map(|(i, &c)| {
                 let center = self.lo + (i as f64 + 0.5) * w;
-                let d = if self.total == 0 { 0.0 } else { c as f64 / (self.total as f64 * w) };
+                let d = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / (self.total as f64 * w)
+                };
                 (center, d)
             })
             .collect()
@@ -103,11 +112,16 @@ impl AdaptiveHistogram1D {
     pub fn new(lo: f64, hi: f64, rule: SplitRule, min_width: f64) -> Self {
         assert!(hi > lo);
         AdaptiveHistogram1D {
-            bins: vec![Bin1D { lo, hi, left: 0, right: 0 }],
+            bins: vec![Bin1D {
+                lo,
+                hi,
+                left: 0,
+                right: 0,
+            }],
             rule,
             min_width,
             total: 0,
-        splits: 0,
+            splits: 0,
         }
     }
 
@@ -144,17 +158,25 @@ impl AdaptiveHistogram1D {
             }
         }
         let bin = &self.bins[i];
-        if bin.hi - bin.lo > 2.0 * self.min_width
-            && self.rule.should_split(bin.left, bin.right)
-        {
+        if bin.hi - bin.lo > 2.0 * self.min_width && self.rule.should_split(bin.left, bin.right) {
             let (lo, hi, mid) = (bin.lo, bin.hi, bin.mid());
             let (l, r) = (bin.left, bin.right);
             // Daughters restart their half-statistics; the observed
             // half-counts become their (exact) totals, recorded by seeding
             // both halves evenly — the uniform hypothesis *within* each
             // daughter is what the next round of statistics will test.
-            let left_bin = Bin1D { lo, hi: mid, left: l / 2, right: l - l / 2 };
-            let right_bin = Bin1D { lo: mid, hi, left: r / 2, right: r - r / 2 };
+            let left_bin = Bin1D {
+                lo,
+                hi: mid,
+                left: l / 2,
+                right: l - l / 2,
+            };
+            let right_bin = Bin1D {
+                lo: mid,
+                hi,
+                left: r / 2,
+                right: r - r / 2,
+            };
             self.bins[i] = left_bin;
             self.bins.insert(i + 1, right_bin);
             self.splits += 1;
@@ -205,7 +227,10 @@ impl AdaptiveHistogram1D {
     /// Smallest bin width — resolution achieved where the gradient was
     /// steepest.
     pub fn min_bin_width(&self) -> f64 {
-        self.bins.iter().map(|b| b.hi - b.lo).fold(f64::INFINITY, f64::min)
+        self.bins
+            .iter()
+            .map(|b| b.hi - b.lo)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 

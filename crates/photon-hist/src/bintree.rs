@@ -102,7 +102,10 @@ pub struct BinRange {
 impl BinRange {
     /// The root range: full patch, full hemisphere.
     pub fn full() -> Self {
-        BinRange { lo: [0.0; 4], hi: [1.0, 1.0, TAU, 1.0] }
+        BinRange {
+            lo: [0.0; 4],
+            hi: [1.0, 1.0, TAU, 1.0],
+        }
     }
 
     /// Midpoint along an axis.
@@ -122,7 +125,7 @@ impl BinRange {
     pub fn contains(&self, p: &BinPoint) -> bool {
         Axis::ALL.iter().all(|&a| {
             let x = p.coord(a);
-            x >= self.lo[a as usize] && (x < self.hi[a as usize] || x == self.hi[a as usize])
+            x >= self.lo[a as usize] && x <= self.hi[a as usize]
         })
     }
 
@@ -187,7 +190,10 @@ pub struct SplitConfig {
 
 impl Default for SplitConfig {
     fn default() -> Self {
-        SplitConfig { rule: SplitRule::default(), max_depth: 24 }
+        SplitConfig {
+            rule: SplitRule::default(),
+            max_depth: 24,
+        }
     }
 }
 
@@ -278,7 +284,9 @@ impl BinTree {
     pub fn tally(&mut self, p: &BinPoint, rgb: Rgb) -> bool {
         self.tallies += 1;
         let (idx, range, depth) = self.descend(p);
-        let Node::Leaf(stats) = &mut self.nodes[idx] else { unreachable!() };
+        let Node::Leaf(stats) = &mut self.nodes[idx] else {
+            unreachable!()
+        };
         stats.n_total += 1;
         stats.rgb += rgb;
         stats.stat_n += 1;
@@ -320,19 +328,36 @@ impl BinTree {
         // by the same observed proportion; the observed counts themselves
         // are exact.
         let inherited = stats.n_total - stats.stat_n as u64;
-        let frac_l = if stats.stat_n > 0 { l as f64 / stats.stat_n as f64 } else { 0.5 };
+        let frac_l = if stats.stat_n > 0 {
+            l as f64 / stats.stat_n as f64
+        } else {
+            0.5
+        };
         let inh_l = (inherited as f64 * frac_l).round() as u64;
         let n_lo = l + inh_l;
         let n_hi = r + (inherited - inh_l.min(inherited));
         let rgb_lo = stats.rgb * frac_l;
         let rgb_hi = stats.rgb * (1.0 - frac_l);
-        let lo = Node::Leaf(LeafStats { n_total: n_lo, rgb: rgb_lo, stat_n: 0, left: [0; 4] });
-        let hi = Node::Leaf(LeafStats { n_total: n_hi, rgb: rgb_hi, stat_n: 0, left: [0; 4] });
+        let lo = Node::Leaf(LeafStats {
+            n_total: n_lo,
+            rgb: rgb_lo,
+            stat_n: 0,
+            left: [0; 4],
+        });
+        let hi = Node::Leaf(LeafStats {
+            n_total: n_hi,
+            rgb: rgb_hi,
+            stat_n: 0,
+            left: [0; 4],
+        });
         let lo_idx = self.nodes.len() as u32;
         self.nodes.push(lo);
         let hi_idx = self.nodes.len() as u32;
         self.nodes.push(hi);
-        self.nodes[idx] = Node::Internal { axis, children: [lo_idx, hi_idx] };
+        self.nodes[idx] = Node::Internal {
+            axis,
+            children: [lo_idx, hi_idx],
+        };
         self.leaves += 1;
     }
 
@@ -340,7 +365,9 @@ impl BinTree {
     /// Returns the leaf statistics and its range (for measure computations).
     pub fn lookup(&self, p: &BinPoint) -> (&LeafStats, BinRange) {
         let (idx, range, _) = self.descend(p);
-        let Node::Leaf(stats) = &self.nodes[idx] else { unreachable!() };
+        let Node::Leaf(stats) = &self.nodes[idx] else {
+            unreachable!()
+        };
         (stats, range)
     }
 
@@ -405,15 +432,22 @@ impl BinTree {
                     arena.push(Node::Leaf(*s));
                 }
                 ExportNode::Internal { axis, children } => {
-                    if children[0] as usize >= nodes.len() || children[1] as usize >= nodes.len()
-                    {
+                    if children[0] as usize >= nodes.len() || children[1] as usize >= nodes.len() {
                         return None;
                     }
-                    arena.push(Node::Internal { axis: *axis, children: *children });
+                    arena.push(Node::Internal {
+                        axis: *axis,
+                        children: *children,
+                    });
                 }
             }
         }
-        Some(BinTree { nodes: arena, config, tallies, leaves })
+        Some(BinTree {
+            nodes: arena,
+            config,
+            tallies,
+            leaves,
+        })
     }
 }
 
@@ -571,7 +605,10 @@ mod tests {
 
     #[test]
     fn max_depth_is_respected() {
-        let cfg = SplitConfig { max_depth: 3, ..SplitConfig::default() };
+        let cfg = SplitConfig {
+            max_depth: 3,
+            ..SplitConfig::default()
+        };
         let mut tree = BinTree::new(cfg);
         let mut rng = Lcg48::new(26);
         for _ in 0..100_000 {
@@ -617,7 +654,10 @@ mod tests {
 
     #[test]
     fn from_export_rejects_bad_children() {
-        let bad = vec![ExportNode::Internal { axis: Axis::S, children: [5, 6] }];
+        let bad = vec![ExportNode::Internal {
+            axis: Axis::S,
+            children: [5, 6],
+        }];
         assert!(BinTree::from_export(bad, SplitConfig::default()).is_none());
         assert!(BinTree::from_export(vec![], SplitConfig::default()).is_none());
     }

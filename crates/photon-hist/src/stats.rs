@@ -23,7 +23,10 @@ impl Default for SplitRule {
     fn default() -> Self {
         // The paper's choices: 3σ, and "a significant number of points";
         // 32 keeps the normal approximation honest without hoarding storage.
-        SplitRule { sigmas: 3.0, min_count: 32 }
+        SplitRule {
+            sigmas: 3.0,
+            min_count: 32,
+        }
     }
 }
 
@@ -113,8 +116,14 @@ mod tests {
 
     #[test]
     fn threshold_scales_with_sigmas() {
-        let loose = SplitRule { sigmas: 1.0, min_count: 32 };
-        let strict = SplitRule { sigmas: 6.0, min_count: 32 };
+        let loose = SplitRule {
+            sigmas: 1.0,
+            min_count: 32,
+        };
+        let strict = SplitRule {
+            sigmas: 6.0,
+            min_count: 32,
+        };
         // (60, 40): half-deviation 10, sigma ~ 4.9 -> ~2.0σ.
         assert!(loose.should_split(60, 40));
         assert!(!strict.should_split(60, 40));

@@ -22,7 +22,10 @@ impl Aabb {
     /// Creates a box from two corners (componentwise sorted).
     #[inline]
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// Box containing a set of points. Returns `EMPTY` for an empty iterator.
@@ -43,13 +46,19 @@ impl Aabb {
     /// The smallest box containing `self` and the point `p`.
     #[inline]
     pub fn grown(&self, p: Vec3) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// The smallest box containing both operands.
     #[inline]
     pub fn union(&self, o: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+        Aabb {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
     }
 
     /// The box expanded by `pad` on every side.

@@ -19,9 +19,17 @@ pub struct Rgb {
 
 impl Rgb {
     /// Black / zero energy.
-    pub const BLACK: Rgb = Rgb { r: 0.0, g: 0.0, b: 0.0 };
+    pub const BLACK: Rgb = Rgb {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    };
     /// Unit white.
-    pub const WHITE: Rgb = Rgb { r: 1.0, g: 1.0, b: 1.0 };
+    pub const WHITE: Rgb = Rgb {
+        r: 1.0,
+        g: 1.0,
+        b: 1.0,
+    };
 
     /// Creates a color from channels.
     #[inline]
@@ -63,7 +71,11 @@ impl Rgb {
     /// Channels clamped to `[0, 1]`.
     #[inline]
     pub fn clamped(self) -> Rgb {
-        Rgb::new(self.r.clamp(0.0, 1.0), self.g.clamp(0.0, 1.0), self.b.clamp(0.0, 1.0))
+        Rgb::new(
+            self.r.clamp(0.0, 1.0),
+            self.g.clamp(0.0, 1.0),
+            self.b.clamp(0.0, 1.0),
+        )
     }
 
     /// Gamma-encodes (1/2.2) and quantizes to 8-bit for image output.

@@ -221,7 +221,11 @@ mod tests {
 
     fn unit_floor() -> Patch {
         // Floor in the xz plane, normal +y.
-        Patch::from_origin_edges(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0))
+        Patch::from_origin_edges(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, -1.0),
+        )
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl Lcg48 {
         // drand48-style seeding: seed fills the high bits, fixed 0x330E low
         // word, so small seeds still start from well-mixed states.
         let state = ((seed << 16) ^ 0x330E) & MASK;
-        Lcg48 { state, a: DRAND48_A, c: DRAND48_C }
+        Lcg48 {
+            state,
+            a: DRAND48_A,
+            c: DRAND48_C,
+        }
     }
 
     /// Raw `(state, a, c)` parameters, for tests and checkpointing.
@@ -95,7 +99,11 @@ impl Lcg48 {
         // next_u48() lands on it. a_P is odd, hence invertible mod 2^48.
         let ap_inv = inverse_pow2(ap);
         let state = mul_mod(ap_inv, first.wrapping_sub(cp) & MASK);
-        Lcg48 { state, a: ap, c: cp }
+        Lcg48 {
+            state,
+            a: ap,
+            c: cp,
+        }
     }
 }
 
@@ -184,8 +192,7 @@ mod tests {
         // The defining property of the paper's splitting scheme.
         for nranks in [1usize, 2, 3, 4, 7, 8] {
             let base = Lcg48::new(2024);
-            let mut subs: Vec<Lcg48> =
-                (0..nranks).map(|r| base.leapfrog(r, nranks)).collect();
+            let mut subs: Vec<Lcg48> = (0..nranks).map(|r| base.leapfrog(r, nranks)).collect();
             let mut reference = base.clone();
             for step in 0..200 {
                 let expect = reference.next_u48();

@@ -53,11 +53,29 @@ pub fn room_shell(p: &mut Vec<SurfacePatch>, min: Vec3, max: Vec3, mats: [Materi
     let e = max - min;
     let [floor, ceiling, back, front, left, right] = mats;
     p.push(rect_panel_xz(min, e.x, e.z, true, floor));
-    p.push(rect_panel_xz(Vec3::new(min.x, max.y, min.z), e.x, e.z, false, ceiling));
-    p.push(rect_panel_xy(Vec3::new(min.x, min.y, max.z), e.x, e.y, false, back));
+    p.push(rect_panel_xz(
+        Vec3::new(min.x, max.y, min.z),
+        e.x,
+        e.z,
+        false,
+        ceiling,
+    ));
+    p.push(rect_panel_xy(
+        Vec3::new(min.x, min.y, max.z),
+        e.x,
+        e.y,
+        false,
+        back,
+    ));
     p.push(rect_panel_xy(min, e.x, e.y, true, front));
     p.push(rect_panel_yz(min, e.y, e.z, true, left));
-    p.push(rect_panel_yz(Vec3::new(max.x, min.y, min.z), e.y, e.z, false, right));
+    p.push(rect_panel_yz(
+        Vec3::new(max.x, min.y, min.z),
+        e.y,
+        e.z,
+        false,
+        right,
+    ));
 }
 
 /// Outward-facing faces of a box `[min, max]`; `face_on[i]` selects which of
@@ -74,19 +92,37 @@ pub fn outward_box_faces(
         p.push(rect_panel_xz(min, e.x, e.z, false, *mat)); // bottom faces -y
     }
     if face_on[1] {
-        p.push(rect_panel_xz(Vec3::new(min.x, max.y, min.z), e.x, e.z, true, *mat));
+        p.push(rect_panel_xz(
+            Vec3::new(min.x, max.y, min.z),
+            e.x,
+            e.z,
+            true,
+            *mat,
+        ));
     }
     if face_on[2] {
         p.push(rect_panel_xy(min, e.x, e.y, false, *mat)); // front faces -z
     }
     if face_on[3] {
-        p.push(rect_panel_xy(Vec3::new(min.x, min.y, max.z), e.x, e.y, true, *mat));
+        p.push(rect_panel_xy(
+            Vec3::new(min.x, min.y, max.z),
+            e.x,
+            e.y,
+            true,
+            *mat,
+        ));
     }
     if face_on[4] {
         p.push(rect_panel_yz(min, e.y, e.z, false, *mat)); // left faces -x
     }
     if face_on[5] {
-        p.push(rect_panel_yz(Vec3::new(max.x, min.y, min.z), e.y, e.z, true, *mat));
+        p.push(rect_panel_yz(
+            Vec3::new(max.x, min.y, min.z),
+            e.y,
+            e.z,
+            true,
+            *mat,
+        ));
     }
 }
 
@@ -99,7 +135,13 @@ pub fn outward_box(
     mat: &Material,
     skip_bottom: bool,
 ) {
-    outward_box_faces(p, min, max, mat, [!skip_bottom, true, true, true, true, true]);
+    outward_box_faces(
+        p,
+        min,
+        max,
+        mat,
+        [!skip_bottom, true, true, true, true, true],
+    );
 }
 
 #[cfg(test)]

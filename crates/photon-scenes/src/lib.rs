@@ -18,7 +18,7 @@
 
 pub mod builder;
 
-use builder::{outward_box, room_shell, rect_panel_xz, rect_panel_xy, rect_panel_yz};
+use builder::{outward_box, rect_panel_xy, rect_panel_xz, rect_panel_yz, room_shell};
 use photon_geom::{Luminaire, Material, Scene, SurfacePatch};
 use photon_math::{Rgb, Vec3};
 
@@ -35,6 +35,29 @@ pub struct ViewSpec {
     pub vfov_deg: f64,
 }
 
+impl ViewSpec {
+    /// This view orbited about its target: the eye rotates in the ground
+    /// plane to `phase01` (fraction of a full turn) at `radius_scale`
+    /// times the original eye-target distance, keeping the eye's height.
+    ///
+    /// The shared camera-sweep generator for walkthrough-style clients
+    /// (serving benchmarks, examples, acceptance tests): every view in the
+    /// sweep still looks at the scene's landmark.
+    pub fn orbited(&self, phase01: f64, radius_scale: f64) -> ViewSpec {
+        let radius = (self.eye - self.target).length() * radius_scale;
+        let phase = phase01 * std::f64::consts::TAU;
+        ViewSpec {
+            eye: self.target
+                + Vec3::new(
+                    radius * phase.cos(),
+                    self.eye.y - self.target.y,
+                    radius * phase.sin(),
+                ),
+            ..*self
+        }
+    }
+}
+
 /// The three evaluation scenes, for parameter sweeps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TestScene {
@@ -48,8 +71,11 @@ pub enum TestScene {
 
 impl TestScene {
     /// All three scenes in paper order.
-    pub const ALL: [TestScene; 3] =
-        [TestScene::CornellBox, TestScene::HarpsichordRoom, TestScene::ComputerLab];
+    pub const ALL: [TestScene; 3] = [
+        TestScene::CornellBox,
+        TestScene::HarpsichordRoom,
+        TestScene::ComputerLab,
+    ];
 
     /// Human-readable name as used in the paper.
     pub fn name(self) -> &'static str {
@@ -159,18 +185,66 @@ pub fn cornell_box() -> Scene {
         false, // front faces -z (toward the viewer)
         mirror,
     ));
-    p.push(rect_panel_xy(Vec3::new(1.9, 2.2, 2.80), 1.8, 1.4, true, white.clone_m()));
+    p.push(rect_panel_xy(
+        Vec3::new(1.9, 2.2, 2.80),
+        1.8,
+        1.4,
+        true,
+        white.clone_m(),
+    ));
     // Mirror edge strips (4 thin white quads around the plate).
     let strip = white.clone_m();
-    p.push(rect_panel_xy(Vec3::new(1.9, 2.17, 2.79), 1.8, 0.03, false, strip.clone_m()));
-    p.push(rect_panel_xy(Vec3::new(1.9, 3.60, 2.79), 1.8, 0.03, false, strip.clone_m()));
-    p.push(rect_panel_yz(Vec3::new(1.87, 2.2, 2.79), 1.4, 0.03, false, strip.clone_m()));
-    p.push(rect_panel_yz(Vec3::new(3.70, 2.2, 2.79), 1.4, 0.03, false, strip.clone_m()));
+    p.push(rect_panel_xy(
+        Vec3::new(1.9, 2.17, 2.79),
+        1.8,
+        0.03,
+        false,
+        strip.clone_m(),
+    ));
+    p.push(rect_panel_xy(
+        Vec3::new(1.9, 3.60, 2.79),
+        1.8,
+        0.03,
+        false,
+        strip.clone_m(),
+    ));
+    p.push(rect_panel_yz(
+        Vec3::new(1.87, 2.2, 2.79),
+        1.4,
+        0.03,
+        false,
+        strip.clone_m(),
+    ));
+    p.push(rect_panel_yz(
+        Vec3::new(3.70, 2.2, 2.79),
+        1.4,
+        0.03,
+        false,
+        strip.clone_m(),
+    ));
 
     // Ceiling trim strips (4).
-    p.push(rect_panel_xz(Vec3::new(0.0, s - 0.02, 0.0), s, 0.15, false, white.clone_m()));
-    p.push(rect_panel_xz(Vec3::new(0.0, s - 0.02, s - 0.15), s, 0.15, false, white.clone_m()));
-    p.push(rect_panel_xz(Vec3::new(0.0, s - 0.02, 0.15), 0.15, s - 0.3, false, white.clone_m()));
+    p.push(rect_panel_xz(
+        Vec3::new(0.0, s - 0.02, 0.0),
+        s,
+        0.15,
+        false,
+        white.clone_m(),
+    ));
+    p.push(rect_panel_xz(
+        Vec3::new(0.0, s - 0.02, s - 0.15),
+        s,
+        0.15,
+        false,
+        white.clone_m(),
+    ));
+    p.push(rect_panel_xz(
+        Vec3::new(0.0, s - 0.02, 0.15),
+        0.15,
+        s - 0.3,
+        false,
+        white.clone_m(),
+    ));
     p.push(rect_panel_xz(
         Vec3::new(s - 0.15, s - 0.02, 0.15),
         0.15,
@@ -180,7 +254,13 @@ pub fn cornell_box() -> Scene {
     ));
 
     // Door panel on the front wall, two picture frames on the side walls.
-    p.push(rect_panel_xy(Vec3::new(4.2, 0.0, 0.02), 1.0, 2.2, true, white.clone_m()));
+    p.push(rect_panel_xy(
+        Vec3::new(4.2, 0.0, 0.02),
+        1.0,
+        2.2,
+        true,
+        white.clone_m(),
+    ));
     p.push(rect_panel_yz(
         Vec3::new(0.02, 2.0, 1.0),
         1.2,
@@ -235,22 +315,69 @@ pub fn harpsichord_room() -> Scene {
     // Two skylights in the ceiling, emitting collimated sunlight. (2)
     let sun = Rgb::new(1.0, 0.95, 0.85);
     let sky1 = p.len() as u32;
-    p.push(rect_panel_xz(Vec3::new(1.2, h - 0.01, 1.5), 1.2, 0.9, false, Material::emitter(sun)));
+    p.push(rect_panel_xz(
+        Vec3::new(1.2, h - 0.01, 1.5),
+        1.2,
+        0.9,
+        false,
+        Material::emitter(sun),
+    ));
     let sky2 = p.len() as u32;
-    p.push(rect_panel_xz(Vec3::new(4.4, h - 0.01, 1.5), 1.2, 0.9, false, Material::emitter(sun)));
+    p.push(rect_panel_xz(
+        Vec3::new(4.4, h - 0.01, 1.5),
+        1.2,
+        0.9,
+        false,
+        Material::emitter(sun),
+    ));
     // Skylight frames: 4 strips each. (8)
     for &x0 in &[1.2, 4.4] {
-        p.push(rect_panel_xz(Vec3::new(x0 - 0.08, h - 0.02, 1.42), 1.36, 0.08, false, wood.clone_m()));
-        p.push(rect_panel_xz(Vec3::new(x0 - 0.08, h - 0.02, 2.40), 1.36, 0.08, false, wood.clone_m()));
-        p.push(rect_panel_xz(Vec3::new(x0 - 0.08, h - 0.02, 1.50), 0.08, 0.90, false, wood.clone_m()));
-        p.push(rect_panel_xz(Vec3::new(x0 + 1.20, h - 0.02, 1.50), 0.08, 0.90, false, wood.clone_m()));
+        p.push(rect_panel_xz(
+            Vec3::new(x0 - 0.08, h - 0.02, 1.42),
+            1.36,
+            0.08,
+            false,
+            wood.clone_m(),
+        ));
+        p.push(rect_panel_xz(
+            Vec3::new(x0 - 0.08, h - 0.02, 2.40),
+            1.36,
+            0.08,
+            false,
+            wood.clone_m(),
+        ));
+        p.push(rect_panel_xz(
+            Vec3::new(x0 - 0.08, h - 0.02, 1.50),
+            0.08,
+            0.90,
+            false,
+            wood.clone_m(),
+        ));
+        p.push(rect_panel_xz(
+            Vec3::new(x0 + 1.20, h - 0.02, 1.50),
+            0.08,
+            0.90,
+            false,
+            wood.clone_m(),
+        ));
     }
 
     // Harpsichord body: a box on 4 square legs. (5 + 16)
-    outward_box(&mut p, Vec3::new(2.2, 0.7, 2.6), Vec3::new(4.6, 1.0, 3.7), &dark_wood, true);
+    outward_box(
+        &mut p,
+        Vec3::new(2.2, 0.7, 2.6),
+        Vec3::new(4.6, 1.0, 3.7),
+        &dark_wood,
+        true,
+    );
     for (lx, lz) in [(2.3, 2.7), (4.4, 2.7), (2.3, 3.5), (4.4, 3.5)] {
         // 4 faces per leg (no top/bottom).
-        outward_box_sides(&mut p, Vec3::new(lx, 0.0, lz), Vec3::new(lx + 0.1, 0.7, lz + 0.1), &dark_wood);
+        outward_box_sides(
+            &mut p,
+            Vec3::new(lx, 0.0, lz),
+            Vec3::new(lx + 0.1, 0.7, lz + 0.1),
+            &dark_wood,
+        );
     }
     // Raised lid (1) propped open plus lid stick (1). (2)
     p.push(SurfacePatch::new(
@@ -262,11 +389,35 @@ pub fn harpsichord_room() -> Scene {
         ),
         dark_wood.clone_m(),
     ));
-    p.push(rect_panel_yz(Vec3::new(3.4, 1.0, 3.7), 0.9, 0.05, false, wood.clone_m()));
+    p.push(rect_panel_yz(
+        Vec3::new(3.4, 1.0, 3.7),
+        0.9,
+        0.05,
+        false,
+        wood.clone_m(),
+    ));
     // Keyboard shelf + two key banks. (3)
-    p.push(rect_panel_xz(Vec3::new(2.4, 0.95, 2.35), 2.0, 0.25, true, wood.clone_m()));
-    p.push(rect_panel_xz(Vec3::new(2.45, 0.97, 2.38), 0.9, 0.18, true, Material::matte(Rgb::gray(0.9))));
-    p.push(rect_panel_xz(Vec3::new(3.45, 0.97, 2.38), 0.9, 0.18, true, Material::matte(Rgb::gray(0.15))));
+    p.push(rect_panel_xz(
+        Vec3::new(2.4, 0.95, 2.35),
+        2.0,
+        0.25,
+        true,
+        wood.clone_m(),
+    ));
+    p.push(rect_panel_xz(
+        Vec3::new(2.45, 0.97, 2.38),
+        0.9,
+        0.18,
+        true,
+        Material::matte(Rgb::gray(0.9)),
+    ));
+    p.push(rect_panel_xz(
+        Vec3::new(3.45, 0.97, 2.38),
+        0.9,
+        0.18,
+        true,
+        Material::matte(Rgb::gray(0.15)),
+    ));
 
     // Mirrored music shelf on the back wall: mirror + shelf board + 2 sides
     // + top. (5)
@@ -277,23 +428,76 @@ pub fn harpsichord_room() -> Scene {
         false, // faces -z, into the room
         Material::mirror(0.9),
     ));
-    p.push(rect_panel_xz(Vec3::new(2.6, 1.35, d - 0.35), 1.6, 0.3, true, wood.clone_m()));
-    p.push(rect_panel_yz(Vec3::new(2.6, 1.35, d - 0.35), 1.1, 0.3, true, wood.clone_m()));
-    p.push(rect_panel_yz(Vec3::new(4.2, 1.35, d - 0.35), 1.1, 0.3, false, wood.clone_m()));
-    p.push(rect_panel_xz(Vec3::new(2.6, 2.45, d - 0.35), 1.6, 0.3, false, wood.clone_m()));
+    p.push(rect_panel_xz(
+        Vec3::new(2.6, 1.35, d - 0.35),
+        1.6,
+        0.3,
+        true,
+        wood.clone_m(),
+    ));
+    p.push(rect_panel_yz(
+        Vec3::new(2.6, 1.35, d - 0.35),
+        1.1,
+        0.3,
+        true,
+        wood.clone_m(),
+    ));
+    p.push(rect_panel_yz(
+        Vec3::new(4.2, 1.35, d - 0.35),
+        1.1,
+        0.3,
+        false,
+        wood.clone_m(),
+    ));
+    p.push(rect_panel_xz(
+        Vec3::new(2.6, 2.45, d - 0.35),
+        1.6,
+        0.3,
+        false,
+        wood.clone_m(),
+    ));
 
     // Bench: top + 4 legs x 4 faces. (1 + 16)
-    p.push(rect_panel_xz(Vec3::new(3.0, 0.45, 1.4), 1.0, 0.4, true, wood.clone_m()));
+    p.push(rect_panel_xz(
+        Vec3::new(3.0, 0.45, 1.4),
+        1.0,
+        0.4,
+        true,
+        wood.clone_m(),
+    ));
     for (lx, lz) in [(3.05, 1.45), (3.9, 1.45), (3.05, 1.72), (3.9, 1.72)] {
-        outward_box_sides(&mut p, Vec3::new(lx, 0.0, lz), Vec3::new(lx + 0.06, 0.45, lz + 0.06), &wood);
+        outward_box_sides(
+            &mut p,
+            Vec3::new(lx, 0.0, lz),
+            Vec3::new(lx + 0.06, 0.45, lz + 0.06),
+            &wood,
+        );
     }
 
     // Wall paneling: wainscot boards along the four walls. (12)
     for i in 0..4 {
         let x0 = 0.02 + i as f64 * 1.74;
-        p.push(rect_panel_yz(Vec3::new(0.02, 0.1, 0.3 + i as f64 * 1.4), 1.0, 1.2, true, wood.clone_m()));
-        p.push(rect_panel_yz(Vec3::new(w - 0.02, 0.1, 0.3 + i as f64 * 1.4), 1.0, 1.2, false, wood.clone_m()));
-        p.push(rect_panel_xy(Vec3::new(x0, 0.1, 0.02), 1.5, 1.0, true, wood.clone_m()));
+        p.push(rect_panel_yz(
+            Vec3::new(0.02, 0.1, 0.3 + i as f64 * 1.4),
+            1.0,
+            1.2,
+            true,
+            wood.clone_m(),
+        ));
+        p.push(rect_panel_yz(
+            Vec3::new(w - 0.02, 0.1, 0.3 + i as f64 * 1.4),
+            1.0,
+            1.2,
+            false,
+            wood.clone_m(),
+        ));
+        p.push(rect_panel_xy(
+            Vec3::new(x0, 0.1, 0.02),
+            1.5,
+            1.0,
+            true,
+            wood.clone_m(),
+        ));
     }
     // Five ceiling beams. (5)
     for i in 0..5 {
@@ -316,13 +520,49 @@ pub fn harpsichord_room() -> Scene {
         ));
     }
     // Skirting boards along the four walls. (4)
-    p.push(rect_panel_xy(Vec3::new(0.0, 0.0, 0.04), w, 0.1, true, dark_wood.clone_m()));
-    p.push(rect_panel_xy(Vec3::new(0.0, 0.0, d - 0.04), w, 0.1, false, dark_wood.clone_m()));
-    p.push(rect_panel_yz(Vec3::new(0.04, 0.0, 0.0), 0.1, d, true, dark_wood.clone_m()));
-    p.push(rect_panel_yz(Vec3::new(w - 0.04, 0.0, 0.0), 0.1, d, false, dark_wood.clone_m()));
+    p.push(rect_panel_xy(
+        Vec3::new(0.0, 0.0, 0.04),
+        w,
+        0.1,
+        true,
+        dark_wood.clone_m(),
+    ));
+    p.push(rect_panel_xy(
+        Vec3::new(0.0, 0.0, d - 0.04),
+        w,
+        0.1,
+        false,
+        dark_wood.clone_m(),
+    ));
+    p.push(rect_panel_yz(
+        Vec3::new(0.04, 0.0, 0.0),
+        0.1,
+        d,
+        true,
+        dark_wood.clone_m(),
+    ));
+    p.push(rect_panel_yz(
+        Vec3::new(w - 0.04, 0.0, 0.0),
+        0.1,
+        d,
+        false,
+        dark_wood.clone_m(),
+    ));
     // Two framed pictures and four window panes on the front wall. (6)
-    p.push(rect_panel_yz(Vec3::new(0.03, 1.6, 2.0), 0.9, 1.2, true, Material::matte(Rgb::new(0.5, 0.4, 0.3))));
-    p.push(rect_panel_yz(Vec3::new(w - 0.03, 1.6, 3.4), 0.9, 1.2, false, Material::matte(Rgb::new(0.3, 0.4, 0.5))));
+    p.push(rect_panel_yz(
+        Vec3::new(0.03, 1.6, 2.0),
+        0.9,
+        1.2,
+        true,
+        Material::matte(Rgb::new(0.5, 0.4, 0.3)),
+    ));
+    p.push(rect_panel_yz(
+        Vec3::new(w - 0.03, 1.6, 3.4),
+        0.9,
+        1.2,
+        false,
+        Material::matte(Rgb::new(0.3, 0.4, 0.5)),
+    ));
     for i in 0..4 {
         p.push(rect_panel_xy(
             Vec3::new(1.8 + i as f64 * 0.55, 1.4, 0.03),
@@ -344,7 +584,13 @@ pub fn harpsichord_room() -> Scene {
         ),
         Material::matte(Rgb::gray(0.85)),
     ));
-    p.push(rect_panel_yz(Vec3::new(3.38, 1.0, d - 0.42), 0.45, 0.06, false, wood.clone_m()));
+    p.push(rect_panel_yz(
+        Vec3::new(3.38, 1.0, d - 0.42),
+        0.45,
+        0.06,
+        false,
+        wood.clone_m(),
+    ));
     p.push(rect_panel_xz(
         Vec3::new(2.0, 0.01, 1.0),
         3.0,
@@ -352,16 +598,44 @@ pub fn harpsichord_room() -> Scene {
         false,
         Material::matte(Rgb::new(0.45, 0.12, 0.12)),
     ));
-    p.push(rect_panel_xy(Vec3::new(0.6, 0.0, 0.02), 0.9, 2.1, true, dark_wood.clone_m()));
-    p.push(rect_panel_xy(Vec3::new(5.5, 1.0, 0.02), 1.1, 1.3, true, wall.clone_m()));
+    p.push(rect_panel_xy(
+        Vec3::new(0.6, 0.0, 0.02),
+        0.9,
+        2.1,
+        true,
+        dark_wood.clone_m(),
+    ));
+    p.push(rect_panel_xy(
+        Vec3::new(5.5, 1.0, 0.02),
+        1.1,
+        1.3,
+        true,
+        wall.clone_m(),
+    ));
 
     // The paper's sun: skylights collimated to a 0.5-degree disc.
     let lums = vec![
-        Luminaire { patch_id: sky1, power: Rgb::new(400.0, 380.0, 340.0), collimation: 0.005 },
-        Luminaire { patch_id: sky2, power: Rgb::new(400.0, 380.0, 340.0), collimation: 0.005 },
+        Luminaire {
+            patch_id: sky1,
+            power: Rgb::new(400.0, 380.0, 340.0),
+            collimation: 0.005,
+        },
+        Luminaire {
+            patch_id: sky2,
+            power: Rgb::new(400.0, 380.0, 340.0),
+            collimation: 0.005,
+        },
         // Plus a dim diffuse-sky component through the same openings.
-        Luminaire { patch_id: sky1, power: Rgb::new(40.0, 45.0, 60.0), collimation: 1.0 },
-        Luminaire { patch_id: sky2, power: Rgb::new(40.0, 45.0, 60.0), collimation: 1.0 },
+        Luminaire {
+            patch_id: sky1,
+            power: Rgb::new(40.0, 45.0, 60.0),
+            collimation: 1.0,
+        },
+        Luminaire {
+            patch_id: sky2,
+            power: Rgb::new(40.0, 45.0, 60.0),
+            collimation: 1.0,
+        },
     ];
     Scene::new(p, lums)
 }
@@ -421,7 +695,13 @@ pub fn computer_lab() -> Scene {
             let x = 1.2 + i as f64 * 2.25;
             let z = 1.8 + j as f64 * 2.1;
             // Desk top (1) + 4 aprons (4).
-            p.push(rect_panel_xz(Vec3::new(x, 0.75, z), 1.4, 0.8, true, desk_mat.clone_m()));
+            p.push(rect_panel_xz(
+                Vec3::new(x, 0.75, z),
+                1.4,
+                0.8,
+                true,
+                desk_mat.clone_m(),
+            ));
             outward_box_sides(
                 &mut p,
                 Vec3::new(x, 0.0, z),
@@ -444,7 +724,13 @@ pub fn computer_lab() -> Scene {
                 screen.clone_m(),
             ));
             // Keyboard (1) and mouse pad (1).
-            p.push(rect_panel_xz(Vec3::new(x + 0.45, 0.76, z + 0.05), 0.5, 0.2, true, plastic.clone_m()));
+            p.push(rect_panel_xz(
+                Vec3::new(x + 0.45, 0.76, z + 0.05),
+                0.5,
+                0.2,
+                true,
+                plastic.clone_m(),
+            ));
             p.push(rect_panel_xz(
                 Vec3::new(x + 1.05, 0.755, z + 0.08),
                 0.22,
@@ -453,12 +739,33 @@ pub fn computer_lab() -> Scene {
                 Material::matte(Rgb::new(0.2, 0.25, 0.5)),
             ));
             // Chair: seat + back + 4 single-quad legs. (6)
-            p.push(rect_panel_xz(Vec3::new(x + 0.45, 0.45, z - 0.6), 0.5, 0.5, true, plastic.clone_m()));
-            p.push(rect_panel_xy(Vec3::new(x + 0.45, 0.45, z - 0.62), 0.5, 0.5, true, plastic.clone_m()));
-            for (lx, lz) in
-                [(x + 0.47, z - 0.58), (x + 0.91, z - 0.58), (x + 0.47, z - 0.14), (x + 0.91, z - 0.14)]
-            {
-                p.push(rect_panel_xy(Vec3::new(lx, 0.0, lz), 0.04, 0.44, true, plastic.clone_m()));
+            p.push(rect_panel_xz(
+                Vec3::new(x + 0.45, 0.45, z - 0.6),
+                0.5,
+                0.5,
+                true,
+                plastic.clone_m(),
+            ));
+            p.push(rect_panel_xy(
+                Vec3::new(x + 0.45, 0.45, z - 0.62),
+                0.5,
+                0.5,
+                true,
+                plastic.clone_m(),
+            ));
+            for (lx, lz) in [
+                (x + 0.47, z - 0.58),
+                (x + 0.91, z - 0.58),
+                (x + 0.47, z - 0.14),
+                (x + 0.91, z - 0.14),
+            ] {
+                p.push(rect_panel_xy(
+                    Vec3::new(lx, 0.0, lz),
+                    0.04,
+                    0.44,
+                    true,
+                    plastic.clone_m(),
+                ));
             }
         }
     }
@@ -475,7 +782,13 @@ pub fn sun_room(occluder_height: f64, collimation: f64) -> Scene {
     let mut p = Vec::new();
     let white = Material::matte(Rgb::gray(0.8));
     // Floor 10 x 10.
-    p.push(rect_panel_xz(Vec3::new(-5.0, 0.0, -5.0), 10.0, 10.0, true, white.clone_m()));
+    p.push(rect_panel_xz(
+        Vec3::new(-5.0, 0.0, -5.0),
+        10.0,
+        10.0,
+        true,
+        white.clone_m(),
+    ));
     // Occluder: 1 x 1 plate centered at origin.
     p.push(rect_panel_xz(
         Vec3::new(-0.5, occluder_height, -0.5),
@@ -493,21 +806,26 @@ pub fn sun_room(occluder_height: f64, collimation: f64) -> Scene {
     ));
     // Sun panel high above, facing down.
     let sun_id = p.len() as u32;
-    p.push(rect_panel_xz(Vec3::new(-5.0, 8.0, -5.0), 10.0, 10.0, false, Material::emitter(Rgb::WHITE)));
+    p.push(rect_panel_xz(
+        Vec3::new(-5.0, 8.0, -5.0),
+        10.0,
+        10.0,
+        false,
+        Material::emitter(Rgb::WHITE),
+    ));
     Scene::new(
         p,
-        vec![Luminaire { patch_id: sun_id, power: Rgb::gray(100.0), collimation }],
+        vec![Luminaire {
+            patch_id: sun_id,
+            power: Rgb::gray(100.0),
+            collimation,
+        }],
     )
 }
 
 /// Helper: 4 side faces of an axis-aligned box (no top/bottom) — table and
 /// bench legs.
-fn outward_box_sides(
-    p: &mut Vec<SurfacePatch>,
-    min: Vec3,
-    max: Vec3,
-    mat: &Material,
-) {
+fn outward_box_sides(p: &mut Vec<SurfacePatch>, min: Vec3, max: Vec3, mat: &Material) {
     builder::outward_box_faces(p, min, max, mat, [false, false, true, true, true, true]);
 }
 
@@ -593,6 +911,23 @@ mod tests {
         let s = sun_room(1.0, 0.005);
         assert_eq!(s.luminaires()[0].collimation, 0.005);
         assert_eq!(s.polygon_count(), 4);
+    }
+
+    #[test]
+    fn orbited_views_keep_target_distance_and_height() {
+        let v = TestScene::CornellBox.view();
+        let r = (v.eye - v.target).length();
+        for i in 0..8 {
+            let o = v.orbited(i as f64 / 8.0, 1.0);
+            assert!(
+                ((o.eye - o.target).length() - r).abs() < 1e-9,
+                "orbit {i} changed radius"
+            );
+            assert!((o.eye.y - v.eye.y).abs() < 1e-9, "orbit {i} changed height");
+            assert_eq!(o.target, v.target);
+        }
+        let far = v.orbited(0.25, 2.0);
+        assert!(((far.eye - far.target).length() - 2.0 * r).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! The view cache: an LRU of rendered images keyed by (scene, quantized
+//! camera).
+//!
+//! Serving many clients against a handful of stored answers is dominated by
+//! repeated and near-identical views (walkthrough clients orbit the same
+//! landmarks; dashboards poll fixed viewpoints). Since the answer is
+//! static between simulations, a rendered view is a pure function of
+//! `(scene, camera)` — so caching is exact, and quantizing the camera before
+//! keying folds views that differ by sub-voxel jitter into one entry.
+
+use crate::store::SceneId;
+use photon_core::Camera;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A cache key: scene id plus camera pose snapped to a lattice.
+///
+/// Positions quantize to `1 / grid` world units and the field of view to
+/// centidegrees; two cameras landing on the same lattice point render
+/// within one cell of each other, visually indistinguishable at the cell
+/// sizes the service defaults to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ViewKey {
+    scene: SceneId,
+    eye: [i64; 3],
+    target: [i64; 3],
+    up: [i64; 3],
+    vfov_cdeg: i64,
+    width: usize,
+    height: usize,
+}
+
+impl ViewKey {
+    /// Quantizes a request with `grid` lattice cells per world unit.
+    pub fn quantize(scene: SceneId, camera: &Camera, grid: f64) -> Self {
+        let q = |v: f64| (v * grid).round() as i64;
+        let qv = |v: photon_math::Vec3| [q(v.x), q(v.y), q(v.z)];
+        ViewKey {
+            scene,
+            eye: qv(camera.eye),
+            target: qv(camera.target),
+            up: qv(camera.up),
+            vfov_cdeg: (camera.vfov_deg * 100.0).round() as i64,
+            width: camera.width,
+            height: camera.height,
+        }
+    }
+}
+
+/// A least-recently-used map with hit/miss accounting.
+///
+/// Recency is a monotonic tick: `map` holds `key -> (value, tick)` and
+/// `order` mirrors `tick -> key`, so eviction pops the smallest tick and a
+/// touch moves one key's tick to the front. Both sides stay O(log n).
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, (V, u64)>,
+    order: BTreeMap<u64, K>,
+    tick: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`; the service models "no cache" by not
+    /// constructing one.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity cache; disable caching instead");
+        LruCache {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((_, stamp)) => {
+                self.order.remove(stamp);
+                self.order.insert(tick, key.clone());
+                *stamp = tick;
+                self.hits += 1;
+                self.map.get(key).map(|(v, _)| v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key -> value` as most recently used, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if let Some((_, old)) = self.map.insert(key.clone(), (value, self.tick)) {
+            self.order.remove(&old);
+        }
+        self.order.insert(self.tick, key);
+        while self.map.len() > self.capacity {
+            let (_, victim) = self.order.pop_first().expect("order mirrors map");
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_math::Vec3;
+
+    fn cam(eye_x: f64) -> Camera {
+        Camera {
+            eye: Vec3::new(eye_x, 1.0, -3.0),
+            target: Vec3::new(0.0, 1.0, 0.0),
+            up: Vec3::Y,
+            vfov_deg: 45.0,
+            width: 64,
+            height: 48,
+        }
+    }
+
+    #[test]
+    fn quantization_folds_jitter_and_separates_views() {
+        let a = ViewKey::quantize(SceneId(0), &cam(1.0), 256.0);
+        let jittered = ViewKey::quantize(SceneId(0), &cam(1.0 + 1e-4), 256.0);
+        let moved = ViewKey::quantize(SceneId(0), &cam(1.5), 256.0);
+        let other_scene = ViewKey::quantize(SceneId(1), &cam(1.0), 256.0);
+        assert_eq!(a, jittered, "sub-cell jitter must share a key");
+        assert_ne!(a, moved);
+        assert_ne!(a, other_scene);
+        let mut resized = cam(1.0);
+        resized.width = 128;
+        assert_ne!(a, ViewKey::quantize(SceneId(0), &resized, 256.0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some(&"one")); // 1 is now most recent
+        c.insert(3, "three"); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), Some(&1));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+}

@@ -1,0 +1,48 @@
+//! photon-serve: a concurrent answer-serving render service.
+//!
+//! The dissertation's payoff is that Photon's output is *view-independent*:
+//! "once the simulation is finished, all that remains is to determine what
+//! is displayed" (ch. 4). One expensive simulation therefore amortizes over
+//! unlimited cheap view queries — the same shape as a production renderer
+//! serving walkthrough traffic. This crate is that serving layer, built on
+//! the existing pieces:
+//!
+//! | module | role |
+//! |--------|------|
+//! | [`store`] | registry of `(Scene, Answer)` pairs, persisted via the `PHOTANS1` codec |
+//! | [`render`] | tile-parallel rendering over `photon-par`'s worker pool, bit-identical to the serial viewer |
+//! | [`cache`] | LRU of rendered views keyed by (scene, quantized camera) |
+//! | [`service`] | submission queue → batching dispatcher → cache/coalesce/render |
+//! | [`metrics`] | p50/p99 latency, queries/sec, and per-batch speed traces in the `perf` style |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use photon_serve::{AnswerStore, RenderRequest, RenderService, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! # fn scene_and_answer() -> (photon_geom::Scene, photon_core::Answer) { unimplemented!() }
+//! # fn some_camera() -> photon_core::Camera { unimplemented!() }
+//! let (scene, answer) = scene_and_answer(); // simulate once, offline
+//! let store = Arc::new(AnswerStore::new());
+//! let id = store.insert("cornell", scene, answer);
+//! let service = RenderService::start(store, ServeConfig::default());
+//! let view = service
+//!     .render_blocking(RenderRequest { scene_id: id, camera: some_camera() })
+//!     .unwrap();
+//! assert_eq!(view.image.width(), some_camera().width);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod render;
+pub mod service;
+pub mod store;
+
+pub use cache::{LruCache, ViewKey};
+pub use metrics::{LatencySummary, MetricsSnapshot, RequestOutcome};
+pub use render::render_parallel;
+pub use service::{RenderRequest, RenderResponse, RenderService, ServeConfig, ServeError, Ticket};
+pub use store::{AnswerStore, SceneId, StoredAnswer};

@@ -1,0 +1,197 @@
+//! Service metrics: request latency percentiles and throughput, in the
+//! `perf` house style.
+//!
+//! The simulator's perf layer records speed-vs-time traces per batch
+//! ([`SpeedTrace`]); the serving layer does the same with dispatch batches —
+//! one sample per drained queue batch, rate in requests/second — and adds
+//! the request-level accounting a service needs: completed/rendered/cache
+//! splits and p50/p99 latency over the full run.
+
+use photon_core::SpeedTrace;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Latency distribution summary, milliseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Worst observed latency.
+    pub max_ms: f64,
+}
+
+/// Point-in-time copy of the service counters.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Requests answered (rendered, coalesced, or cache hits).
+    pub completed: u64,
+    /// Requests answered by actually rendering.
+    pub rendered: u64,
+    /// Requests answered from the view cache.
+    pub cache_hits: u64,
+    /// Requests answered by riding an identical render in the same batch.
+    pub coalesced: u64,
+    /// Dispatch batches drained.
+    pub batches: u64,
+    /// Completed requests per second of service uptime.
+    pub qps: f64,
+    /// Request latency distribution.
+    pub latency: LatencySummary,
+    /// Per-dispatch-batch rate trace (requests/second), perf style.
+    pub speed: SpeedTrace,
+}
+
+struct Inner {
+    latencies_us: Vec<u64>,
+    rendered: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    batches: u64,
+    speed: SpeedTrace,
+}
+
+/// Shared metrics sink written by the dispatcher, read by anyone.
+pub struct ServiceMetrics {
+    start: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics anchored at "now".
+    pub fn new() -> Self {
+        ServiceMetrics {
+            start: Instant::now(),
+            inner: Mutex::new(Inner {
+                latencies_us: Vec::new(),
+                rendered: 0,
+                cache_hits: 0,
+                coalesced: 0,
+                batches: 0,
+                speed: SpeedTrace::new(),
+            }),
+        }
+    }
+
+    /// Records one answered request and how it was satisfied.
+    pub fn record_request(&self, latency: Duration, outcome: RequestOutcome) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.latencies_us.push(latency.as_micros() as u64);
+        match outcome {
+            RequestOutcome::Rendered => inner.rendered += 1,
+            RequestOutcome::CacheHit => inner.cache_hits += 1,
+            RequestOutcome::Coalesced => inner.coalesced += 1,
+        }
+    }
+
+    /// Records one drained dispatch batch of `requests`, taking
+    /// `batch_seconds` to serve.
+    pub fn record_batch(&self, requests: u64, batch_seconds: f64) {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let mut inner = self.inner.lock().unwrap();
+        inner.batches += 1;
+        inner.speed.push_batch(elapsed, requests, batch_seconds);
+    }
+
+    /// Snapshots every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let completed = inner.latencies_us.len() as u64;
+        let uptime = self.start.elapsed().as_secs_f64();
+        MetricsSnapshot {
+            completed,
+            rendered: inner.rendered,
+            cache_hits: inner.cache_hits,
+            coalesced: inner.coalesced,
+            batches: inner.batches,
+            qps: if uptime > 0.0 {
+                completed as f64 / uptime
+            } else {
+                0.0
+            },
+            latency: summarize(&inner.latencies_us),
+            speed: inner.speed.clone(),
+        }
+    }
+}
+
+/// How a request was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// A fresh tile-parallel render.
+    Rendered,
+    /// Served from the LRU view cache.
+    CacheHit,
+    /// Shared an identical render within one dispatch batch.
+    Coalesced,
+}
+
+/// Summarizes microsecond latencies (nearest-rank percentiles).
+fn summarize(latencies_us: &[u64]) -> LatencySummary {
+    if latencies_us.is_empty() {
+        return LatencySummary::default();
+    }
+    let mut sorted = latencies_us.to_vec();
+    sorted.sort_unstable();
+    let pick = |q: f64| {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1] as f64 / 1000.0
+    };
+    LatencySummary {
+        count: sorted.len() as u64,
+        mean_ms: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1000.0,
+        p50_ms: pick(0.50),
+        p99_ms: pick(0.99),
+        max_ms: *sorted.last().unwrap() as f64 / 1000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        // 1..=100 ms in microseconds.
+        let us: Vec<u64> = (1..=100).map(|ms| ms * 1000).collect();
+        let s = summarize(&us);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn outcomes_split_the_counters() {
+        let m = ServiceMetrics::new();
+        m.record_request(Duration::from_millis(2), RequestOutcome::Rendered);
+        m.record_request(Duration::from_millis(1), RequestOutcome::CacheHit);
+        m.record_request(Duration::from_millis(1), RequestOutcome::Coalesced);
+        m.record_batch(3, 0.004);
+        let s = m.snapshot();
+        assert_eq!(s.completed, 3);
+        assert_eq!((s.rendered, s.cache_hits, s.coalesced), (1, 1, 1));
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.speed.total_photons(), 3); // "photons" are requests here
+        assert!(s.qps > 0.0);
+    }
+}

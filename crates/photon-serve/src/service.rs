@@ -1,0 +1,460 @@
+//! The render service: a submission queue feeding a batching dispatcher
+//! over the answer store.
+//!
+//! Request lifecycle:
+//!
+//! 1. [`RenderService::submit`] enqueues a [`RenderRequest`] and hands back
+//!    a [`Ticket`].
+//! 2. The dispatcher thread drains the queue in batches (up to
+//!    [`ServeConfig::max_batch`] at a time), groups requests by scene so
+//!    each stored answer is resolved once per batch, and — when caching is
+//!    on — coalesces requests whose quantized [`ViewKey`]s collide, so one
+//!    tile-parallel render answers all of them.
+//! 3. Misses render across the worker pool
+//!    ([`render_parallel`](crate::render::render_parallel)), land in the
+//!    LRU view cache, and every waiter gets an `Arc` of the same image.
+//!
+//! One dispatcher owns the cache (no lock contention on the hot map); the
+//! heavy lifting inside a render is already parallel at tile granularity,
+//! so the service saturates cores without concurrent dispatchers.
+
+use crate::cache::{LruCache, ViewKey};
+use crate::metrics::{MetricsSnapshot, RequestOutcome, ServiceMetrics};
+use crate::render::render_parallel;
+use crate::store::{AnswerStore, SceneId};
+use photon_core::{Camera, Image};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One view query: which stored answer, seen from where.
+#[derive(Clone, Copy, Debug)]
+pub struct RenderRequest {
+    /// The stored solution to query.
+    pub scene_id: SceneId,
+    /// The viewpoint.
+    pub camera: Camera,
+}
+
+/// A served view.
+#[derive(Clone, Debug)]
+pub struct RenderResponse {
+    /// The rendered (or cached) image; shared, never copied per waiter.
+    pub image: Arc<Image>,
+    /// How the request was satisfied.
+    pub outcome: RequestOutcome,
+    /// Submission-to-response time.
+    pub latency: Duration,
+}
+
+impl RenderResponse {
+    /// True when the image came from the view cache.
+    pub fn from_cache(&self) -> bool {
+        self.outcome == RequestOutcome::CacheHit
+    }
+}
+
+/// Ways a request can fail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named a scene id the store has never seen.
+    UnknownScene(SceneId),
+    /// The service shut down before answering.
+    ServiceStopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownScene(id) => write!(f, "unknown {id}"),
+            ServeError::ServiceStopped => write!(f, "render service stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A pending response handle.
+pub struct Ticket {
+    rx: Receiver<Result<RenderResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the service answers.
+    pub fn wait(self) -> Result<RenderResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ServiceStopped))
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads per tile-parallel render.
+    pub render_threads: usize,
+    /// Tile side in pixels.
+    pub tile_size: usize,
+    /// Most requests drained into one dispatch batch.
+    pub max_batch: usize,
+    /// View-cache entries; `0` disables caching *and* same-batch
+    /// coalescing, so every request pays a full render (the bench's
+    /// baseline mode).
+    pub cache_capacity: usize,
+    /// Camera quantization: lattice cells per world unit (larger = finer =
+    /// fewer cache collisions).
+    pub quant_grid: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            render_threads: std::thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .min(8),
+            tile_size: 32,
+            max_batch: 64,
+            cache_capacity: 256,
+            quant_grid: 256.0,
+        }
+    }
+}
+
+struct Job {
+    request: RenderRequest,
+    submitted: Instant,
+    reply: Sender<Result<RenderResponse, ServeError>>,
+}
+
+/// The concurrent answer-serving engine.
+///
+/// Shareable across client threads by reference (submission is lock-free
+/// enqueue); dropping the service (or calling [`shutdown`][Self::shutdown])
+/// drains in-flight requests and joins the dispatcher.
+pub struct RenderService {
+    tx: Option<Sender<Job>>,
+    dispatcher: Option<JoinHandle<()>>,
+    metrics: Arc<ServiceMetrics>,
+    store: Arc<AnswerStore>,
+}
+
+impl RenderService {
+    /// Starts the dispatcher over `store`.
+    pub fn start(store: Arc<AnswerStore>, config: ServeConfig) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let metrics = Arc::new(ServiceMetrics::new());
+        let dispatcher = {
+            let store = Arc::clone(&store);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("photon-serve-dispatch".into())
+                .spawn(move || dispatch_loop(rx, store, config, metrics))
+                .expect("spawn dispatcher")
+        };
+        RenderService {
+            tx: Some(tx),
+            dispatcher: Some(dispatcher),
+            metrics,
+            store,
+        }
+    }
+
+    /// The store this service answers from.
+    pub fn store(&self) -> &Arc<AnswerStore> {
+        &self.store
+    }
+
+    /// Enqueues a request; the returned ticket resolves when served.
+    pub fn submit(&self, request: RenderRequest) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            submitted: Instant::now(),
+            reply,
+        };
+        if let Some(tx) = &self.tx {
+            // A send error means the dispatcher is gone; the dropped reply
+            // sender surfaces it as ServiceStopped at wait().
+            let _ = tx.send(job);
+        }
+        Ticket { rx }
+    }
+
+    /// Submits and blocks for the response.
+    pub fn render_blocking(&self, request: RenderRequest) -> Result<RenderResponse, ServeError> {
+        self.submit(request).wait()
+    }
+
+    /// Submits a whole batch up front, then waits for every response in
+    /// order — the natural shape for "render these N viewpoints" clients,
+    /// and what lets the dispatcher batch and coalesce them.
+    pub fn render_batch(
+        &self,
+        requests: impl IntoIterator<Item = RenderRequest>,
+    ) -> Vec<Result<RenderResponse, ServeError>> {
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Current service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Stops accepting work, serves what is queued, and joins the
+    /// dispatcher.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RenderService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn dispatch_loop(
+    rx: Receiver<Job>,
+    store: Arc<AnswerStore>,
+    config: ServeConfig,
+    metrics: Arc<ServiceMetrics>,
+) {
+    let mut cache: Option<LruCache<ViewKey, Arc<Image>>> =
+        (config.cache_capacity > 0).then(|| LruCache::new(config.cache_capacity));
+    loop {
+        // Block for the first job, then opportunistically drain the queue.
+        let Ok(first) = rx.recv() else { return };
+        let mut jobs = vec![first];
+        while jobs.len() < config.max_batch.max(1) {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        let batch_start = Instant::now();
+        let drained = jobs.len() as u64;
+
+        // One store lookup per scene per batch.
+        let mut by_scene: BTreeMap<SceneId, Vec<Job>> = BTreeMap::new();
+        for job in jobs {
+            by_scene.entry(job.request.scene_id).or_default().push(job);
+        }
+        for (scene_id, group) in by_scene {
+            let Some(entry) = store.get(scene_id) else {
+                for job in group {
+                    let _ = job.reply.send(Err(ServeError::UnknownScene(scene_id)));
+                }
+                continue;
+            };
+            let render_one = |camera: &Camera| {
+                Arc::new(render_parallel(
+                    &entry.scene,
+                    &entry.answer,
+                    camera,
+                    entry.exposure,
+                    config.render_threads,
+                    config.tile_size,
+                ))
+            };
+            match cache.as_mut() {
+                None => {
+                    for job in group {
+                        let image = render_one(&job.request.camera);
+                        respond(job, image, RequestOutcome::Rendered, &metrics);
+                    }
+                }
+                Some(cache) => {
+                    // Coalesce identical quantized views within the batch,
+                    // preserving first-seen order.
+                    let mut keyed: Vec<(ViewKey, Vec<Job>)> = Vec::new();
+                    for job in group {
+                        let key =
+                            ViewKey::quantize(scene_id, &job.request.camera, config.quant_grid);
+                        match keyed.iter_mut().find(|(k, _)| *k == key) {
+                            Some((_, bucket)) => bucket.push(job),
+                            None => keyed.push((key, vec![job])),
+                        }
+                    }
+                    for (key, bucket) in keyed {
+                        if let Some(image) = cache.get(&key) {
+                            let image = Arc::clone(image);
+                            for job in bucket {
+                                respond(
+                                    job,
+                                    Arc::clone(&image),
+                                    RequestOutcome::CacheHit,
+                                    &metrics,
+                                );
+                            }
+                            continue;
+                        }
+                        let mut bucket = bucket.into_iter();
+                        let leader = bucket.next().expect("bucket never empty");
+                        let image = render_one(&leader.request.camera);
+                        cache.insert(key, Arc::clone(&image));
+                        respond(
+                            leader,
+                            Arc::clone(&image),
+                            RequestOutcome::Rendered,
+                            &metrics,
+                        );
+                        for job in bucket {
+                            respond(job, Arc::clone(&image), RequestOutcome::Coalesced, &metrics);
+                        }
+                    }
+                }
+            }
+        }
+        metrics.record_batch(drained, batch_start.elapsed().as_secs_f64());
+    }
+}
+
+fn respond(job: Job, image: Arc<Image>, outcome: RequestOutcome, metrics: &ServiceMetrics) {
+    let latency = job.submitted.elapsed();
+    metrics.record_request(latency, outcome);
+    // A dead waiter (dropped ticket) is fine; the render still warmed the
+    // cache.
+    let _ = job.reply.send(Ok(RenderResponse {
+        image,
+        outcome,
+        latency,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_core::{SimConfig, Simulator};
+    use photon_math::Vec3;
+    use photon_scenes::TestScene;
+
+    fn store_with_cornell() -> (Arc<AnswerStore>, SceneId) {
+        let mut sim = Simulator::new(
+            TestScene::CornellBox.build(),
+            SimConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        sim.run_photons(2_000);
+        let answer = sim.answer_snapshot();
+        let scene = sim.scene().clone();
+        let store = Arc::new(AnswerStore::new());
+        let id = store.insert("cornell", scene, answer);
+        (store, id)
+    }
+
+    fn cornell_cam(phase: f64) -> Camera {
+        Camera {
+            eye: Vec3::new(2.78 + phase.cos(), 2.73, -7.5 + phase.sin()),
+            target: Vec3::new(2.78, 2.73, 2.8),
+            up: Vec3::Y,
+            vfov_deg: 40.0,
+            width: 24,
+            height: 18,
+        }
+    }
+
+    #[test]
+    fn repeat_views_hit_the_cache() {
+        let (store, id) = store_with_cornell();
+        let service = RenderService::start(store, ServeConfig::default());
+        let req = RenderRequest {
+            scene_id: id,
+            camera: cornell_cam(0.0),
+        };
+        let a = service.render_blocking(req).unwrap();
+        assert_eq!(a.outcome, RequestOutcome::Rendered);
+        let b = service.render_blocking(req).unwrap();
+        assert!(
+            b.from_cache(),
+            "second identical view should be a cache hit"
+        );
+        assert_eq!(a.image.pixels(), b.image.pixels());
+        let m = service.metrics();
+        assert_eq!((m.completed, m.rendered, m.cache_hits), (2, 1, 1));
+    }
+
+    #[test]
+    fn cache_off_renders_every_request() {
+        let (store, id) = store_with_cornell();
+        let config = ServeConfig {
+            cache_capacity: 0,
+            ..Default::default()
+        };
+        let service = RenderService::start(store, config);
+        let req = RenderRequest {
+            scene_id: id,
+            camera: cornell_cam(0.0),
+        };
+        let responses = service.render_batch([req, req, req]);
+        for r in &responses {
+            assert_eq!(r.as_ref().unwrap().outcome, RequestOutcome::Rendered);
+        }
+        let m = service.metrics();
+        assert_eq!(
+            (m.completed, m.rendered, m.cache_hits, m.coalesced),
+            (3, 3, 0, 0)
+        );
+    }
+
+    #[test]
+    fn unknown_scene_is_an_error_not_a_hang() {
+        let (store, _) = store_with_cornell();
+        let service = RenderService::start(store, ServeConfig::default());
+        let req = RenderRequest {
+            scene_id: SceneId(99),
+            camera: cornell_cam(0.0),
+        };
+        let err = service.render_blocking(req).unwrap_err();
+        assert_eq!(err, ServeError::UnknownScene(SceneId(99)));
+    }
+
+    #[test]
+    fn batched_duplicates_coalesce_into_one_render() {
+        let (store, id) = store_with_cornell();
+        // Single-slot batching window large enough to see all four at once.
+        let service = RenderService::start(store, ServeConfig::default());
+        let req = RenderRequest {
+            scene_id: id,
+            camera: cornell_cam(1.0),
+        };
+        let responses = service.render_batch(vec![req; 4]);
+        let images: Vec<_> = responses.into_iter().map(|r| r.unwrap()).collect();
+        for r in &images[1..] {
+            assert_eq!(r.image.pixels(), images[0].image.pixels());
+        }
+        let m = service.metrics();
+        // However the queue drained, an identical view never renders twice:
+        // followers are coalesced (same batch) or cache hits (later batch).
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.rendered, 1, "duplicates re-rendered: {m:?}");
+        assert_eq!(m.cache_hits + m.coalesced, 3);
+    }
+
+    #[test]
+    fn shutdown_answers_queued_work_first() {
+        let (store, id) = store_with_cornell();
+        let service = RenderService::start(store, ServeConfig::default());
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                service.submit(RenderRequest {
+                    scene_id: id,
+                    camera: cornell_cam(i as f64),
+                })
+            })
+            .collect();
+        service.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "queued request dropped at shutdown");
+        }
+    }
+}

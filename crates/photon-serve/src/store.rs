@@ -1,0 +1,214 @@
+//! The answer registry: stored global-illumination solutions paired with
+//! their scenes.
+//!
+//! The paper's central artifact is the view-independent answer file: "once
+//! the simulation is finished, all that remains is to determine what is
+//! displayed". One simulation therefore serves unlimited viewpoints — the
+//! store is the service-side shelf those solutions live on. Each entry
+//! pairs an [`Answer`] with its [`Scene`] (the codec stores bin trees only;
+//! radiance reconstruction needs patch geometry) and caches the
+//! auto-exposure so every request against the same solution maps radiance
+//! to display range identically.
+//!
+//! Persistence reuses the existing `PHOTANS1` codec unchanged
+//! ([`Answer::write_to`] / [`Answer::read_from`]); the store adds the
+//! scene-consistency check a service needs before answering queries from a
+//! file of unknown provenance.
+
+use photon_core::view::auto_exposure;
+use photon_core::Answer;
+use photon_geom::Scene;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, RwLock};
+
+/// Handle to one stored solution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SceneId(pub u32);
+
+impl std::fmt::Display for SceneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scene#{}", self.0)
+    }
+}
+
+/// One stored solution: scene + answer + display calibration.
+#[derive(Debug)]
+pub struct StoredAnswer {
+    /// Human-readable name (for logs and bench reports).
+    pub name: String,
+    /// The scene geometry the answer was simulated in.
+    pub scene: Arc<Scene>,
+    /// The view-independent solution.
+    pub answer: Arc<Answer>,
+    /// Exposure mapping mean lit radiance to mid-gray, fixed at insert time
+    /// so all views of one solution are consistently calibrated.
+    pub exposure: f64,
+}
+
+/// A concurrent registry of stored answers, indexed by [`SceneId`].
+///
+/// Reads (the hot path — every render request resolves its entry here) take
+/// a shared lock and clone an `Arc`; inserts are rare and exclusive.
+#[derive(Debug, Default)]
+pub struct AnswerStore {
+    entries: RwLock<Vec<Arc<StoredAnswer>>>,
+}
+
+impl AnswerStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a solution and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the answer's patch count does not match the scene — an
+    /// answer only means something against the geometry it was simulated
+    /// in.
+    pub fn insert(&self, name: impl Into<String>, scene: Scene, answer: Answer) -> SceneId {
+        assert_eq!(
+            answer.patch_count(),
+            scene.polygon_count(),
+            "answer/scene patch count mismatch"
+        );
+        let exposure = auto_exposure(&scene, &answer);
+        let entry = Arc::new(StoredAnswer {
+            name: name.into(),
+            scene: Arc::new(scene),
+            answer: Arc::new(answer),
+            exposure,
+        });
+        let mut entries = self.entries.write().unwrap();
+        entries.push(entry);
+        SceneId(entries.len() as u32 - 1)
+    }
+
+    /// Looks up a solution.
+    pub fn get(&self, id: SceneId) -> Option<Arc<StoredAnswer>> {
+        self.entries.read().unwrap().get(id.0 as usize).cloned()
+    }
+
+    /// Ids of every stored solution, in insertion order.
+    pub fn ids(&self) -> Vec<SceneId> {
+        (0..self.len() as u32).map(SceneId).collect()
+    }
+
+    /// Number of stored solutions.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes entry `id`'s answer as a `PHOTANS1` stream.
+    pub fn save(&self, id: SceneId, w: &mut impl Write) -> io::Result<()> {
+        let entry = self
+            .get(id)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no {id}")))?;
+        entry.answer.write_to(w)
+    }
+
+    /// Reads a `PHOTANS1` stream and registers it against `scene`,
+    /// rejecting answers simulated in different geometry.
+    pub fn load(
+        &self,
+        name: impl Into<String>,
+        scene: Scene,
+        r: &mut impl Read,
+    ) -> io::Result<SceneId> {
+        let answer = Answer::read_from(r)?;
+        if answer.patch_count() != scene.polygon_count() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "answer has {} patch trees but the scene has {} polygons",
+                    answer.patch_count(),
+                    scene.polygon_count()
+                ),
+            ));
+        }
+        Ok(self.insert(name, scene, answer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_core::{SimConfig, Simulator};
+    use photon_scenes::cornell_box;
+
+    fn small_answer() -> (Scene, Answer) {
+        let mut sim = Simulator::new(
+            cornell_box(),
+            SimConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        sim.run_photons(2_000);
+        let answer = sim.answer_snapshot();
+        (sim.scene().clone(), answer)
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let store = AnswerStore::new();
+        let (scene, answer) = small_answer();
+        let leaf_bins = answer.total_leaf_bins();
+        let id = store.insert("cornell", scene, answer);
+        let entry = store.get(id).expect("stored");
+        assert_eq!(entry.name, "cornell");
+        assert_eq!(entry.answer.total_leaf_bins(), leaf_bins);
+        assert!(entry.exposure > 0.0);
+        assert_eq!(store.ids(), vec![id]);
+    }
+
+    #[test]
+    fn save_load_preserves_the_solution() {
+        let store = AnswerStore::new();
+        let (scene, answer) = small_answer();
+        let id = store.insert("cornell", scene.clone(), answer);
+        let mut buf = Vec::new();
+        store.save(id, &mut buf).unwrap();
+
+        let restored = AnswerStore::new();
+        let rid = restored
+            .load("cornell-restored", scene, &mut buf.as_slice())
+            .unwrap();
+        let a = store.get(id).unwrap();
+        let b = restored.get(rid).unwrap();
+        assert_eq!(a.answer.emitted(), b.answer.emitted());
+        assert_eq!(a.answer.total_leaf_bins(), b.answer.total_leaf_bins());
+        assert_eq!(a.exposure, b.exposure);
+    }
+
+    #[test]
+    fn load_rejects_wrong_scene() {
+        let store = AnswerStore::new();
+        let (scene, answer) = small_answer();
+        let id = store.insert("cornell", scene, answer);
+        let mut buf = Vec::new();
+        store.save(id, &mut buf).unwrap();
+        // The practice room has 100 polygons; the answer has 30 trees.
+        let err = store
+            .load(
+                "mismatched",
+                photon_scenes::harpsichord_room(),
+                &mut buf.as_slice(),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn missing_ids_answer_none() {
+        let store = AnswerStore::new();
+        assert!(store.is_empty());
+        assert!(store.get(SceneId(4)).is_none());
+        assert!(store.save(SceneId(0), &mut Vec::new()).is_err());
+    }
+}

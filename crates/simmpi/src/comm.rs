@@ -109,7 +109,12 @@ impl Comm {
                 continue;
             }
             self.senders[d]
-                .send(Msg { src: self.rank, seq: self.seq, t_ready, payload })
+                .send(Msg {
+                    src: self.rank,
+                    seq: self.seq,
+                    t_ready,
+                    payload,
+                })
                 .expect("rank hung up");
         }
         let mut max_ready = t_ready;
@@ -192,7 +197,13 @@ impl Comm {
         }
         let payload = x.to_le_bytes().to_vec();
         let outgoing: Vec<Vec<u8>> = (0..self.size)
-            .map(|d| if d == self.rank { Vec::new() } else { payload.clone() })
+            .map(|d| {
+                if d == self.rank {
+                    Vec::new()
+                } else {
+                    payload.clone()
+                }
+            })
             .collect();
         // Physically a mesh exchange; virtually charged as a tree reduction
         // of `2·ceil(log2 P)` latency+copy steps, split across both sides of
@@ -252,9 +263,8 @@ where
                 };
                 // If this rank panics, poison the world so peers blocked in
                 // collectives fail fast instead of waiting forever.
-                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    body(&mut comm)
-                }));
+                let out =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut comm)));
                 match out {
                     Ok(v) => v,
                     Err(e) => {
@@ -268,7 +278,10 @@ where
             results[rank] = Some(h.join().expect("rank panicked"));
         }
     });
-    results.into_iter().map(|r| r.expect("all ranks joined")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all ranks joined"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -293,8 +306,9 @@ mod tests {
     #[test]
     fn alltoallv_delivers_personalized_payloads() {
         let out = run_world(4, onyx(), |c| {
-            let outgoing: Vec<Vec<u8>> =
-                (0..4).map(|d| vec![c.rank() as u8 * 16 + d as u8]).collect();
+            let outgoing: Vec<Vec<u8>> = (0..4)
+                .map(|d| vec![c.rank() as u8 * 16 + d as u8])
+                .collect();
             let incoming = c.alltoallv(outgoing);
             // incoming[s] must be what s addressed to me.
             (0..4).all(|s| incoming[s] == vec![s as u8 * 16 + c.rank() as u8])
@@ -307,8 +321,7 @@ mod tests {
         let out = run_world(3, onyx(), |c| {
             let mut acc = 0u64;
             for round in 0..50u64 {
-                let outgoing: Vec<Vec<u8>> =
-                    (0..3).map(|_| round.to_le_bytes().to_vec()).collect();
+                let outgoing: Vec<Vec<u8>> = (0..3).map(|_| round.to_le_bytes().to_vec()).collect();
                 let incoming = c.alltoallv(outgoing);
                 for m in incoming {
                     acc += u64::from_le_bytes(m[..8].try_into().unwrap());
@@ -351,8 +364,15 @@ mod tests {
     fn communication_advances_virtual_time() {
         let clocks = run_world(2, Platform::indy_cluster(), |c| {
             let big = vec![0u8; 100_000];
-            let outgoing: Vec<Vec<u8>> =
-                (0..2).map(|d| if d == c.rank() { Vec::new() } else { big.clone() }).collect();
+            let outgoing: Vec<Vec<u8>> = (0..2)
+                .map(|d| {
+                    if d == c.rank() {
+                        Vec::new()
+                    } else {
+                        big.clone()
+                    }
+                })
+                .collect();
             c.alltoallv(outgoing);
             c.clock()
         });

@@ -90,7 +90,11 @@ impl Platform {
 
     /// All three paper platforms.
     pub fn all() -> [Platform; 3] {
-        [Platform::power_onyx(), Platform::indy_cluster(), Platform::sp2()]
+        [
+            Platform::power_onyx(),
+            Platform::indy_cluster(),
+            Platform::sp2(),
+        ]
     }
 
     /// Virtual cost for *sending* a set of messages in one exchange:

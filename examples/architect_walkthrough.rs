@@ -18,9 +18,18 @@ use std::time::Instant;
 
 fn main() {
     let scene = TestScene::HarpsichordRoom.build();
-    println!("solving global illumination once ({} polygons)...", scene.polygon_count());
+    println!(
+        "solving global illumination once ({} polygons)...",
+        scene.polygon_count()
+    );
     let t0 = Instant::now();
-    let mut sim = Simulator::new(scene, SimConfig { seed: 1997, ..Default::default() });
+    let mut sim = Simulator::new(
+        scene,
+        SimConfig {
+            seed: 1997,
+            ..Default::default()
+        },
+    );
     sim.run_photons(300_000);
     let solve_secs = t0.elapsed().as_secs_f64();
     let answer = sim.answer_snapshot();

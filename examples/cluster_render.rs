@@ -24,17 +24,32 @@ fn main() {
         seed: 64,
         nranks: 8,
         platform: Platform::sp2(),
-        balance: BalanceMode::BinPacking { pilot_photons: 2000 },
+        balance: BalanceMode::BinPacking {
+            pilot_photons: 2000,
+        },
         batch: BatchMode::Adaptive(AdaptiveBatch::default()),
         stop: StopRule::Photons(400_000),
         ..Default::default()
     };
-    println!("running {} ranks on the {} model...", config.nranks, config.platform.name);
+    println!(
+        "running {} ranks on the {} model...",
+        config.nranks, config.platform.name
+    );
     let r = run_distributed(&scene, &config);
 
-    println!("photons: {} emitted, {} reflections", r.stats.emitted, r.stats.reflections);
-    println!("virtual time: {:.2} s; steady rate {:.0} photons/s", r.virtual_elapsed, r.speed.steady_rate());
-    println!("batch sizes: {:?}", &r.batch_history[..r.batch_history.len().min(10)]);
+    println!(
+        "photons: {} emitted, {} reflections",
+        r.stats.emitted, r.stats.reflections
+    );
+    println!(
+        "virtual time: {:.2} s; steady rate {:.0} photons/s",
+        r.virtual_elapsed,
+        r.speed.steady_rate()
+    );
+    println!(
+        "batch sizes: {:?}",
+        &r.batch_history[..r.batch_history.len().min(10)]
+    );
     println!("per-rank tallies processed: {:?}", r.per_rank_tallies);
     println!(
         "forwarded {} MB of photon records through the all-to-all",

@@ -16,7 +16,13 @@ fn main() {
 
     // 2. Simulate light transport: photons stream from the luminaires and
     //    every reflection lands in a 4-D adaptive histogram bin.
-    let mut sim = Simulator::new(scene, SimConfig { seed: 7, ..Default::default() });
+    let mut sim = Simulator::new(
+        scene,
+        SimConfig {
+            seed: 7,
+            ..Default::default()
+        },
+    );
     sim.run_photons(200_000);
     let stats = *sim.stats();
     println!(
@@ -46,5 +52,10 @@ fn main() {
     let path = std::env::temp_dir().join("photon_quickstart.ppm");
     let mut f = std::fs::File::create(&path).expect("create output");
     img.write_ppm(&mut f).expect("write ppm");
-    println!("rendered {}x{} frame -> {}", img.width(), img.height(), path.display());
+    println!(
+        "rendered {}x{} frame -> {}",
+        img.width(),
+        img.height(),
+        path.display()
+    );
 }

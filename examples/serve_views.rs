@@ -1,0 +1,125 @@
+//! Serving many viewpoints from one stored answer — the photon-serve
+//! quickstart, with the cache-hit speedup measured end to end.
+//!
+//! Simulates the Cornell Box once, persists the answer through the
+//! `PHOTANS1` codec, loads it back into an [`AnswerStore`], and then asks
+//! the render service for a camera orbit twice: the first pass renders
+//! tile-parallel, the second is served from the LRU view cache.
+//!
+//! ```sh
+//! cargo run --release --example serve_views
+//! ```
+
+use photon_gi::core::{Camera, SimConfig, Simulator};
+use photon_gi::scenes::TestScene;
+use photon_gi::serve::{AnswerStore, RenderRequest, RenderService, ServeConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // Simulate once (the expensive, view-independent part).
+    let kind = TestScene::CornellBox;
+    let t0 = Instant::now();
+    let mut sim = Simulator::new(
+        kind.build(),
+        SimConfig {
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(60_000);
+    let answer = sim.answer_snapshot();
+    println!(
+        "simulated {} photons in {:.2} s ({} leaf bins)",
+        sim.stats().emitted,
+        t0.elapsed().as_secs_f64(),
+        answer.total_leaf_bins()
+    );
+
+    // Persist and restore through the answer codec, as a service would.
+    let scene = sim.scene().clone();
+    let staging = AnswerStore::new();
+    let staged = staging.insert(kind.name(), scene.clone(), answer);
+    let path = std::env::temp_dir().join("cornell.photans");
+    staging
+        .save(
+            staged,
+            &mut std::fs::File::create(&path).expect("create answer file"),
+        )
+        .unwrap();
+    println!("answer persisted -> {}", path.display());
+
+    let store = Arc::new(AnswerStore::new());
+    let id = store
+        .load(
+            kind.name(),
+            scene,
+            &mut std::fs::File::open(&path).expect("reopen answer file"),
+        )
+        .expect("load answer");
+
+    // Serve an orbit of viewpoints, twice.
+    let service = RenderService::start(Arc::clone(&store), ServeConfig::default());
+    let view = kind.view();
+    let orbit: Vec<Camera> = (0..12)
+        .map(|i| {
+            let v = view.orbited(i as f64 / 12.0, 1.0);
+            Camera {
+                eye: v.eye,
+                target: v.target,
+                up: v.up,
+                vfov_deg: v.vfov_deg,
+                width: 160,
+                height: 120,
+            }
+        })
+        .collect();
+
+    let cold = Instant::now();
+    let first: Vec<_> = service
+        .render_batch(orbit.iter().map(|&camera| RenderRequest {
+            scene_id: id,
+            camera,
+        }))
+        .into_iter()
+        .map(|r| r.expect("served"))
+        .collect();
+    let cold = cold.elapsed().as_secs_f64();
+
+    let warm = Instant::now();
+    let second: Vec<_> = service
+        .render_batch(orbit.iter().map(|&camera| RenderRequest {
+            scene_id: id,
+            camera,
+        }))
+        .into_iter()
+        .map(|r| r.expect("served"))
+        .collect();
+    let warm = warm.elapsed().as_secs_f64();
+
+    let hits = second.iter().filter(|r| r.from_cache()).count();
+    println!(
+        "cold orbit: {:.1} ms; warm orbit: {:.1} ms ({hits}/12 cache hits, {:.0}x speedup)",
+        cold * 1e3,
+        warm * 1e3,
+        cold / warm.max(1e-9)
+    );
+    assert!(
+        first
+            .iter()
+            .zip(&second)
+            .all(|(a, b)| a.image.pixels() == b.image.pixels()),
+        "cached views must be identical to rendered ones"
+    );
+
+    let m = service.metrics();
+    println!(
+        "service: {} completed, {} rendered, {} cache hits; p50 {:.2} ms p99 {:.2} ms, {:.0} q/s",
+        m.completed, m.rendered, m.cache_hits, m.latency.p50_ms, m.latency.p99_ms, m.qps
+    );
+
+    let out = std::env::temp_dir().join("serve_views.ppm");
+    let mut f = std::fs::File::create(&out).expect("create output");
+    first[0].image.write_ppm(&mut f).expect("write ppm");
+    println!("first view -> {}", out.display());
+}

@@ -21,6 +21,7 @@
 //! | [`par`] | `photon-par` | shared-memory parallel simulator |
 //! | [`mpi`] | `simmpi` | in-process message-passing substrate with 1997 platform models |
 //! | [`dist`] | `photon-dist` | distributed-memory simulator, load balancing, batch sizing |
+//! | [`serve`] | `photon-serve` | concurrent answer-serving render service: answer store, tile-parallel viewer, request batching, LRU view cache |
 //! | [`baselines`] | `photon-baselines` | Whitted ray tracing, radiosity, density estimation, spherical harmonics |
 //!
 //! ## Quickstart
@@ -45,4 +46,5 @@ pub use photon_math as math;
 pub use photon_par as par;
 pub use photon_rng as rng;
 pub use photon_scenes as scenes;
+pub use photon_serve as serve;
 pub use simmpi as mpi;

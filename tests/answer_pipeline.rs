@@ -19,8 +19,13 @@ fn camera() -> Camera {
 
 #[test]
 fn render_from_reloaded_answer_is_identical() {
-    let mut sim =
-        Simulator::new(TestScene::CornellBox.build(), SimConfig { seed: 99, ..Default::default() });
+    let mut sim = Simulator::new(
+        TestScene::CornellBox.build(),
+        SimConfig {
+            seed: 99,
+            ..Default::default()
+        },
+    );
     sim.run_photons(60_000);
     let answer = sim.answer_snapshot();
     let scene = sim.scene();
@@ -45,11 +50,16 @@ fn answer_file_size_scales_with_bins_not_photons() {
     let size_at = |photons: u64| {
         let mut sim = Simulator::new(
             TestScene::CornellBox.build(),
-            SimConfig { seed: 98, ..Default::default() },
+            SimConfig {
+                seed: 98,
+                ..Default::default()
+            },
         );
         sim.run_photons(photons);
         let mut bytes = Vec::new();
-        sim.answer_snapshot().write_to(&mut bytes).expect("serialize");
+        sim.answer_snapshot()
+            .write_to(&mut bytes)
+            .expect("serialize");
         bytes.len() as f64
     };
     let small = size_at(50_000);
@@ -65,8 +75,13 @@ fn mirror_patch_refines_angularly() {
     // The Cornell Box mirror must hold view-dependent (angular) structure:
     // its bin tree refines beyond pure position splits.
     use photon_gi::hist::{Axis, ExportNode};
-    let mut sim =
-        Simulator::new(TestScene::CornellBox.build(), SimConfig { seed: 97, ..Default::default() });
+    let mut sim = Simulator::new(
+        TestScene::CornellBox.build(),
+        SimConfig {
+            seed: 97,
+            ..Default::default()
+        },
+    );
     sim.run_photons(250_000);
     let scene = sim.scene();
     let mirror_pid = (0..scene.polygon_count() as u32)

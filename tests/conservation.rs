@@ -11,8 +11,13 @@ const PHOTONS: u64 = 8_000;
 
 #[test]
 fn serial_conserves_photons_and_tallies() {
-    let mut sim =
-        Simulator::new(TestScene::CornellBox.build(), SimConfig { seed: 11, ..Default::default() });
+    let mut sim = Simulator::new(
+        TestScene::CornellBox.build(),
+        SimConfig {
+            seed: 11,
+            ..Default::default()
+        },
+    );
     sim.run_photons(PHOTONS);
     let s = sim.stats();
     assert!(s.is_conserved(), "{s:?}");
@@ -22,12 +27,18 @@ fn serial_conserves_photons_and_tallies() {
 #[test]
 fn shared_memory_conserves_photons_and_tallies() {
     let scene = TestScene::CornellBox.build();
-    let config =
-        ParConfig { seed: 11, threads: 4, batch_size: 2000, lock: LockMode::PerTree, ..Default::default() };
+    let config = ParConfig {
+        seed: 11,
+        threads: 4,
+        batch_size: 2000,
+        lock: LockMode::PerTree,
+        ..Default::default()
+    };
     let r = run(&scene, &config, PHOTONS);
     assert!(r.stats.is_conserved(), "{:?}", r.stats);
-    let tallies: u64 =
-        (0..r.answer.patch_count() as u32).map(|p| r.answer.tree(p).tallies()).sum();
+    let tallies: u64 = (0..r.answer.patch_count() as u32)
+        .map(|p| r.answer.tree(p).tallies())
+        .sum();
     assert_eq!(tallies, r.stats.emitted + r.stats.reflections);
 }
 
@@ -45,8 +56,9 @@ fn distributed_conserves_photons_and_tallies() {
     };
     let r = run_distributed(&scene, &config);
     assert!(r.stats.is_conserved(), "{:?}", r.stats);
-    let tallies: u64 =
-        (0..r.answer.patch_count() as u32).map(|p| r.answer.tree(p).tallies()).sum();
+    let tallies: u64 = (0..r.answer.patch_count() as u32)
+        .map(|p| r.answer.tree(p).tallies())
+        .sum();
     assert_eq!(tallies, r.stats.emitted + r.stats.reflections);
 }
 
@@ -56,15 +68,25 @@ fn all_three_modes_agree_statistically() {
     // percent across serial, shared-memory and distributed execution.
     let mean_bounces = |emitted: u64, reflections: u64| reflections as f64 / emitted as f64;
 
-    let mut sim =
-        Simulator::new(TestScene::CornellBox.build(), SimConfig { seed: 21, ..Default::default() });
+    let mut sim = Simulator::new(
+        TestScene::CornellBox.build(),
+        SimConfig {
+            seed: 21,
+            ..Default::default()
+        },
+    );
     sim.run_photons(PHOTONS);
     let serial = mean_bounces(sim.stats().emitted, sim.stats().reflections);
 
     let scene = TestScene::CornellBox.build();
     let par = run(
         &scene,
-        &ParConfig { seed: 22, threads: 4, batch_size: 2000, ..Default::default() },
+        &ParConfig {
+            seed: 22,
+            threads: 4,
+            batch_size: 2000,
+            ..Default::default()
+        },
         PHOTONS,
     );
     let shared = mean_bounces(par.stats.emitted, par.stats.reflections);

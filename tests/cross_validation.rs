@@ -23,7 +23,10 @@ fn facing_squares(rho: f64) -> Scene {
     let mut ep = SurfacePatch::new(emitter, Material::emitter(Rgb::WHITE));
     ep.material.emission = Rgb::WHITE;
     Scene::new(
-        vec![SurfacePatch::new(receiver, Material::matte(Rgb::gray(rho))), ep],
+        vec![
+            SurfacePatch::new(receiver, Material::matte(Rgb::gray(rho))),
+            ep,
+        ],
         vec![Luminaire {
             patch_id: 1,
             // Power 1 over a unit-area emitter => emitter radiosity 1.
@@ -48,7 +51,13 @@ fn photon_radiance_matches_radiosity_solution() {
 
     // Monte Carlo path: simulate and read the receiver's mean radiance
     // from the bin forest.
-    let mut sim = Simulator::new(facing_squares(rho), SimConfig { seed: 71, ..Default::default() });
+    let mut sim = Simulator::new(
+        facing_squares(rho),
+        SimConfig {
+            seed: 71,
+            ..Default::default()
+        },
+    );
     sim.run_photons(400_000);
     let answer = sim.answer_snapshot();
     let photon_l = answer.mean_patch_radiance(sim.scene(), 0).g;
@@ -80,14 +89,20 @@ fn agreement_holds_across_albedos() {
     for (i, &rho) in [0.25, 0.75].iter().enumerate() {
         let mut sim = Simulator::new(
             facing_squares(rho),
-            SimConfig { seed: 72 + i as u64, ..Default::default() },
+            SimConfig {
+                seed: 72 + i as u64,
+                ..Default::default()
+            },
         );
         sim.run_photons(300_000);
         let answer = sim.answer_snapshot();
         photon_ls.push(answer.mean_patch_radiance(sim.scene(), 0).g);
     }
     let ratio = photon_ls[1] / photon_ls[0].max(1e-12);
-    assert!((ratio - 3.0).abs() < 0.2, "radiance not linear in albedo: ratio {ratio}");
+    assert!(
+        (ratio - 3.0).abs() < 0.2,
+        "radiance not linear in albedo: ratio {ratio}"
+    );
 }
 
 #[test]
@@ -95,10 +110,19 @@ fn emitter_radiance_matches_its_power() {
     // The light patch's own mean radiance must equal P / (A * pi): unit
     // power over unit area => 1/pi.
     let scene = facing_squares(0.5);
-    let mut sim = Simulator::new(scene, SimConfig { seed: 73, ..Default::default() });
+    let mut sim = Simulator::new(
+        scene,
+        SimConfig {
+            seed: 73,
+            ..Default::default()
+        },
+    );
     sim.run_photons(200_000);
     let answer = sim.answer_snapshot();
     let l = answer.mean_patch_radiance(sim.scene(), 1).g;
     let expect = 1.0 / std::f64::consts::PI;
-    assert!((l - expect).abs() / expect < 0.03, "emitter L {l} vs {expect}");
+    assert!(
+        (l - expect).abs() / expect < 0.03,
+        "emitter L {l} vs {expect}"
+    );
 }

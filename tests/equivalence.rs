@@ -25,7 +25,10 @@ fn one_rank_distributed_is_bit_identical_to_serial() {
 
     let mut serial = Simulator::new(
         TestScene::HarpsichordRoom.build(),
-        SimConfig { seed: 31337, ..Default::default() },
+        SimConfig {
+            seed: 31337,
+            ..Default::default()
+        },
     );
     serial.run_photons(6000);
 
@@ -33,7 +36,10 @@ fn one_rank_distributed_is_bit_identical_to_serial() {
     assert_eq!(dist.stats.reflections, serial.stats().reflections);
     assert_eq!(dist.stats.absorbed, serial.stats().absorbed);
     assert_eq!(dist.stats.escaped, serial.stats().escaped);
-    assert_eq!(dist.answer.total_leaf_bins(), serial.forest().total_leaf_bins());
+    assert_eq!(
+        dist.answer.total_leaf_bins(),
+        serial.forest().total_leaf_bins()
+    );
     for pid in 0..scene.polygon_count() as u32 {
         assert_eq!(
             dist.answer.tree(pid).tallies(),

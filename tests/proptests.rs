@@ -1,5 +1,6 @@
 //! Cross-crate property tests on the core invariants.
 
+use photon_gi::core::Camera;
 use photon_gi::dist::{balance, PhotonRecord};
 use photon_gi::geom::{Material, Scene, SurfacePatch};
 use photon_gi::hist::BinPoint;
@@ -7,18 +8,40 @@ use photon_gi::math::{Patch, Ray, Rgb, Vec3};
 use proptest::prelude::*;
 
 fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
-    (
-        -range..range,
-        -range..range,
-        -range..range,
-    )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn arb_unit() -> impl Strategy<Value = Vec3> {
     arb_vec3(1.0)
         .prop_filter("nonzero", |v| v.length_sq() > 1e-6)
         .prop_map(|v| v.normalized())
+}
+
+/// Arbitrary pinhole cameras with odd pixel grids (odd so the central
+/// pixel's center sits exactly on the optical axis).
+fn arb_camera() -> impl Strategy<Value = Camera> {
+    (
+        arb_vec3(10.0),
+        arb_vec3(10.0),
+        20.0f64..120.0,
+        1usize..7,
+        1usize..7,
+    )
+        .prop_map(|(eye, target, vfov_deg, wk, hk)| Camera {
+            eye,
+            target,
+            up: Vec3::Y,
+            vfov_deg,
+            width: 2 * wk + 1,
+            height: 2 * hk + 1,
+        })
+}
+
+/// Is the camera's frame well conditioned (eye apart from target, view
+/// direction not parallel to the up hint)?
+fn well_posed(cam: &Camera) -> bool {
+    let back = cam.eye - cam.target;
+    back.length() > 1e-3 && back.normalized().cross(cam.up).length() > 1e-3
 }
 
 /// Random tile scenes for the octree oracle.
@@ -45,7 +68,11 @@ fn arb_scene() -> impl Strategy<Value = Scene> {
         let id = patches.len() as u32 - 1;
         Scene::new(
             patches,
-            vec![photon_gi::geom::Luminaire { patch_id: id, power: Rgb::WHITE, collimation: 1.0 }],
+            vec![photon_gi::geom::Luminaire {
+                patch_id: id,
+                power: Rgb::WHITE,
+                collimation: 1.0,
+            }],
         )
     })
 }
@@ -128,6 +155,52 @@ proptest! {
         let (s2, t2) = p.st_of_point(q).expect("inside");
         prop_assert!((s2 - s).abs() < 1e-6, "s {} -> {}", s, s2);
         prop_assert!((t2 - t).abs() < 1e-6, "t {} -> {}", t, t2);
+    }
+
+    /// Every pixel's primary ray starts at the eye with a unit direction.
+    #[test]
+    fn camera_rays_are_unit_and_anchored_at_the_eye(cam in arb_camera()) {
+        prop_assume!(well_posed(&cam));
+        for y in 0..cam.height {
+            for x in 0..cam.width {
+                let ray = cam.ray(x, y);
+                prop_assert!((ray.origin - cam.eye).length() == 0.0, "pixel ({x},{y}) origin moved");
+                prop_assert!((ray.dir.length() - 1.0).abs() < 1e-12, "pixel ({x},{y}) dir not unit");
+                // Forward: every primary ray leaves the eye away from the
+                // backward axis.
+                let back = (cam.eye - cam.target).normalized();
+                prop_assert!(ray.dir.dot(back) < 0.0, "pixel ({x},{y}) points backward");
+            }
+        }
+    }
+
+    /// The central pixel's ray passes through the look-at target.
+    #[test]
+    fn camera_center_ray_hits_the_target(cam in arb_camera()) {
+        prop_assume!(well_posed(&cam));
+        let center = cam.ray(cam.width / 2, cam.height / 2);
+        let to_target = (cam.target - cam.eye).normalized();
+        prop_assert!(
+            (center.dir - to_target).length() < 1e-9,
+            "center ray {:?} vs target direction {:?}",
+            center.dir,
+            to_target
+        );
+    }
+
+    /// Horizontally mirrored pixels produce mirrored rays (the image plane
+    /// is symmetric about the optical axis).
+    #[test]
+    fn camera_rays_mirror_across_the_axis(cam in arb_camera()) {
+        prop_assume!(well_posed(&cam));
+        let y = cam.height / 2;
+        let left = cam.ray(0, y);
+        let right = cam.ray(cam.width - 1, y);
+        let axis = (cam.target - cam.eye).normalized();
+        prop_assert!(
+            (left.dir.dot(axis) - right.dir.dot(axis)).abs() < 1e-9,
+            "mirrored pixels differ along the axis"
+        );
     }
 
     /// Leapfrog substreams partition the base stream for any rank count.

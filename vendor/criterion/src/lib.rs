@@ -1,0 +1,233 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The workspace builds in hermetic environments with no crates.io access
+//! (see `vendor/README.md`), so the `benches/` targets run against this
+//! shim: same macro and builder surface (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`, throughput
+//! annotations), but measurement is a plain self-calibrating wall-clock
+//! loop — no statistics, outlier rejection, or HTML reports. Passing
+//! `--test` (as `cargo test` does for bench targets) switches every
+//! benchmark to a single smoke iteration.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    quick: bool,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, self-calibrating the iteration count until the
+    /// measurement window is long enough to trust (~25 ms).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            std::hint::black_box(routine());
+            self.ns_per_iter = None;
+            return;
+        }
+        std::hint::black_box(routine()); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(25) || iters >= 1 << 24 {
+                self.ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Builds the harness from the process arguments. Full measurement only
+    /// runs under `cargo bench` (which passes `--bench`); `cargo test` and
+    /// direct invocation get the single-iteration smoke mode, and `--test`
+    /// forces it.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+        Criterion { quick }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            quick: self.quick,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    quick: bool,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (accepted for API compatibility; the shim's
+    /// calibration loop ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            quick: self.quick,
+            ns_per_iter: None,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.ns_per_iter);
+    }
+
+    /// Runs one benchmark that receives an input by reference.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            quick: self.quick,
+            ns_per_iter: None,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.ns_per_iter);
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, ns_per_iter: Option<f64>) {
+        let Some(ns) = ns_per_iter else {
+            println!("{}/{id}: smoke-tested (1 iteration)", self.name);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(" ({:.0} elem/s)", n as f64 * 1e9 / ns),
+            Some(Throughput::Bytes(n)) => format!(" ({:.0} B/s)", n as f64 * 1e9 / ns),
+            None => String::new(),
+        };
+        println!("{}/{id}: {:.1} ns/iter{rate}", self.name, ns);
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            quick: true,
+            ns_per_iter: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.ns_per_iter.is_none());
+    }
+
+    #[test]
+    fn calibration_measures_something() {
+        let mut b = Bencher {
+            quick: false,
+            ns_per_iter: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(5)));
+        assert!(b.ns_per_iter.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("octree", "Cornell Box").to_string(),
+            "octree/Cornell Box"
+        );
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! The workspace builds in hermetic environments with no crates.io access
+//! (see `vendor/README.md`). `simmpi` only uses crossbeam's unbounded
+//! channels — `unbounded`, `Sender`, `Receiver`, `RecvTimeoutError` — and
+//! `std::sync::mpsc` provides the identical API, so this shim is a re-export.
+
+#![deny(missing_docs)]
+
+/// Multi-producer channels (the subset of `crossbeam::channel` in use).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_clone() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap())
+            .join()
+            .unwrap();
+        tx.send(2).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![1, 2]);
+    }
+}
