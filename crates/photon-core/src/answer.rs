@@ -39,6 +39,17 @@ impl Answer {
         Answer { trees, emitted }
     }
 
+    /// An answer with `patch_count` unrefined trees and zero photons — the
+    /// placeholder a progressive solve publishes over (renders black).
+    pub fn empty(patch_count: usize) -> Self {
+        Answer {
+            trees: (0..patch_count)
+                .map(|_| BinTree::new(SplitConfig::default()))
+                .collect(),
+            emitted: 0,
+        }
+    }
+
     /// Photons the solution was built from.
     pub fn emitted(&self) -> u64 {
         self.emitted

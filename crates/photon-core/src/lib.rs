@@ -17,6 +17,7 @@
 //! | `Reflect` | [`reflect`] |
 //! | `DetermineBin` / `UpdateBinCount` / `Split` | [`forest`] (over `photon_hist`) |
 //! | simulation driver | [`sim`] |
+//! | incremental solve loop (all backends) | [`engine`] |
 //! | answer files | [`answer`] |
 //! | viewing | [`view`], [`img`] |
 //! | performance traces | [`perf`] |
@@ -25,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod answer;
+pub mod engine;
 pub mod forest;
 pub mod generate;
 pub mod img;
@@ -36,6 +38,7 @@ pub mod trace;
 pub mod view;
 
 pub use answer::Answer;
+pub use engine::{photon_stream, BatchReport, SolverEngine, PHOTON_DRAW_STRIDE};
 pub use forest::BinForest;
 pub use generate::{EmittedPhoton, PhotonGenerator};
 pub use img::Image;

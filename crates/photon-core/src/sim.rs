@@ -2,13 +2,13 @@
 //! "best serial version" against which all speedups are defined.
 
 use crate::answer::Answer;
+use crate::engine::{photon_stream, BatchReport, SolverEngine};
 use crate::forest::BinForest;
 use crate::generate::PhotonGenerator;
 use crate::perf::{MemoryTrace, SpeedTrace};
 use crate::trace::{trace_photon, Termination};
 use photon_geom::Scene;
 use photon_hist::SplitConfig;
-use photon_rng::Lcg48;
 use std::time::Instant;
 
 /// Simulator configuration.
@@ -49,15 +49,41 @@ impl SimStats {
     pub fn is_conserved(&self) -> bool {
         self.emitted == self.absorbed + self.escaped + self.capped
     }
+
+    /// Accounts one traced photon.
+    #[inline]
+    pub fn record(&mut self, outcome: &crate::trace::TraceOutcome) {
+        self.emitted += 1;
+        self.reflections += outcome.bounces as u64;
+        match outcome.termination {
+            Termination::Absorbed => self.absorbed += 1,
+            Termination::Escaped => self.escaped += 1,
+            Termination::BounceCapped => self.capped += 1,
+        }
+    }
+
+    /// Folds another counter set into this one (worker/rank aggregation).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.emitted += other.emitted;
+        self.absorbed += other.absorbed;
+        self.escaped += other.escaped;
+        self.capped += other.capped;
+        self.reflections += other.reflections;
+    }
 }
 
 /// Serial Monte Carlo light-transport simulator.
+///
+/// Photon `j` of a run draws from block substream `j` of the seeded base
+/// stream ([`photon_stream`]), so the photon set depends only on
+/// `(seed, count)` — the property the parallel backends rely on to
+/// reproduce a serial run exactly.
 #[derive(Clone, Debug)]
 pub struct Simulator {
     scene: Scene,
     generator: PhotonGenerator,
     forest: BinForest,
-    rng: Lcg48,
+    seed: u64,
     stats: SimStats,
     speed: SpeedTrace,
     memory: MemoryTrace,
@@ -72,7 +98,7 @@ impl Simulator {
         Simulator {
             generator,
             forest,
-            rng: Lcg48::new(config.seed),
+            seed: config.seed,
             scene,
             stats: SimStats::default(),
             speed: SpeedTrace::new(),
@@ -109,33 +135,17 @@ impl Simulator {
     /// Simulates `n` photons (no batch bookkeeping).
     pub fn run_photons(&mut self, n: u64) {
         for _ in 0..n {
-            let out = trace_photon(
-                &self.scene,
-                &self.generator,
-                &mut self.rng,
-                &mut self.forest,
-            );
-            self.stats.emitted += 1;
-            self.stats.reflections += out.bounces as u64;
-            match out.termination {
-                Termination::Absorbed => self.stats.absorbed += 1,
-                Termination::Escaped => self.stats.escaped += 1,
-                Termination::BounceCapped => self.stats.capped += 1,
-            }
+            // The emitted count doubles as the global photon index.
+            let mut rng = photon_stream(self.seed, self.stats.emitted);
+            let out = trace_photon(&self.scene, &self.generator, &mut rng, &mut self.forest);
+            self.stats.record(&out);
         }
     }
 
     /// Simulates a batch of `n` photons, recording speed and memory samples
     /// (the paper's per-batch rate trace).
     pub fn run_batch(&mut self, n: u64) {
-        let t0 = *self.started.get_or_insert_with(Instant::now);
-        let batch_start = Instant::now();
-        self.run_photons(n);
-        let batch_secs = batch_start.elapsed().as_secs_f64();
-        let elapsed = t0.elapsed().as_secs_f64();
-        self.speed.push_batch(elapsed, n, batch_secs);
-        self.memory
-            .push(self.stats.emitted, self.forest.memory_bytes());
+        let _ = self.step(n);
     }
 
     /// Finishes the run, producing the answer database.
@@ -146,6 +156,39 @@ impl Simulator {
     /// Borrow-based snapshot of the answer (keeps simulating afterwards).
     pub fn answer_snapshot(&self) -> Answer {
         Answer::from_forest(&self.forest, self.stats.emitted)
+    }
+}
+
+impl SolverEngine for Simulator {
+    fn step(&mut self, batch: u64) -> BatchReport {
+        let t0 = *self.started.get_or_insert_with(Instant::now);
+        let batch_start = Instant::now();
+        self.run_photons(batch);
+        let batch_seconds = batch_start.elapsed().as_secs_f64();
+        let elapsed_seconds = t0.elapsed().as_secs_f64();
+        self.speed.push_batch(elapsed_seconds, batch, batch_seconds);
+        self.memory
+            .push(self.stats.emitted, self.forest.memory_bytes());
+        BatchReport {
+            batch_photons: batch,
+            emitted_total: self.stats.emitted,
+            leaf_bins: self.forest.total_leaf_bins(),
+            batch_seconds,
+            elapsed_seconds,
+            stats: self.stats,
+        }
+    }
+
+    fn snapshot(&self) -> Answer {
+        self.answer_snapshot()
+    }
+
+    fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    fn backend(&self) -> &'static str {
+        "serial"
     }
 }
 

@@ -13,26 +13,32 @@
 //! (Table 5.2) — and [`batch`] — the adaptive batch-size controller
 //! (Table 5.3). Time is virtual, supplied by [`simmpi`]'s platform models,
 //! so the speedup traces of Figs 5.9–5.15 are deterministic.
+//!
+//! The rank world itself lives behind [`DistEngine`] (see [`engine`]): a
+//! resumable [`photon_core::SolverEngine`] whose ranks persist across
+//! batches and answer snapshot requests mid-solve. [`run_distributed`]
+//! drives that engine to a [`StopRule`] and merges the final forest —
+//! the original one-shot shape, now a thin wrapper.
 
 #![deny(missing_docs)]
 
 pub mod balance;
 pub mod batch;
+pub mod engine;
 pub mod record;
 
 pub use balance::Ownership;
 pub use batch::{AdaptiveBatch, BatchController, BatchMode};
+pub use engine::DistEngine;
 pub use record::PhotonRecord;
 
-use photon_core::generate::PhotonGenerator;
 use photon_core::sim::SimStats;
-use photon_core::trace::{trace_photon, TallySink, Termination};
+use photon_core::trace::TallySink;
 use photon_core::{Answer, BinForest, SpeedTrace};
 use photon_geom::Scene;
-use photon_hist::{BinPoint, SplitConfig};
+use photon_hist::{BinPoint, BinTree, SplitConfig};
 use photon_math::Rgb;
-use photon_rng::Lcg48;
-use simmpi::{run_world, Comm, Platform};
+use simmpi::{Comm, Platform};
 
 /// Ownership assignment strategy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -58,7 +64,8 @@ pub enum StopRule {
 /// Configuration of a distributed run.
 #[derive(Clone, Copy, Debug)]
 pub struct DistConfig {
-    /// Seed of the global random stream (leapfrogged across ranks).
+    /// Seed of the photon stream (block-split per photon, leapfrogged over
+    /// ranks by photon index).
     pub seed: u64,
     /// Bin splitting policy.
     pub split: SplitConfig,
@@ -113,12 +120,12 @@ pub struct DistRunResult {
 
 /// The tally sink of Fig 5.3's inner loop: local tallies update the rank's
 /// own trees; foreign tallies are queued for their owner.
-struct DistSink<'a> {
-    ownership: &'a Ownership,
-    my_rank: usize,
-    forest: &'a mut BinForest,
-    queues: &'a mut [Vec<u8>],
-    processed: &'a mut u64,
+pub(crate) struct DistSink<'a> {
+    pub(crate) ownership: &'a Ownership,
+    pub(crate) my_rank: usize,
+    pub(crate) forest: &'a mut BinForest,
+    pub(crate) queues: &'a mut [Vec<u8>],
+    pub(crate) processed: &'a mut u64,
 }
 
 impl TallySink for DistSink<'_> {
@@ -139,237 +146,71 @@ impl TallySink for DistSink<'_> {
     }
 }
 
-/// What each rank hands back at the end.
-struct RankResult {
-    stats: SimStats,
-    owned_trees: Vec<(u32, photon_hist::BinTree)>,
-    processed: u64,
-    speed: SpeedTrace,
-    batch_history: Vec<u64>,
-    final_clock: f64,
-    bytes_forwarded: u64,
-    ownership: Ownership,
-}
-
-/// Runs the full distributed simulation; blocks until all ranks finish.
+/// Runs the full distributed simulation; blocks until the [`StopRule`] is
+/// met and all ranks finish.
 pub fn run_distributed(scene: &Scene, config: &DistConfig) -> DistRunResult {
-    assert!(config.nranks >= 1);
-    let npolys = scene.polygon_count();
-    let pilot_photons = match config.balance {
-        BalanceMode::BinPacking { pilot_photons } => pilot_photons,
-        BalanceMode::Naive => 0,
+    let mut engine = DistEngine::new(scene.clone(), *config);
+    let per_rank_hint = match config.batch {
+        BatchMode::Fixed(n) => n,
+        // Adaptive ranks size themselves from their lockstep controllers.
+        BatchMode::Adaptive(params) => params.initial,
     };
+    loop {
+        match config.stop {
+            StopRule::Photons(n) => {
+                if engine.main_emitted() >= n {
+                    break;
+                }
+            }
+            StopRule::VirtualSeconds(t) => {
+                if engine.virtual_clock() >= t {
+                    break;
+                }
+            }
+        }
+        engine.step_round(per_rank_hint);
+    }
 
-    let rank_results: Vec<RankResult> = run_world(config.nranks, config.platform, |comm| {
-        run_rank(scene, config, comm)
-    });
-
-    // Merge: every patch's tree comes from its unique owner.
-    let mut trees: Vec<Option<photon_hist::BinTree>> = (0..npolys).map(|_| None).collect();
-    let mut stats = SimStats::default();
+    // Wind the world down; merge every patch's tree from its unique owner.
+    let npolys = scene.polygon_count();
+    let (summary, finals) = engine.finish();
+    let mut trees: Vec<Option<BinTree>> = (0..npolys).map(|_| None).collect();
     let mut per_rank_tallies = Vec::with_capacity(config.nranks);
-    let mut bytes_forwarded = 0;
-    let mut speed = SpeedTrace::new();
     let mut batch_history = Vec::new();
     let mut virtual_elapsed = 0.0f64;
-    let mut ownership = None;
-    for (rank, r) in rank_results.into_iter().enumerate() {
-        stats.emitted += r.stats.emitted;
-        stats.absorbed += r.stats.absorbed;
-        stats.escaped += r.stats.escaped;
-        stats.capped += r.stats.capped;
-        stats.reflections += r.stats.reflections;
+    for (rank, r) in finals.into_iter().enumerate() {
         per_rank_tallies.push(r.processed);
-        bytes_forwarded += r.bytes_forwarded;
         virtual_elapsed = virtual_elapsed.max(r.final_clock);
         for (pid, tree) in r.owned_trees {
             debug_assert!(trees[pid as usize].is_none(), "patch {pid} owned twice");
             trees[pid as usize] = Some(tree);
         }
         if rank == 0 {
-            speed = r.speed;
             batch_history = r.batch_history;
-            ownership = Some(r.ownership);
         }
     }
-    // Pilot photons were emitted once, globally; rank 0 already accounted
-    // for them (every rank traced the same ones redundantly; their tallies
-    // exist exactly once in the merged forest because only owners merge).
-    let _ = pilot_photons;
     let forest = BinForest::from_trees(
         trees
             .into_iter()
             .map(|t| t.expect("all patches owned"))
             .collect(),
     );
-    let answer = Answer::from_forest(&forest, stats.emitted);
+    let answer = Answer::from_forest(&forest, summary.stats.emitted);
     DistRunResult {
-        stats,
-        speed,
+        stats: summary.stats,
+        speed: summary.speed,
         per_rank_tallies,
         batch_history,
         answer,
         virtual_elapsed,
-        ownership: ownership.expect("at least one rank"),
-        bytes_forwarded,
-    }
-}
-
-/// The per-rank SPMD body.
-fn run_rank(scene: &Scene, config: &DistConfig, comm: &mut Comm) -> RankResult {
-    let npolys = scene.polygon_count();
-    let nranks = comm.size();
-    let my_rank = comm.rank();
-    let generator = PhotonGenerator::new(scene);
-    let mut stats = SimStats::default();
-
-    // ---- Load-balancing phase (redundant pilot trace; ch. 5) ----
-    let mut forest = BinForest::new(npolys, config.split);
-    let ownership = match config.balance {
-        BalanceMode::Naive => balance::naive(npolys, nranks),
-        BalanceMode::BinPacking { pilot_photons } => {
-            // Every rank traces the *same* photons with the same seed,
-            // producing the same forest and hence the same packing. Only
-            // rank 0 reports the pilot in its stats — the photons are
-            // global, not per rank.
-            let mut pilot_rng = Lcg48::new(config.seed ^ 0x9E3779B97F4A7C15);
-            let mut segments = 0u64;
-            for _ in 0..pilot_photons {
-                let out = trace_photon(scene, &generator, &mut pilot_rng, &mut forest);
-                segments += 1 + out.bounces as u64;
-                if my_rank == 0 {
-                    stats.emitted += 1;
-                    stats.reflections += out.bounces as u64;
-                    match out.termination {
-                        Termination::Absorbed => stats.absorbed += 1,
-                        Termination::Escaped => stats.escaped += 1,
-                        Termination::BounceCapped => stats.capped += 1,
-                    }
-                }
-            }
-            comm.charge_compute(segments, npolys);
-            let counts: Vec<u64> = forest.iter().map(|(_, t)| t.tallies()).collect();
-            balance::best_fit(&counts, nranks)
-        }
-    };
-    comm.barrier(); // end of the balancing phase; clocks sync
-
-    // ---- Main loop (Fig 5.3) ----
-    let mut rng = Lcg48::new(config.seed).leapfrog(my_rank, nranks);
-    let mut processed = 0u64;
-    let mut bytes_forwarded = 0u64;
-    let mut speed = SpeedTrace::new();
-    let mut controller = match config.batch {
-        BatchMode::Adaptive(params) => Some(BatchController::new(params)),
-        BatchMode::Fixed(_) => None,
-    };
-    let mut total_done = 0u64;
-    let mut t_batch_start = sync_clock(comm);
-    loop {
-        match config.stop {
-            StopRule::Photons(n) => {
-                if total_done >= n {
-                    break;
-                }
-            }
-            StopRule::VirtualSeconds(t) => {
-                if t_batch_start >= t {
-                    break;
-                }
-            }
-        }
-        let per_rank = match (&controller, config.batch) {
-            (Some(c), _) => c.size(),
-            (None, BatchMode::Fixed(n)) => n,
-            _ => unreachable!(),
-        };
-
-        // Trace this rank's share.
-        let mut queues: Vec<Vec<u8>> = (0..nranks).map(|_| Vec::new()).collect();
-        let mut segments = 0u64;
-        {
-            let mut sink = DistSink {
-                ownership: &ownership,
-                my_rank,
-                forest: &mut forest,
-                queues: &mut queues,
-                processed: &mut processed,
-            };
-            for _ in 0..per_rank {
-                let out = trace_photon(scene, &generator, &mut rng, &mut sink);
-                stats.emitted += 1;
-                stats.reflections += out.bounces as u64;
-                match out.termination {
-                    Termination::Absorbed => stats.absorbed += 1,
-                    Termination::Escaped => stats.escaped += 1,
-                    Termination::BounceCapped => stats.capped += 1,
-                }
-                segments += 1 + out.bounces as u64;
-            }
-        }
-        comm.charge_compute(segments, npolys);
-        // Fixed per-batch bookkeeping (queue setup, flush, rate sampling):
-        // the cost the adaptive controller amortizes by growing batches.
-        comm.advance(comm.platform().batch_overhead_s);
-        bytes_forwarded += queues.iter().map(|q| q.len() as u64).sum::<u64>();
-
-        // All-to-all exchange; receivers process foreign tallies.
-        let incoming = comm.alltoallv(queues);
-        let mut received = 0u64;
-        for (src, buf) in incoming.iter().enumerate() {
-            if src == my_rank {
-                continue;
-            }
-            for rec in PhotonRecord::decode_all(buf) {
-                debug_assert_eq!(ownership.owner_of(rec.patch_id), my_rank);
-                forest.tally(rec.patch_id, &rec.point, rec.energy);
-                received += 1;
-            }
-        }
-        processed += received;
-        comm.advance(comm.platform().tally_cost(received));
-
-        // Batch accounting on the synchronized clock: identical on every
-        // rank, so the adaptive controller stays in lockstep with zero
-        // extra coordination.
-        let t_batch_end = sync_clock(comm);
-        let global_batch = per_rank * nranks as u64;
-        total_done += global_batch;
-        let batch_secs = (t_batch_end - t_batch_start).max(1e-12);
-        let rate = global_batch as f64 / batch_secs;
-        if my_rank == 0 {
-            speed.push_batch(t_batch_end, global_batch, batch_secs);
-        }
-        if let Some(c) = controller.as_mut() {
-            c.observe(rate);
-        }
-        t_batch_start = t_batch_end;
-    }
-
-    // Hand back the trees this rank owns.
-    let final_clock = comm.clock();
-    let all_trees = forest.into_trees();
-    let mut owned_trees = Vec::new();
-    for (pid, tree) in all_trees.into_iter().enumerate() {
-        if ownership.owner_of(pid as u32) == my_rank {
-            owned_trees.push((pid as u32, tree));
-        }
-    }
-    RankResult {
-        stats,
-        owned_trees,
-        processed,
-        speed,
-        batch_history: controller.map(|c| c.history().to_vec()).unwrap_or_default(),
-        final_clock,
-        bytes_forwarded,
-        ownership,
+        ownership: summary.ownership,
+        bytes_forwarded: summary.bytes_forwarded,
     }
 }
 
 /// Synchronizes every rank's virtual clock to the global maximum and
 /// returns it.
-fn sync_clock(comm: &mut Comm) -> f64 {
+pub(crate) fn sync_clock(comm: &mut Comm) -> f64 {
     let t = comm.allreduce_max_f64(comm.clock());
     let dt = t - comm.clock();
     if dt > 0.0 {
@@ -536,5 +377,26 @@ mod tests {
         let r = run_distributed(&scene, &base_config());
         assert!(r.bytes_forwarded > 0);
         assert_eq!(r.bytes_forwarded % record::RECORD_BYTES as u64, 0);
+    }
+
+    #[test]
+    fn engine_snapshots_refine_mid_solve() {
+        use photon_core::SolverEngine;
+        let mut e = DistEngine::new(cornell_box(), base_config());
+        let r1 = e.step(2000);
+        let early = e.snapshot();
+        let r2 = e.step(2000);
+        let late = e.snapshot();
+        assert!(
+            r2.elapsed_seconds > r1.elapsed_seconds,
+            "virtual time moves"
+        );
+        assert!(late.emitted() > early.emitted());
+        assert!(late.total_leaf_bins() >= early.total_leaf_bins());
+        // Snapshot answers account every tally exactly once, mid-solve too.
+        let tallies: u64 = (0..late.patch_count() as u32)
+            .map(|p| late.tree(p).tallies())
+            .sum();
+        assert_eq!(tallies, e.stats().emitted + e.stats().reflections);
     }
 }

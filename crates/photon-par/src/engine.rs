@@ -1,0 +1,447 @@
+//! The resumable shared-memory solver engine.
+//!
+//! [`ParEngine`] is `photon_par`'s implementation of
+//! [`photon_core::SolverEngine`]: it owns its [`SharedForest`] and a
+//! persistent worker pool, so the solve advances batch by batch across
+//! [`step`](photon_core::SolverEngine::step) calls instead of running once
+//! and exiting. `photon_par::run` is now a thin driver over this engine.
+//!
+//! **Photon assignment.** Step `k` covers global photon indices
+//! `[emitted, emitted + batch)`; worker `t` of `T` leapfrogs through them,
+//! taking every `T`-th index. Each photon draws from its own block
+//! substream ([`photon_core::photon_stream`]), so the photon *set* is
+//! independent of the worker count.
+//!
+//! **Tally modes.** In [`TallyMode::Concurrent`] (the paper's Fig 5.2)
+//! workers tally straight into the locked forest as they trace; final bin
+//! boundaries then depend on tally interleaving. In
+//! [`TallyMode::Deterministic`] workers buffer `(photon, patch, point,
+//! energy)` records during the trace and a second pool pass replays them in
+//! global photon order — each worker owning a disjoint slice of trees — so
+//! every tree sees exactly the tally sequence of the serial simulator and
+//! the resulting [`Answer`] is **bit-identical** to `Simulator`'s for the
+//! same seed and photon count, at any thread count.
+
+use crate::{ParConfig, SharedForest, SharedSink, TallyMode};
+use photon_core::generate::PhotonGenerator;
+use photon_core::sim::SimStats;
+use photon_core::trace::{trace_photon, TallySink};
+use photon_core::{photon_stream, Answer, BatchReport, SolverEngine, SpeedTrace};
+use photon_geom::Scene;
+use photon_hist::BinPoint;
+use photon_math::Rgb;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One buffered interaction, tagged with its global photon index so the
+/// replay pass can restore serial order.
+#[derive(Clone, Copy, Debug)]
+struct TallyRecord {
+    photon: u64,
+    patch_id: u32,
+    point: BinPoint,
+    energy: Rgb,
+}
+
+/// Sink that buffers records instead of touching the forest, bucketed by
+/// the replay worker that will own each record's tree (`patch_id % T`) so
+/// the replay pass visits every record exactly once overall.
+struct RecordSink {
+    photon: u64,
+    threads: usize,
+    buckets: Vec<Vec<TallyRecord>>,
+}
+
+impl TallySink for RecordSink {
+    #[inline]
+    fn tally(&mut self, patch_id: u32, point: &BinPoint, energy: Rgb) {
+        self.buckets[patch_id as usize % self.threads].push(TallyRecord {
+            photon: self.photon,
+            patch_id,
+            point: *point,
+            energy,
+        });
+    }
+}
+
+enum Cmd {
+    /// Trace this worker's leapfrogged share of photons
+    /// `[start, start + count)`.
+    Trace { start: u64, count: u64 },
+    /// Replay the step's records onto this worker's slice of trees, in
+    /// global photon order. `records[src][dst]` holds the records traced
+    /// by worker `src` whose trees belong to replay worker `dst`, sorted
+    /// by photon index.
+    Replay {
+        start: u64,
+        count: u64,
+        records: Arc<Vec<Vec<Vec<TallyRecord>>>>,
+    },
+}
+
+enum Reply {
+    Traced {
+        tid: usize,
+        stats: SimStats,
+        records: Vec<Vec<TallyRecord>>,
+    },
+    Replayed,
+}
+
+struct WorkerCtx {
+    tid: usize,
+    threads: usize,
+    seed: u64,
+    mode: TallyMode,
+    scene: Arc<Scene>,
+    generator: Arc<PhotonGenerator>,
+    forest: Arc<SharedForest>,
+}
+
+fn worker_loop(ctx: WorkerCtx, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Trace { start, count } => {
+                let mut stats = SimStats::default();
+                let mut recorder = RecordSink {
+                    photon: 0,
+                    threads: ctx.threads,
+                    buckets: (0..ctx.threads).map(|_| Vec::new()).collect(),
+                };
+                let mut shared = SharedSink {
+                    forest: &ctx.forest,
+                };
+                let mut j = start + ctx.tid as u64;
+                while j < start + count {
+                    let mut rng = photon_stream(ctx.seed, j);
+                    let out = match ctx.mode {
+                        TallyMode::Concurrent => {
+                            trace_photon(&ctx.scene, &ctx.generator, &mut rng, &mut shared)
+                        }
+                        TallyMode::Deterministic => {
+                            recorder.photon = j;
+                            trace_photon(&ctx.scene, &ctx.generator, &mut rng, &mut recorder)
+                        }
+                    };
+                    stats.record(&out);
+                    j += ctx.threads as u64;
+                }
+                let _ = tx.send(Reply::Traced {
+                    tid: ctx.tid,
+                    stats,
+                    records: recorder.buckets,
+                });
+            }
+            Cmd::Replay {
+                start,
+                count,
+                records,
+            } => {
+                // This worker's records, one sorted-by-photon list per
+                // tracing worker. Walk photons in global order; photon j's
+                // records live only in the list of the worker that traced
+                // it, contiguously — so each record is visited once, by its
+                // owner (disjoint tree ownership: no contention, pure
+                // order).
+                let lists: Vec<&[TallyRecord]> =
+                    records.iter().map(|src| src[ctx.tid].as_slice()).collect();
+                let mut cursors = vec![0usize; lists.len()];
+                for j in start..start + count {
+                    let src = ((j - start) % ctx.threads as u64) as usize;
+                    let list = lists[src];
+                    let cur = &mut cursors[src];
+                    while *cur < list.len() && list[*cur].photon == j {
+                        let rec = &list[*cur];
+                        ctx.forest.tally(rec.patch_id, &rec.point, rec.energy);
+                        *cur += 1;
+                    }
+                }
+                let _ = tx.send(Reply::Replayed);
+            }
+        }
+    }
+}
+
+/// The resumable shared-memory engine: a worker pool over a shared,
+/// reader/writer-locked bin forest, stepped batch by batch.
+pub struct ParEngine {
+    config: ParConfig,
+    forest: Arc<SharedForest>,
+    cmd_txs: Vec<Sender<Cmd>>,
+    reply_rx: Receiver<Reply>,
+    handles: Vec<JoinHandle<()>>,
+    stats: SimStats,
+    speed: SpeedTrace,
+    started: Option<Instant>,
+}
+
+impl ParEngine {
+    /// Spawns `config.threads` workers over `scene` and an empty forest.
+    pub fn new(scene: Scene, config: ParConfig) -> Self {
+        assert!(config.threads >= 1);
+        let forest = Arc::new(SharedForest::new(
+            scene.polygon_count(),
+            config.split,
+            config.lock,
+        ));
+        let generator = Arc::new(PhotonGenerator::new(&scene));
+        let scene = Arc::new(scene);
+        let (reply_tx, reply_rx) = channel();
+        let mut cmd_txs = Vec::with_capacity(config.threads);
+        let mut handles = Vec::with_capacity(config.threads);
+        for tid in 0..config.threads {
+            let (tx, rx) = channel();
+            cmd_txs.push(tx);
+            let ctx = WorkerCtx {
+                tid,
+                threads: config.threads,
+                seed: config.seed,
+                mode: config.tally,
+                scene: Arc::clone(&scene),
+                generator: Arc::clone(&generator),
+                forest: Arc::clone(&forest),
+            };
+            let reply_tx = reply_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("photon-par-{tid}"))
+                    .spawn(move || worker_loop(ctx, rx, reply_tx))
+                    .expect("spawn worker"),
+            );
+        }
+        ParEngine {
+            config,
+            forest,
+            cmd_txs,
+            reply_rx,
+            handles,
+            stats: SimStats::default(),
+            speed: SpeedTrace::new(),
+            started: None,
+        }
+    }
+
+    /// The shared forest being refined.
+    pub fn forest(&self) -> &SharedForest {
+        &self.forest
+    }
+
+    /// Speed-vs-time trace, one sample per step.
+    pub fn speed_trace(&self) -> &SpeedTrace {
+        &self.speed
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &ParConfig {
+        &self.config
+    }
+
+    fn broadcast(&self, make: impl Fn() -> Cmd) {
+        for tx in &self.cmd_txs {
+            tx.send(make()).expect("worker alive");
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.cmd_txs.clear(); // hang up; workers exit their recv loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Finishes the run, moving the forest into the answer (no tree
+    /// clones, unlike a mid-solve [`SolverEngine::snapshot`]).
+    pub fn into_answer(mut self) -> Answer {
+        self.shutdown(); // joins workers, dropping their forest handles
+        let emitted = self.stats.emitted;
+        let dummy = Arc::new(SharedForest::new(0, self.config.split, self.config.lock));
+        let forest = std::mem::replace(&mut self.forest, dummy);
+        let forest = match Arc::try_unwrap(forest) {
+            Ok(owned) => owned.into_forest(),
+            // Unreachable after shutdown, but cloning stays correct.
+            Err(shared) => shared.snapshot_forest(),
+        };
+        Answer::from_forest(&forest, emitted)
+    }
+}
+
+impl Drop for ParEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl SolverEngine for ParEngine {
+    fn step(&mut self, batch: u64) -> BatchReport {
+        let t0 = *self.started.get_or_insert_with(Instant::now);
+        let batch_start = Instant::now();
+        let start = self.stats.emitted;
+        self.broadcast(|| Cmd::Trace {
+            start,
+            count: batch,
+        });
+        let mut lists: Vec<Vec<Vec<TallyRecord>>> =
+            (0..self.config.threads).map(|_| Vec::new()).collect();
+        for _ in 0..self.config.threads {
+            match self.reply_rx.recv().expect("worker alive") {
+                Reply::Traced {
+                    tid,
+                    stats,
+                    records,
+                } => {
+                    self.stats.merge(&stats);
+                    lists[tid] = records;
+                }
+                Reply::Replayed => unreachable!("no replay outstanding"),
+            }
+        }
+        if self.config.tally == TallyMode::Deterministic {
+            let records = Arc::new(lists);
+            self.broadcast(|| Cmd::Replay {
+                start,
+                count: batch,
+                records: Arc::clone(&records),
+            });
+            for _ in 0..self.config.threads {
+                match self.reply_rx.recv().expect("worker alive") {
+                    Reply::Replayed => {}
+                    Reply::Traced { .. } => unreachable!("no trace outstanding"),
+                }
+            }
+        }
+        let batch_seconds = batch_start.elapsed().as_secs_f64();
+        let elapsed_seconds = t0.elapsed().as_secs_f64();
+        self.speed.push_batch(elapsed_seconds, batch, batch_seconds);
+        BatchReport {
+            batch_photons: batch,
+            emitted_total: self.stats.emitted,
+            leaf_bins: self.forest.total_leaf_bins(),
+            batch_seconds,
+            elapsed_seconds,
+            stats: self.stats,
+        }
+    }
+
+    fn snapshot(&self) -> Answer {
+        Answer::from_forest(&self.forest.snapshot_forest(), self.stats.emitted)
+    }
+
+    fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    fn backend(&self) -> &'static str {
+        "threaded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_core::{SimConfig, Simulator};
+    use photon_scenes::cornell_box;
+
+    fn engine(threads: usize, tally: TallyMode) -> ParEngine {
+        ParEngine::new(
+            cornell_box(),
+            ParConfig {
+                seed: 2024,
+                threads,
+                tally,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn answer_bytes(a: &Answer) -> Vec<u8> {
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).expect("encode answer");
+        buf
+    }
+
+    #[test]
+    fn engine_is_resumable_across_steps() {
+        let mut e = engine(3, TallyMode::Deterministic);
+        let r1 = e.step(1000);
+        let r2 = e.step(1000);
+        assert_eq!(r1.emitted_total, 1000);
+        assert_eq!(r2.emitted_total, 2000);
+        assert!(r2.leaf_bins >= r1.leaf_bins, "forest must not coarsen");
+        assert_eq!(e.speed_trace().samples().len(), 2);
+        assert!(e.stats().is_conserved());
+    }
+
+    #[test]
+    fn deterministic_engine_matches_serial_bit_for_bit() {
+        let mut serial = Simulator::new(
+            cornell_box(),
+            SimConfig {
+                seed: 2024,
+                ..Default::default()
+            },
+        );
+        serial.run_photons(4000);
+        let want = answer_bytes(&serial.answer_snapshot());
+        for threads in [1, 2, 4, 5] {
+            let mut e = engine(threads, TallyMode::Deterministic);
+            e.step(1500);
+            e.step(2500);
+            assert_eq!(
+                answer_bytes(&e.snapshot()),
+                want,
+                "threads={threads} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn batching_does_not_change_the_answer() {
+        let mut a = engine(4, TallyMode::Deterministic);
+        a.step(3000);
+        let mut b = engine(4, TallyMode::Deterministic);
+        for _ in 0..6 {
+            b.step(500);
+        }
+        assert_eq!(answer_bytes(&a.snapshot()), answer_bytes(&b.snapshot()));
+    }
+
+    #[test]
+    fn concurrent_engine_traces_the_same_photons() {
+        // Tally interleaving may move bin boundaries, but the photon set —
+        // and hence every counter — is identical to the serial stream.
+        let mut serial = Simulator::new(
+            cornell_box(),
+            SimConfig {
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        serial.run_photons(3000);
+        let mut e = ParEngine::new(
+            cornell_box(),
+            ParConfig {
+                seed: 11,
+                threads: 4,
+                tally: TallyMode::Concurrent,
+                ..Default::default()
+            },
+        );
+        e.step(3000);
+        assert_eq!(e.stats(), *serial.stats());
+        assert_eq!(e.forest().total_tallies(), serial.forest().total_tallies());
+    }
+
+    #[test]
+    fn snapshot_does_not_stop_the_engine() {
+        let mut e = engine(2, TallyMode::Deterministic);
+        e.step(800);
+        let early = e.snapshot();
+        e.step(800);
+        let late = e.snapshot();
+        assert_eq!(early.emitted(), 800);
+        assert_eq!(late.emitted(), 1600);
+        assert!(late.total_leaf_bins() >= early.total_leaf_bins());
+    }
+}

@@ -5,39 +5,41 @@
 //! insured through the use of semaphores to lock access to nodes in the bin
 //! forest, and follows a multiple reader, single writer protocol."
 //!
-//! Here each worker thread traces its own photons (geometry is shared
-//! read-only) and tallies through a [`SharedForest`]: one
-//! `parking_lot::RwLock` per patch tree. A tally takes the write lock of the
-//! *one* tree it touches — the same granularity that matters for contention
-//! (patches are the unit of conflict), with the lock-per-split refinement of
-//! the paper subsumed by the short critical section. An optional
-//! [`LockMode::Global`] ablation serializes the whole forest behind a single
-//! lock to quantify what fine-grained locking buys (see the `ablation`
-//! bench).
+//! The crate is built around [`ParEngine`] (see [`engine`]): a *resumable*
+//! solver implementing [`photon_core::SolverEngine`], holding its
+//! [`SharedForest`] — one `parking_lot::RwLock` per patch tree — and a
+//! persistent worker pool across batches. Worker `t` of `T` leapfrogs
+//! through each batch's photon indices (every `T`-th photon), and each
+//! photon draws from its own block substream of the seeded base stream, so
+//! the photon set is exactly the serial simulator's regardless of thread
+//! count. Two tally modes:
 //!
-//! Work is issued in batches; after every batch the coordinator records a
-//! speed sample, reproducing the speed-vs-time traces of Figs 5.6–5.8.
-//! Random streams are leapfrogged so the union of all threads' photons is
-//! exactly the serial photon stream, partitioned.
+//! * [`TallyMode::Concurrent`] — tallies go through the per-tree write
+//!   locks as workers trace (the paper's design; [`LockMode::Global`] is
+//!   the single-lock ablation — see the `ablation_locks` bench);
+//! * [`TallyMode::Deterministic`] — tallies are buffered and replayed in
+//!   global photon order, making the answer bit-identical to the serial
+//!   simulator's.
+//!
+//! [`run`] drives the engine for a fixed photon budget, recording a speed
+//! sample per batch — the traces of Figs 5.6–5.8.
 
 #![deny(missing_docs)]
 
+pub mod engine;
 pub mod pool;
 
+pub use engine::ParEngine;
 pub use pool::parallel_map;
 
 use parking_lot::{Mutex, RwLock};
-use photon_core::generate::PhotonGenerator;
 use photon_core::sim::SimStats;
-use photon_core::trace::{trace_photon, TallySink, Termination};
-use photon_core::{Answer, SpeedTrace};
+use photon_core::trace::TallySink;
+use photon_core::{Answer, SolverEngine, SpeedTrace};
 use photon_geom::Scene;
 use photon_hist::{BinPoint, BinTree, SplitConfig};
 use photon_math::Rgb;
-use photon_rng::Lcg48;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
-use std::time::Instant;
 
 /// Locking granularity for the shared bin forest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,10 +50,21 @@ pub enum LockMode {
     Global,
 }
 
+/// When tallies reach the shared forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TallyMode {
+    /// Tally through the forest locks while tracing (the paper's Fig 5.2).
+    /// Fastest; bin boundaries depend on tally interleaving.
+    Concurrent,
+    /// Buffer tallies during the trace, then replay them in global photon
+    /// order — the answer is bit-identical to the serial simulator's.
+    Deterministic,
+}
+
 /// Configuration of a shared-memory run.
 #[derive(Clone, Copy, Debug)]
 pub struct ParConfig {
-    /// Seed of the global (pre-leapfrog) random stream.
+    /// Seed of the photon stream (block-split per photon).
     pub seed: u64,
     /// Bin splitting policy.
     pub split: SplitConfig,
@@ -61,6 +74,8 @@ pub struct ParConfig {
     pub batch_size: u64,
     /// Locking granularity.
     pub lock: LockMode,
+    /// When tallies reach the forest.
+    pub tally: TallyMode,
 }
 
 impl Default for ParConfig {
@@ -71,6 +86,7 @@ impl Default for ParConfig {
             threads: 2,
             batch_size: 2000,
             lock: LockMode::PerTree,
+            tally: TallyMode::Concurrent,
         }
     }
 }
@@ -125,6 +141,12 @@ impl SharedForest {
             .sum()
     }
 
+    /// Clones the current trees into a serial forest — the snapshot behind
+    /// a progressive answer publish; the engine keeps refining afterwards.
+    pub fn snapshot_forest(&self) -> photon_core::BinForest {
+        photon_core::BinForest::from_trees(self.trees.iter().map(|t| t.read().clone()).collect())
+    }
+
     /// Collapses into a serial forest.
     pub fn into_forest(self) -> photon_core::BinForest {
         photon_core::BinForest::from_trees(self.trees.into_iter().map(|t| t.into_inner()).collect())
@@ -132,8 +154,8 @@ impl SharedForest {
 }
 
 /// Per-thread sink borrowing the shared forest.
-struct SharedSink<'a> {
-    forest: &'a SharedForest,
+pub(crate) struct SharedSink<'a> {
+    pub(crate) forest: &'a SharedForest,
 }
 
 impl TallySink for SharedSink<'_> {
@@ -155,89 +177,25 @@ pub struct ParRunResult {
     pub leaf_bins: u64,
 }
 
-/// Runs `total_photons` through `config.threads` workers over the shared
-/// forest, batch by batch (Fig 5.2's `forall` loop).
+/// Runs `total_photons` through a [`ParEngine`] batch by batch (Fig 5.2's
+/// `forall` loop with per-batch speed samples).
 pub fn run(scene: &Scene, config: &ParConfig, total_photons: u64) -> ParRunResult {
     assert!(config.threads >= 1);
-    assert!(config.batch_size >= config.threads as u64);
-    let forest = SharedForest::new(scene.polygon_count(), config.split, config.lock);
-    let generator = PhotonGenerator::new(scene);
-    let base = Lcg48::new(config.seed);
-    let nthreads = config.threads;
-
-    // Per-thread leapfrogged RNG streams: the union of all threads' draws is
-    // the serial stream (ch. 5, Random Number Generation).
-    let rngs: Vec<Lcg48> = (0..nthreads).map(|r| base.leapfrog(r, nthreads)).collect();
-    let rngs: Vec<Mutex<Lcg48>> = rngs.into_iter().map(Mutex::new).collect();
-
-    let nbatches = total_photons.div_ceil(config.batch_size);
-    let mut speed = SpeedTrace::new();
-    let stats_acc = Mutex::new(SimStats::default());
-    let barrier = Barrier::new(nthreads);
-    let batch_of =
-        |b: u64| -> u64 { (total_photons - b * config.batch_size).min(config.batch_size) };
-
-    let t0 = Instant::now();
-    let batch_times = Mutex::new(Vec::<(f64, u64, f64)>::new());
-    std::thread::scope(|scope| {
-        for tid in 0..nthreads {
-            let forest = &forest;
-            let generator = &generator;
-            let rngs = &rngs;
-            let stats_acc = &stats_acc;
-            let barrier = &barrier;
-            let batch_times = &batch_times;
-            scope.spawn(move || {
-                let mut rng = rngs[tid].lock().clone();
-                let mut sink = SharedSink { forest };
-                let mut local = SimStats::default();
-                for b in 0..nbatches {
-                    let n = batch_of(b);
-                    // Split the batch across threads (remainder to low tids).
-                    let share = n / nthreads as u64 + u64::from((n % nthreads as u64) > tid as u64);
-                    let batch_start = Instant::now();
-                    for _ in 0..share {
-                        let out = trace_photon(scene, generator, &mut rng, &mut sink);
-                        local.emitted += 1;
-                        local.reflections += out.bounces as u64;
-                        match out.termination {
-                            Termination::Absorbed => local.absorbed += 1,
-                            Termination::Escaped => local.escaped += 1,
-                            Termination::BounceCapped => local.capped += 1,
-                        }
-                    }
-                    barrier.wait();
-                    // Thread 0 records the batch sample after the barrier so
-                    // the time covers the slowest worker.
-                    if tid == 0 {
-                        let elapsed = t0.elapsed().as_secs_f64();
-                        batch_times
-                            .lock()
-                            .push((elapsed, n, batch_start.elapsed().as_secs_f64()));
-                    }
-                    barrier.wait();
-                }
-                let mut acc = stats_acc.lock();
-                acc.emitted += local.emitted;
-                acc.absorbed += local.absorbed;
-                acc.escaped += local.escaped;
-                acc.capped += local.capped;
-                acc.reflections += local.reflections;
-            });
-        }
-    });
-
-    for (elapsed, n, secs) in batch_times.into_inner() {
-        speed.push_batch(elapsed, n, secs);
+    assert!(config.batch_size >= 1);
+    let mut engine = ParEngine::new(scene.clone(), *config);
+    let mut remaining = total_photons;
+    while remaining > 0 {
+        let n = remaining.min(config.batch_size);
+        engine.step(n);
+        remaining -= n;
     }
-    let stats = *stats_acc.lock();
-    let leaf_bins = forest.total_leaf_bins();
-    let forest = forest.into_forest();
-    let answer = Answer::from_forest(&forest, stats.emitted);
+    let leaf_bins = engine.forest().total_leaf_bins();
+    let stats = engine.stats();
+    let speed = engine.speed_trace().clone();
     ParRunResult {
         stats,
         speed,
-        answer,
+        answer: engine.into_answer(),
         leaf_bins,
     }
 }
@@ -277,10 +235,7 @@ mod tests {
             batch_size: 1000,
             ..Default::default()
         };
-        let forest = SharedForest::new(scene.polygon_count(), config.split, config.lock);
-        // run() consumes the forest internally; recompute via the public API.
         let r = run(&scene, &config, 5_000);
-        drop(forest);
         // answer trees tally exactly emissions + reflections.
         let total: u64 = (0..r.answer.patch_count() as u32)
             .map(|pid| r.answer.tree(pid).tallies())
@@ -289,18 +244,12 @@ mod tests {
     }
 
     #[test]
-    fn parallel_run_statistically_matches_serial() {
-        // Same seed, 1 thread vs 4 threads: leapfrog partitions the same
-        // stream, so aggregate statistics agree closely (split decisions
-        // may differ by interleaving, counts may not drift).
+    fn parallel_run_matches_serial_exactly() {
+        // Block-split photon streams: 1 thread and 4 threads trace the
+        // *same* photons, so every counter agrees exactly.
         let serial = small_run(1, LockMode::PerTree);
         let par = small_run(4, LockMode::PerTree);
-        assert_eq!(serial.stats.emitted, par.stats.emitted);
-        let s = serial.stats.reflections as f64;
-        let p = par.stats.reflections as f64;
-        // Different photons -> different bounce totals, but within a few
-        // percent for 10k photons.
-        assert!((s - p).abs() / s < 0.1, "serial {s} vs par {p}");
+        assert_eq!(serial.stats, par.stats);
     }
 
     #[test]

@@ -80,6 +80,23 @@ impl Lcg48 {
         self.state = (mul_mod(an, self.state).wrapping_add(cn)) & MASK;
     }
 
+    /// Returns block substream `index`: this stream advanced by
+    /// `index * stride` steps (`self` is not advanced).
+    ///
+    /// Block splitting assigns work item `index` the draws
+    /// `[index * stride, (index + 1) * stride)` of the base stream. Unlike
+    /// [`Lcg48::leapfrog`], the partition does not depend on how many
+    /// workers there are — which is what lets a photon be traced by *any*
+    /// backend (serial, threaded, distributed) with exactly the same
+    /// deviates. Callers pick `stride` comfortably above the worst-case
+    /// draws per item so blocks never overlap.
+    pub fn substream(&self, index: u64, stride: u64) -> Lcg48 {
+        let mut sub = self.clone();
+        // O(log n) jump even for index * stride near the 2^48 period.
+        sub.jump_ahead(index.wrapping_mul(stride));
+        sub
+    }
+
     /// Returns the leapfrog substream for `rank` of `nranks`.
     ///
     /// If this generator would next produce `x_1, x_2, x_3, ...`, the
@@ -185,6 +202,32 @@ mod tests {
         let mut b = Lcg48::new(5);
         b.jump_ahead(1234);
         assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn substream_blocks_tile_the_base_stream() {
+        let base = Lcg48::new(777);
+        let mut reference = base.clone();
+        for index in 0..5u64 {
+            let mut sub = base.substream(index, 16);
+            for step in 0..16 {
+                assert_eq!(
+                    sub.next_u48(),
+                    reference.next_u48(),
+                    "index={index} step={step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn substream_zero_is_identity() {
+        let base = Lcg48::new(41);
+        let mut sub = base.substream(0, 4096);
+        let mut reference = base.clone();
+        for _ in 0..64 {
+            assert_eq!(sub.next_u48(), reference.next_u48());
+        }
     }
 
     #[test]

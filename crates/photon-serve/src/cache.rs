@@ -3,25 +3,32 @@
 //!
 //! Serving many clients against a handful of stored answers is dominated by
 //! repeated and near-identical views (walkthrough clients orbit the same
-//! landmarks; dashboards poll fixed viewpoints). Since the answer is
-//! static between simulations, a rendered view is a pure function of
-//! `(scene, camera)` — so caching is exact, and quantizing the camera before
-//! keying folds views that differ by sub-voxel jitter into one entry.
+//! landmarks; dashboards poll fixed viewpoints). A rendered view is a pure
+//! function of `(scene, answer epoch, camera)` — so caching is exact, and
+//! quantizing the camera before keying folds views that differ by
+//! sub-voxel jitter into one entry. The epoch in the key is what keeps a
+//! *progressive* solve honest: every publish of a refined answer moves the
+//! entry to a new epoch, all old cache keys stop matching, and refreshed
+//! views re-render instead of serving stale images.
 
 use crate::store::SceneId;
 use photon_core::Camera;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
-/// A cache key: scene id plus camera pose snapped to a lattice.
+/// A cache key: scene id, answer epoch, and camera pose snapped to a
+/// lattice.
 ///
 /// Positions quantize to `1 / grid` world units and the field of view to
 /// centidegrees; two cameras landing on the same lattice point render
 /// within one cell of each other, visually indistinguishable at the cell
-/// sizes the service defaults to.
+/// sizes the service defaults to. The epoch pins the key to one published
+/// answer: a refined publish changes the epoch and orphans every older
+/// key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ViewKey {
     scene: SceneId,
+    epoch: u64,
     eye: [i64; 3],
     target: [i64; 3],
     up: [i64; 3],
@@ -31,12 +38,14 @@ pub struct ViewKey {
 }
 
 impl ViewKey {
-    /// Quantizes a request with `grid` lattice cells per world unit.
-    pub fn quantize(scene: SceneId, camera: &Camera, grid: f64) -> Self {
+    /// Quantizes a request against answer `epoch` with `grid` lattice
+    /// cells per world unit.
+    pub fn quantize(scene: SceneId, epoch: u64, camera: &Camera, grid: f64) -> Self {
         let q = |v: f64| (v * grid).round() as i64;
         let qv = |v: photon_math::Vec3| [q(v.x), q(v.y), q(v.z)];
         ViewKey {
             scene,
+            epoch,
             eye: qv(camera.eye),
             target: qv(camera.target),
             up: qv(camera.up),
@@ -157,16 +166,18 @@ mod tests {
 
     #[test]
     fn quantization_folds_jitter_and_separates_views() {
-        let a = ViewKey::quantize(SceneId(0), &cam(1.0), 256.0);
-        let jittered = ViewKey::quantize(SceneId(0), &cam(1.0 + 1e-4), 256.0);
-        let moved = ViewKey::quantize(SceneId(0), &cam(1.5), 256.0);
-        let other_scene = ViewKey::quantize(SceneId(1), &cam(1.0), 256.0);
+        let a = ViewKey::quantize(SceneId(0), 1, &cam(1.0), 256.0);
+        let jittered = ViewKey::quantize(SceneId(0), 1, &cam(1.0 + 1e-4), 256.0);
+        let moved = ViewKey::quantize(SceneId(0), 1, &cam(1.5), 256.0);
+        let other_scene = ViewKey::quantize(SceneId(1), 1, &cam(1.0), 256.0);
+        let refined = ViewKey::quantize(SceneId(0), 2, &cam(1.0), 256.0);
         assert_eq!(a, jittered, "sub-cell jitter must share a key");
         assert_ne!(a, moved);
         assert_ne!(a, other_scene);
+        assert_ne!(a, refined, "a fresher epoch must invalidate the key");
         let mut resized = cam(1.0);
         resized.width = 128;
-        assert_ne!(a, ViewKey::quantize(SceneId(0), &resized, 256.0));
+        assert_ne!(a, ViewKey::quantize(SceneId(0), 1, &resized, 256.0));
     }
 
     #[test]

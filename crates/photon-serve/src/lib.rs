@@ -1,36 +1,60 @@
-//! photon-serve: a concurrent answer-serving render service.
+//! photon-serve: a full solve→store→render pipeline behind one service.
 //!
 //! The dissertation's payoff is that Photon's output is *view-independent*:
 //! "once the simulation is finished, all that remains is to determine what
 //! is displayed" (ch. 4). One expensive simulation therefore amortizes over
-//! unlimited cheap view queries — the same shape as a production renderer
-//! serving walkthrough traffic. This crate is that serving layer, built on
-//! the existing pieces:
+//! unlimited cheap view queries — and because every backend is an
+//! incremental [`photon_core::SolverEngine`], the simulation doesn't even
+//! have to be finished: a solve job publishes refining answer snapshots
+//! under increasing epochs while the render path serves views from the
+//! freshest one. The crate's layers:
 //!
 //! | module | role |
 //! |--------|------|
-//! | [`store`] | registry of `(Scene, Answer)` pairs, persisted via the `PHOTANS1` codec |
+//! | [`solver`] | `SolveJob` queue + background solver pool driving any backend batch-by-batch |
+//! | [`store`] | registry of `(Scene, Answer)` pairs with publication epochs, persisted via the `PHOTANS1` codec |
 //! | [`render`] | tile-parallel rendering over `photon-par`'s worker pool, bit-identical to the serial viewer |
-//! | [`cache`] | LRU of rendered views keyed by (scene, quantized camera) |
+//! | [`cache`] | LRU of rendered views keyed by (scene, epoch, quantized camera) — a publish invalidates stale images |
 //! | [`service`] | submission queue → batching dispatcher → cache/coalesce/render |
 //! | [`metrics`] | p50/p99 latency, queries/sec, and per-batch speed traces in the `perf` style |
 //!
-//! # Quickstart
+//! # Quickstart: scene in, images out
 //!
-//! ```no_run
-//! use photon_serve::{AnswerStore, RenderRequest, RenderService, ServeConfig};
+//! ```
+//! use photon_serve::{AnswerStore, BackendChoice, RenderRequest, RenderService,
+//!                    ServeConfig, SolveRequest, SolverPool};
+//! use photon_core::Camera;
+//! use photon_math::Vec3;
 //! use std::sync::Arc;
+//! use std::time::Duration;
 //!
-//! # fn scene_and_answer() -> (photon_geom::Scene, photon_core::Answer) { unimplemented!() }
-//! # fn some_camera() -> photon_core::Camera { unimplemented!() }
-//! let (scene, answer) = scene_and_answer(); // simulate once, offline
+//! // A scene goes in — no precomputed answer anywhere.
 //! let store = Arc::new(AnswerStore::new());
-//! let id = store.insert("cornell", scene, answer);
-//! let service = RenderService::start(store, ServeConfig::default());
+//! let solver = SolverPool::start(Arc::clone(&store), 1);
+//! let mut request = SolveRequest::new("cornell", photon_scenes::cornell_box());
+//! request.backend = BackendChoice::Threaded { threads: 2 };
+//! request.batch_size = 1_000;
+//! request.target_photons = 2_000;
+//! let job = solver.submit(request);
+//!
+//! // The scene is renderable immediately; epochs refine underneath.
+//! let service = RenderService::start(Arc::clone(&store), ServeConfig::default());
+//! let solved = job.wait_done(Duration::from_secs(120)).expect("solve converged");
+//! assert!(solved.epoch >= 1 && solved.emitted >= 2_000);
+//!
+//! let camera = Camera {
+//!     eye: Vec3::new(2.78, 2.73, -7.5),
+//!     target: Vec3::new(2.78, 2.73, 2.8),
+//!     up: Vec3::Y,
+//!     vfov_deg: 40.0,
+//!     width: 32,
+//!     height: 24,
+//! };
 //! let view = service
-//!     .render_blocking(RenderRequest { scene_id: id, camera: some_camera() })
+//!     .render_blocking(RenderRequest { scene_id: job.scene_id(), camera })
 //!     .unwrap();
-//! assert_eq!(view.image.width(), some_camera().width);
+//! assert_eq!(view.image.width(), 32);
+//! assert!(view.image.mean_luminance() > 0.0, "the solved scene is lit");
 //! ```
 
 #![deny(missing_docs)]
@@ -39,10 +63,12 @@ pub mod cache;
 pub mod metrics;
 pub mod render;
 pub mod service;
+pub mod solver;
 pub mod store;
 
 pub use cache::{LruCache, ViewKey};
 pub use metrics::{LatencySummary, MetricsSnapshot, RequestOutcome};
 pub use render::render_parallel;
 pub use service::{RenderRequest, RenderResponse, RenderService, ServeConfig, ServeError, Ticket};
+pub use solver::{BackendChoice, SolveHandle, SolveJobId, SolveProgress, SolveRequest, SolverPool};
 pub use store::{AnswerStore, SceneId, StoredAnswer};

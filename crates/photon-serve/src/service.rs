@@ -11,7 +11,7 @@
 //!    on — coalesces requests whose quantized [`ViewKey`]s collide, so one
 //!    tile-parallel render answers all of them.
 //! 3. Misses render across the worker pool
-//!    ([`render_parallel`](crate::render::render_parallel)), land in the
+//!    ([`render_parallel`]), land in the
 //!    LRU view cache, and every waiter gets an `Arc` of the same image.
 //!
 //! One dispatcher owns the cache (no lock contention on the hot map); the
@@ -45,6 +45,9 @@ pub struct RenderResponse {
     pub image: Arc<Image>,
     /// How the request was satisfied.
     pub outcome: RequestOutcome,
+    /// Publication epoch of the answer the image came from — lets clients
+    /// of a progressive solve see which refinement they were served.
+    pub epoch: u64,
     /// Submission-to-response time.
     pub latency: Duration,
 }
@@ -63,6 +66,9 @@ pub enum ServeError {
     UnknownScene(SceneId),
     /// The service shut down before answering.
     ServiceStopped,
+    /// [`Ticket::wait_timeout`] gave up before the service answered; the
+    /// ticket stays valid, so the caller may wait again.
+    TimedOut,
 }
 
 impl std::fmt::Display for ServeError {
@@ -70,6 +76,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::UnknownScene(id) => write!(f, "unknown {id}"),
             ServeError::ServiceStopped => write!(f, "render service stopped"),
+            ServeError::TimedOut => write!(f, "timed out waiting for a response"),
         }
     }
 }
@@ -85,6 +92,18 @@ impl Ticket {
     /// Blocks until the service answers.
     pub fn wait(self) -> Result<RenderResponse, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ServiceStopped))
+    }
+
+    /// Waits at most `timeout` for the response, so a caller is never
+    /// wedged behind a stuck job. On [`ServeError::TimedOut`] the ticket
+    /// remains live — the render continues and a later wait can still
+    /// collect it.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<RenderResponse, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::TimedOut),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::ServiceStopped),
+        }
     }
 }
 
@@ -254,6 +273,7 @@ fn dispatch_loop(
                 }
                 continue;
             };
+            let epoch = entry.epoch;
             let render_one = |camera: &Camera| {
                 Arc::new(render_parallel(
                     &entry.scene,
@@ -268,7 +288,7 @@ fn dispatch_loop(
                 None => {
                     for job in group {
                         let image = render_one(&job.request.camera);
-                        respond(job, image, RequestOutcome::Rendered, &metrics);
+                        respond(job, image, RequestOutcome::Rendered, epoch, &metrics);
                     }
                 }
                 Some(cache) => {
@@ -276,8 +296,15 @@ fn dispatch_loop(
                     // preserving first-seen order.
                     let mut keyed: Vec<(ViewKey, Vec<Job>)> = Vec::new();
                     for job in group {
-                        let key =
-                            ViewKey::quantize(scene_id, &job.request.camera, config.quant_grid);
+                        // Keyed by the entry's epoch: a progressive solve
+                        // publishing a refined answer re-renders instead of
+                        // serving the previous epoch's image.
+                        let key = ViewKey::quantize(
+                            scene_id,
+                            entry.epoch,
+                            &job.request.camera,
+                            config.quant_grid,
+                        );
                         match keyed.iter_mut().find(|(k, _)| *k == key) {
                             Some((_, bucket)) => bucket.push(job),
                             None => keyed.push((key, vec![job])),
@@ -291,6 +318,7 @@ fn dispatch_loop(
                                     job,
                                     Arc::clone(&image),
                                     RequestOutcome::CacheHit,
+                                    epoch,
                                     &metrics,
                                 );
                             }
@@ -304,10 +332,17 @@ fn dispatch_loop(
                             leader,
                             Arc::clone(&image),
                             RequestOutcome::Rendered,
+                            epoch,
                             &metrics,
                         );
                         for job in bucket {
-                            respond(job, Arc::clone(&image), RequestOutcome::Coalesced, &metrics);
+                            respond(
+                                job,
+                                Arc::clone(&image),
+                                RequestOutcome::Coalesced,
+                                epoch,
+                                &metrics,
+                            );
                         }
                     }
                 }
@@ -317,7 +352,13 @@ fn dispatch_loop(
     }
 }
 
-fn respond(job: Job, image: Arc<Image>, outcome: RequestOutcome, metrics: &ServiceMetrics) {
+fn respond(
+    job: Job,
+    image: Arc<Image>,
+    outcome: RequestOutcome,
+    epoch: u64,
+    metrics: &ServiceMetrics,
+) {
     let latency = job.submitted.elapsed();
     metrics.record_request(latency, outcome);
     // A dead waiter (dropped ticket) is fine; the render still warmed the
@@ -325,6 +366,7 @@ fn respond(job: Job, image: Arc<Image>, outcome: RequestOutcome, metrics: &Servi
     let _ = job.reply.send(Ok(RenderResponse {
         image,
         outcome,
+        epoch,
         latency,
     }));
 }
@@ -404,6 +446,28 @@ mod tests {
             (m.completed, m.rendered, m.cache_hits, m.coalesced),
             (3, 3, 0, 0)
         );
+    }
+
+    #[test]
+    fn wait_timeout_returns_instead_of_blocking_forever() {
+        let (store, id) = store_with_cornell();
+        let service = RenderService::start(store, ServeConfig::default());
+        let ticket = service.submit(RenderRequest {
+            scene_id: id,
+            camera: cornell_cam(0.5),
+        });
+        // Either the render already finished or the wait gives up quickly;
+        // both return control. A timed-out ticket can still collect later.
+        match ticket.wait_timeout(Duration::from_millis(1)) {
+            Ok(r) => assert_eq!(r.image.width(), 24),
+            Err(ServeError::TimedOut) => {
+                let r = ticket
+                    .wait_timeout(Duration::from_secs(30))
+                    .expect("served on the retry");
+                assert_eq!(r.image.width(), 24);
+            }
+            Err(e) => panic!("unexpected {e}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! The solve pipeline: scenes in, progressively refining answers out.
+//!
+//! Before this layer, photon-serve could only replay answers computed
+//! offline. [`SolverPool`] closes the loop: a client submits a
+//! [`SolveRequest`] — a scene, a backend choice, and a convergence target —
+//! and a pool of background solver threads drives the chosen
+//! [`SolverEngine`] batch by batch. After every `publish_every` batches the
+//! engine's [`snapshot`](SolverEngine::snapshot) is published into the
+//! shared [`AnswerStore`] under the next epoch, so the render path
+//! immediately serves views from the freshest solution (its view cache is
+//! keyed by epoch — refinement invalidates stale images automatically) and
+//! render quality visibly converges while clients keep querying.
+//!
+//! Backends map onto the three engines:
+//!
+//! | [`BackendChoice`] | engine | notes |
+//! |-------------------|--------|-------|
+//! | `Serial` | `photon_core::Simulator` | the reference |
+//! | `Threaded` | `photon_par::ParEngine` | deterministic tally replay: bit-identical to `Serial` |
+//! | `Distributed` | `photon_dist::DistEngine` | virtual-time ranks; progress reports model seconds |
+
+use crate::store::{AnswerStore, SceneId};
+use photon_core::{SimConfig, Simulator, SolverEngine};
+use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
+use photon_geom::Scene;
+use photon_par::{ParConfig, ParEngine, TallyMode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which engine solves the job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The serial reference simulator.
+    Serial,
+    /// Shared-memory threads with deterministic tally replay — the answer
+    /// is bit-identical to `Serial` for the same seed and photon count.
+    Threaded {
+        /// Worker thread count.
+        threads: usize,
+    },
+    /// The message-passing world on virtual time (naive ownership, fixed
+    /// batches — progress reports carry model seconds).
+    Distributed {
+        /// Number of ranks.
+        nranks: usize,
+    },
+}
+
+/// One solve job: a scene, a backend, and a convergence target.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// Name for the stored entry (logs, bench reports).
+    pub name: String,
+    /// The geometry to solve.
+    pub scene: Scene,
+    /// Which engine runs it.
+    pub backend: BackendChoice,
+    /// Seed of the photon stream.
+    pub seed: u64,
+    /// Photons per engine step.
+    pub batch_size: u64,
+    /// Convergence target: the job completes once this many photons have
+    /// been emitted.
+    pub target_photons: u64,
+    /// Publish a snapshot into the store every this many batches (the
+    /// final state always publishes).
+    pub publish_every: u64,
+}
+
+impl SolveRequest {
+    /// A serial job with service defaults; adjust fields as needed.
+    pub fn new(name: impl Into<String>, scene: Scene) -> Self {
+        SolveRequest {
+            name: name.into(),
+            scene,
+            backend: BackendChoice::Serial,
+            seed: 0x5EED,
+            batch_size: 2_000,
+            target_photons: 20_000,
+            publish_every: 1,
+        }
+    }
+}
+
+/// Handle to one queued job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SolveJobId(pub u64);
+
+impl std::fmt::Display for SolveJobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "solve#{}", self.0)
+    }
+}
+
+/// One published epoch of a running (or finished) solve.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveProgress {
+    /// The job that published.
+    pub job: SolveJobId,
+    /// The store entry the answer went into.
+    pub scene_id: SceneId,
+    /// The epoch this snapshot was published under.
+    pub epoch: u64,
+    /// Photons emitted so far.
+    pub emitted: u64,
+    /// Leaf bins in the forest (refinement progress).
+    pub leaf_bins: u64,
+    /// Solve time so far — wall seconds, or virtual seconds when
+    /// [`SolveProgress::virtual_time`] is set.
+    pub elapsed_seconds: f64,
+    /// True when `elapsed_seconds` is model time (distributed backend).
+    pub virtual_time: bool,
+    /// True on the job's final publish.
+    pub done: bool,
+}
+
+/// The client's end of a submitted job: the store id to render against,
+/// plus a stream of per-epoch progress reports.
+pub struct SolveHandle {
+    job: SolveJobId,
+    scene_id: SceneId,
+    rx: Receiver<SolveProgress>,
+}
+
+impl SolveHandle {
+    /// The job's id.
+    pub fn job_id(&self) -> SolveJobId {
+        self.job
+    }
+
+    /// The store entry this job publishes into — valid for render requests
+    /// immediately (epoch 0 renders black until the first publish).
+    pub fn scene_id(&self) -> SceneId {
+        self.scene_id
+    }
+
+    /// Waits up to `timeout` for the next progress report. `None` when the
+    /// timeout passes, or when the job is finished and fully drained.
+    pub fn next_progress(&self, timeout: Duration) -> Option<SolveProgress> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(p) => Some(p),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Drains progress until a report with `epoch >= epoch` arrives, up to
+    /// `timeout` total.
+    pub fn wait_epoch(&self, epoch: u64, timeout: Duration) -> Option<SolveProgress> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let p = self.next_progress(left)?;
+            if p.epoch >= epoch {
+                return Some(p);
+            }
+        }
+    }
+
+    /// Drains progress until the final (`done`) report, up to `timeout`
+    /// total.
+    pub fn wait_done(&self, timeout: Duration) -> Option<SolveProgress> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let p = self.next_progress(left)?;
+            if p.done {
+                return Some(p);
+            }
+        }
+    }
+}
+
+struct QueuedJob {
+    id: SolveJobId,
+    scene_id: SceneId,
+    request: SolveRequest,
+    progress: Sender<SolveProgress>,
+}
+
+/// A pool of background solver threads feeding an [`AnswerStore`].
+///
+/// Submission registers the scene immediately (so render requests can
+/// target it before the first batch lands) and queues the job; any free
+/// worker picks it up, builds the backend engine, and drives it to the
+/// convergence target, publishing snapshots along the way. Dropping the
+/// pool (or [`SolverPool::shutdown`]) finishes queued jobs first.
+pub struct SolverPool {
+    store: Arc<AnswerStore>,
+    tx: Option<Sender<QueuedJob>>,
+    workers: Vec<JoinHandle<()>>,
+    next_job: AtomicU64,
+}
+
+impl SolverPool {
+    /// Starts `workers` solver threads over `store`.
+    pub fn start(store: Arc<AnswerStore>, workers: usize) -> Self {
+        assert!(workers >= 1, "a solver pool needs at least one worker");
+        let (tx, rx) = channel::<QueuedJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                let store = Arc::clone(&store);
+                std::thread::Builder::new()
+                    .name(format!("photon-solve-{w}"))
+                    .spawn(move || loop {
+                        // Hold the lock only to pop; solving runs unlocked.
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return,
+                        };
+                        run_job(&store, job);
+                    })
+                    .expect("spawn solver worker")
+            })
+            .collect();
+        SolverPool {
+            store,
+            tx: Some(tx),
+            workers: handles,
+            next_job: AtomicU64::new(0),
+        }
+    }
+
+    /// The store this pool publishes into.
+    pub fn store(&self) -> &Arc<AnswerStore> {
+        &self.store
+    }
+
+    /// Registers the scene (epoch 0) and queues the solve; returns the
+    /// handle carrying the renderable [`SceneId`] and the progress stream.
+    pub fn submit(&self, request: SolveRequest) -> SolveHandle {
+        let id = SolveJobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+        let scene_id = self
+            .store
+            .register(request.name.clone(), request.scene.clone());
+        let (progress, rx) = channel();
+        let job = QueuedJob {
+            id,
+            scene_id,
+            request,
+            progress,
+        };
+        if let Some(tx) = &self.tx {
+            // A send error means the workers are gone; the dropped progress
+            // sender surfaces it as a drained handle.
+            let _ = tx.send(job);
+        }
+        SolveHandle {
+            job: id,
+            scene_id,
+            rx,
+        }
+    }
+
+    /// Stops accepting jobs, finishes what is queued, and joins the
+    /// workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        drop(self.tx.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SolverPool {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Builds the backend engine and drives it to the convergence target.
+fn run_job(store: &AnswerStore, job: QueuedJob) {
+    let QueuedJob {
+        id,
+        scene_id,
+        request,
+        progress,
+    } = job;
+    let batch = request.batch_size.max(1);
+    let mut engine: Box<dyn SolverEngine> = match request.backend {
+        BackendChoice::Serial => Box::new(Simulator::new(
+            request.scene,
+            SimConfig {
+                seed: request.seed,
+                ..Default::default()
+            },
+        )),
+        BackendChoice::Threaded { threads } => Box::new(ParEngine::new(
+            request.scene,
+            ParConfig {
+                seed: request.seed,
+                threads: threads.max(1),
+                tally: TallyMode::Deterministic,
+                ..Default::default()
+            },
+        )),
+        BackendChoice::Distributed { nranks } => {
+            let nranks = nranks.max(1);
+            Box::new(DistEngine::new(
+                request.scene,
+                DistConfig {
+                    seed: request.seed,
+                    nranks,
+                    // Service jobs skip the pilot so every emitted photon
+                    // counts toward the target deterministically. The
+                    // Fixed payload is unused on the engine path — ranks
+                    // size batches from the step hint; Fixed only means
+                    // "no adaptive controller" here.
+                    balance: BalanceMode::Naive,
+                    batch: BatchMode::Fixed(1),
+                    ..Default::default()
+                },
+            ))
+        }
+    };
+    let every = request.publish_every.max(1);
+    let mut batches = 0u64;
+    loop {
+        let report = engine.step(batch);
+        batches += 1;
+        let done = report.emitted_total >= request.target_photons;
+        if done || batches.is_multiple_of(every) {
+            let epoch = store.publish(scene_id, engine.snapshot());
+            // A dropped handle is fine; the publish still refreshed the
+            // store.
+            let _ = progress.send(SolveProgress {
+                job: id,
+                scene_id,
+                epoch,
+                emitted: report.emitted_total,
+                leaf_bins: report.leaf_bins,
+                elapsed_seconds: report.elapsed_seconds,
+                virtual_time: engine.virtual_time(),
+                done,
+            });
+        }
+        if done {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_scenes::cornell_box;
+
+    fn quick_request(backend: BackendChoice) -> SolveRequest {
+        let mut r = SolveRequest::new("cornell", cornell_box());
+        r.backend = backend;
+        r.seed = 31;
+        r.batch_size = 1_000;
+        r.target_photons = 3_000;
+        r
+    }
+
+    #[test]
+    fn serial_job_publishes_monotone_epochs_to_done() {
+        let store = Arc::new(AnswerStore::new());
+        let pool = SolverPool::start(Arc::clone(&store), 1);
+        let handle = pool.submit(quick_request(BackendChoice::Serial));
+        let mut epochs = Vec::new();
+        let mut last = None;
+        while let Some(p) = handle.next_progress(Duration::from_secs(60)) {
+            epochs.push(p.epoch);
+            last = Some(p);
+        }
+        let last = last.expect("at least one publish");
+        assert!(last.done);
+        assert_eq!(last.emitted, 3_000);
+        assert_eq!(epochs, vec![1, 2, 3], "one epoch per batch, in order");
+        assert_eq!(store.get(handle.scene_id()).unwrap().epoch, 3);
+        assert_eq!(
+            store.get(handle.scene_id()).unwrap().answer.emitted(),
+            3_000
+        );
+    }
+
+    #[test]
+    fn every_backend_reaches_the_target() {
+        let store = Arc::new(AnswerStore::new());
+        let pool = SolverPool::start(Arc::clone(&store), 2);
+        let backends = [
+            BackendChoice::Serial,
+            BackendChoice::Threaded { threads: 3 },
+            BackendChoice::Distributed { nranks: 2 },
+        ];
+        let handles: Vec<SolveHandle> = backends
+            .iter()
+            .map(|&b| pool.submit(quick_request(b)))
+            .collect();
+        for (h, b) in handles.iter().zip(&backends) {
+            let done = h.wait_done(Duration::from_secs(120)).expect("job finished");
+            assert!(done.emitted >= 3_000, "{:?}", done);
+            // Only the distributed backend reports model time.
+            assert_eq!(
+                done.virtual_time,
+                matches!(b, BackendChoice::Distributed { .. })
+            );
+            let entry = store.get(h.scene_id()).unwrap();
+            assert!(entry.epoch >= 1);
+            assert_eq!(entry.answer.emitted(), done.emitted);
+        }
+    }
+
+    #[test]
+    fn publish_every_coalesces_intermediate_snapshots() {
+        let store = Arc::new(AnswerStore::new());
+        let pool = SolverPool::start(Arc::clone(&store), 1);
+        let mut req = quick_request(BackendChoice::Serial);
+        req.batch_size = 500;
+        req.target_photons = 3_000; // 6 batches
+        req.publish_every = 4; // publish at batch 4 and at done
+        let handle = pool.submit(req);
+        let mut reports = Vec::new();
+        while let Some(p) = handle.next_progress(Duration::from_secs(60)) {
+            reports.push(p);
+        }
+        assert_eq!(reports.len(), 2, "{reports:?}");
+        assert_eq!(reports[0].emitted, 2_000);
+        assert!(reports[1].done && reports[1].emitted == 3_000);
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_jobs() {
+        let store = Arc::new(AnswerStore::new());
+        let pool = SolverPool::start(Arc::clone(&store), 1);
+        let handles: Vec<SolveHandle> = (0..3)
+            .map(|i| {
+                let mut r = quick_request(BackendChoice::Serial);
+                r.seed = i;
+                r.target_photons = 1_000;
+                pool.submit(r)
+            })
+            .collect();
+        pool.shutdown();
+        for h in handles {
+            let done = h.wait_done(Duration::from_secs(60)).expect("finished");
+            assert!(done.done);
+        }
+    }
+}

@@ -14,6 +14,15 @@
 //! ([`Answer::write_to`] / [`Answer::read_from`]); the store adds the
 //! scene-consistency check a service needs before answering queries from a
 //! file of unknown provenance.
+//!
+//! **Epochs.** A progressive solve publishes successive snapshots of one
+//! scene's answer while the simulation is still running:
+//! [`AnswerStore::register`] creates the entry (epoch 0, empty answer) and
+//! each [`AnswerStore::publish`] swaps in a fresher answer under the next
+//! epoch. The render path keys its view cache by `(scene, epoch, camera)`,
+//! so every publish atomically invalidates stale images — readers holding
+//! an older entry `Arc` keep a consistent (scene, answer, exposure, epoch)
+//! tuple until they resolve the entry again.
 
 use photon_core::view::auto_exposure;
 use photon_core::Answer;
@@ -43,6 +52,9 @@ pub struct StoredAnswer {
     /// Exposure mapping mean lit radiance to mid-gray, fixed at insert time
     /// so all views of one solution are consistently calibrated.
     pub exposure: f64,
+    /// Publication epoch: 0 for a registered-but-unsolved scene, then +1
+    /// per [`AnswerStore::publish`] (an [`AnswerStore::insert`] is epoch 1).
+    pub epoch: u64,
 }
 
 /// A concurrent registry of stored answers, indexed by [`SceneId`].
@@ -67,6 +79,25 @@ impl AnswerStore {
     /// answer only means something against the geometry it was simulated
     /// in.
     pub fn insert(&self, name: impl Into<String>, scene: Scene, answer: Answer) -> SceneId {
+        self.insert_at_epoch(name, scene, answer, 1)
+    }
+
+    /// Registers a scene with *no* solution yet (epoch 0, empty answer —
+    /// renders black). A background solve then [`publish`][Self::publish]es
+    /// refining answers against the returned id, so clients can start
+    /// querying views before the first batch finishes.
+    pub fn register(&self, name: impl Into<String>, scene: Scene) -> SceneId {
+        let empty = Answer::empty(scene.polygon_count());
+        self.insert_at_epoch(name, scene, empty, 0)
+    }
+
+    fn insert_at_epoch(
+        &self,
+        name: impl Into<String>,
+        scene: Scene,
+        answer: Answer,
+        epoch: u64,
+    ) -> SceneId {
         assert_eq!(
             answer.patch_count(),
             scene.polygon_count(),
@@ -78,10 +109,47 @@ impl AnswerStore {
             scene: Arc::new(scene),
             answer: Arc::new(answer),
             exposure,
+            epoch,
         });
         let mut entries = self.entries.write().unwrap();
         entries.push(entry);
         SceneId(entries.len() as u32 - 1)
+    }
+
+    /// Atomically replaces entry `id`'s answer with a fresher snapshot,
+    /// bumping the epoch and recalibrating exposure. Returns the new epoch.
+    ///
+    /// # Panics
+    /// Panics on an unknown id or an answer whose patch count does not
+    /// match the stored scene.
+    pub fn publish(&self, id: SceneId, answer: Answer) -> u64 {
+        // Calibrate outside the lock: auto_exposure scans every patch's
+        // radiance, and render lookups must not stall behind a publish.
+        let scene = {
+            let entries = self.entries.read().unwrap();
+            let entry = entries
+                .get(id.0 as usize)
+                .unwrap_or_else(|| panic!("publish to unknown {id}"));
+            Arc::clone(&entry.scene)
+        };
+        assert_eq!(
+            answer.patch_count(),
+            scene.polygon_count(),
+            "answer/scene patch count mismatch"
+        );
+        let exposure = auto_exposure(&scene, &answer);
+        let answer = Arc::new(answer);
+        let mut entries = self.entries.write().unwrap();
+        let slot = &mut entries[id.0 as usize];
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(StoredAnswer {
+            name: slot.name.clone(),
+            scene,
+            answer,
+            exposure,
+            epoch,
+        });
+        epoch
     }
 
     /// Looks up a solution.
@@ -202,6 +270,28 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn register_then_publish_bumps_epochs() {
+        let store = AnswerStore::new();
+        let (scene, answer) = small_answer();
+        let id = store.register("progressive", scene);
+        let e0 = store.get(id).unwrap();
+        assert_eq!((e0.epoch, e0.answer.emitted()), (0, 0));
+        assert_eq!(e0.exposure, 1.0, "unlit placeholder uses unit exposure");
+        let emitted = answer.emitted();
+        assert_eq!(store.publish(id, answer), 1);
+        let e1 = store.get(id).unwrap();
+        assert_eq!((e1.epoch, e1.answer.emitted()), (1, emitted));
+        assert!(e1.exposure > 0.0);
+        // A reader holding the old entry keeps its consistent snapshot.
+        assert_eq!(e0.epoch, 0);
+        // Inserted entries start published (epoch 1) and keep counting.
+        let (scene2, answer2) = small_answer();
+        let id2 = store.insert("prestored", scene2, answer2.clone());
+        assert_eq!(store.get(id2).unwrap().epoch, 1);
+        assert_eq!(store.publish(id2, answer2), 2);
     }
 
     #[test]

@@ -16,12 +16,12 @@
 //! | [`rng`] | `photon-rng` | 48-bit LCG with leapfrog subsequence splitting |
 //! | [`hist`] | `photon-hist` | adaptive 1-D histograms and 4-D bin trees (3σ split rule) |
 //! | [`geom`] | `photon-geom` | scenes, materials, luminaires, octree intersection |
-//! | [`core`] | `photon-core` | the serial Photon simulator, answer files, viewer |
+//! | [`core`] | `photon-core` | the serial Photon simulator, answer files, viewer, and the `SolverEngine` trait every backend implements |
 //! | [`scenes`] | `photon-scenes` | Cornell Box, Harpsichord Practice Room, Computer Laboratory |
-//! | [`par`] | `photon-par` | shared-memory parallel simulator |
+//! | [`par`] | `photon-par` | shared-memory parallel simulator (resumable `ParEngine`) |
 //! | [`mpi`] | `simmpi` | in-process message-passing substrate with 1997 platform models |
-//! | [`dist`] | `photon-dist` | distributed-memory simulator, load balancing, batch sizing |
-//! | [`serve`] | `photon-serve` | concurrent answer-serving render service: answer store, tile-parallel viewer, request batching, LRU view cache |
+//! | [`dist`] | `photon-dist` | distributed-memory simulator (resumable `DistEngine`), load balancing, batch sizing |
+//! | [`serve`] | `photon-serve` | solve→store→render pipeline: background solver pool, epoch-versioned answer store, tile-parallel render service with an epoch-keyed view cache |
 //! | [`baselines`] | `photon-baselines` | Whitted ray tracing, radiosity, density estimation, spherical harmonics |
 //!
 //! ## Quickstart
