@@ -69,6 +69,13 @@ fn main() {
             }
         }
         let t_done = t0.elapsed().as_secs_f64();
+        // The scheduler's own accounting for the finished job: slices
+        // granted and photons per second of granted solve time.
+        let sched = solver.metrics();
+        let job_stats = sched
+            .jobs
+            .first()
+            .expect("the submitted job is tracked in the scheduler");
         rows.push(vec![
             label.to_string(),
             fmt(t_first * 1e3),
@@ -77,6 +84,8 @@ fn main() {
             fresh_renders.to_string(),
             last.leaf_bins.to_string(),
             fmt(last.elapsed_seconds),
+            job_stats.slices.to_string(),
+            fmt(job_stats.photons_per_sec),
         ]);
     }
     println!(
@@ -89,7 +98,9 @@ fn main() {
                 "epochs",
                 "fresh renders",
                 "leaf bins",
-                "solve clock (s)"
+                "solve clock (s)",
+                "slices",
+                "photons/s"
             ],
             &rows
         )

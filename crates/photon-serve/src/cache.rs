@@ -38,6 +38,16 @@ pub struct ViewKey {
 }
 
 impl ViewKey {
+    /// The scene this key's image was rendered from.
+    pub fn scene(&self) -> SceneId {
+        self.scene
+    }
+
+    /// The answer epoch this key's image was rendered from.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Quantizes a request against answer `epoch` with `grid` lattice
     /// cells per world unit.
     pub fn quantize(scene: SceneId, epoch: u64, camera: &Camera, grid: f64) -> Self {
@@ -122,6 +132,26 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Drops every entry whose key fails `keep`, returning how many were
+    /// removed. The dispatcher uses this to purge a scene's older-epoch
+    /// views the moment it observes a fresher publish — orphaned keys can
+    /// never match again, so leaving them to generic LRU eviction only
+    /// thrashes live entries out.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) -> usize {
+        let mut dropped_ticks = Vec::new();
+        self.map.retain(|key, (_, tick)| {
+            let keep = keep(key);
+            if !keep {
+                dropped_ticks.push(*tick);
+            }
+            keep
+        });
+        for tick in &dropped_ticks {
+            self.order.remove(tick);
+        }
+        dropped_ticks.len()
+    }
+
     /// Entries currently held.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -200,6 +230,29 @@ mod tests {
         c.insert(1, 11);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn retain_drops_matching_keys_and_their_order() {
+        let mut c: LruCache<u32, &str> = LruCache::new(4);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        c.insert(3, "three");
+        assert_eq!(c.retain(|k| *k % 2 == 1), 1, "2 dropped");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None);
+        // The freed slot is genuinely free: two inserts evict nothing live.
+        c.insert(4, "four");
+        c.insert(5, "five");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+    }
+
+    #[test]
+    fn view_key_exposes_scene_and_epoch() {
+        let k = ViewKey::quantize(SceneId(7), 3, &cam(1.0), 256.0);
+        assert_eq!(k.scene(), SceneId(7));
+        assert_eq!(k.epoch(), 3);
     }
 
     #[test]

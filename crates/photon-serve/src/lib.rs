@@ -11,12 +11,23 @@
 //!
 //! | module | role |
 //! |--------|------|
-//! | [`solver`] | `SolveJob` queue + background solver pool driving any backend batch-by-batch |
+//! | [`solver`] | multi-job solver pool: weighted-round-robin batch scheduler, per-tenant photon quotas, pause/resume/cancel |
 //! | [`store`] | registry of `(Scene, Answer)` pairs with publication epochs, persisted via the `PHOTANS1` codec |
 //! | [`render`] | tile-parallel rendering over `photon-par`'s worker pool, bit-identical to the serial viewer |
-//! | [`cache`] | LRU of rendered views keyed by (scene, epoch, quantized camera) — a publish invalidates stale images |
+//! | [`cache`] | LRU of rendered views keyed by (scene, epoch, quantized camera) — a publish invalidates *and purges* stale images |
 //! | [`service`] | submission queue → batching dispatcher → cache/coalesce/render |
-//! | [`metrics`] | p50/p99 latency, queries/sec, and per-batch speed traces in the `perf` style |
+//! | [`metrics`] | p50/p99 latency, queries/sec, speed traces, and solve-tier scheduler state (per-job photons/sec, queue depth, per-tenant slices) |
+//!
+//! **Multi-job scheduling.** The pool is not FIFO: every backend engine is
+//! an incremental `step → snapshot` machine, so the scheduler's unit is
+//! one *batch slice* and workers rotate over all runnable jobs by
+//! weighted round-robin ([`SolveRequest::priority`] is the weight). A
+//! heavy scene therefore cannot starve a light one — they interleave even
+//! on a single worker. Jobs carry a [`SolveRequest::tenant`] tag;
+//! [`SolverPool::set_tenant_budget`] caps a tenant's total photons,
+//! enforced when each slice is granted. Handles
+//! [`pause`](SolveHandle::pause) / [`resume`](SolveHandle::resume) /
+//! [`cancel`](SolveHandle::cancel) jobs at batch granularity.
 //!
 //! # Quickstart: scene in, images out
 //!
@@ -67,8 +78,13 @@ pub mod solver;
 pub mod store;
 
 pub use cache::{LruCache, ViewKey};
-pub use metrics::{LatencySummary, MetricsSnapshot, RequestOutcome};
+pub use metrics::{
+    LatencySummary, MetricsSnapshot, RequestOutcome, SolveJobMetrics, SolverMetricsSnapshot,
+    SolverStatsSource, TenantMetrics,
+};
 pub use render::render_parallel;
 pub use service::{RenderRequest, RenderResponse, RenderService, ServeConfig, ServeError, Ticket};
-pub use solver::{BackendChoice, SolveHandle, SolveJobId, SolveProgress, SolveRequest, SolverPool};
+pub use solver::{
+    BackendChoice, SolveHandle, SolveJobId, SolveProgress, SolveRequest, SolverPool, DEFAULT_TENANT,
+};
 pub use store::{AnswerStore, SceneId, StoredAnswer};

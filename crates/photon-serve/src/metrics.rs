@@ -1,14 +1,23 @@
-//! Service metrics: request latency percentiles and throughput, in the
-//! `perf` house style.
+//! Service metrics: request latency percentiles, throughput, and solver
+//! scheduler state, in the `perf` house style.
 //!
 //! The simulator's perf layer records speed-vs-time traces per batch
 //! ([`SpeedTrace`]); the serving layer does the same with dispatch batches —
 //! one sample per drained queue batch, rate in requests/second — and adds
 //! the request-level accounting a service needs: completed/rendered/cache
 //! splits and p50/p99 latency over the full run.
+//!
+//! The solve side reports through the same snapshot: attach a
+//! [`SolverStatsSource`] (any `SolverPool`) with
+//! [`ServiceMetrics::attach_solver`] and every [`MetricsSnapshot`] carries
+//! a [`SolverMetricsSnapshot`] — queue depth, per-job photons/sec and
+//! epochs/sec, and slices granted per tenant — beside the render-side
+//! latencies. That is the engine-level backpressure signal: when queue
+//! depth grows while per-job photon rates fall, the solve tier is
+//! saturated no matter how healthy the render latencies look.
 
 use photon_core::SpeedTrace;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Latency distribution summary, milliseconds.
@@ -41,10 +50,86 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Completed requests per second of service uptime.
     pub qps: f64,
+    /// View-cache entries currently live (after stale-epoch purging).
+    pub cache_entries: u64,
+    /// Stale-epoch cache keys purged when a fresher publish was observed.
+    pub cache_purged: u64,
     /// Request latency distribution.
     pub latency: LatencySummary,
     /// Per-dispatch-batch rate trace (requests/second), perf style.
     pub speed: SpeedTrace,
+    /// Solve-tier scheduler state, when a solver pool is attached via
+    /// [`ServiceMetrics::attach_solver`]; empty otherwise.
+    pub solver: SolverMetricsSnapshot,
+}
+
+/// What one scheduled solve job is doing right now.
+#[derive(Clone, Debug)]
+pub struct SolveJobMetrics {
+    /// The job's pool-assigned id (`SolveJobId.0`).
+    pub job: u64,
+    /// The tenant the job was submitted under.
+    pub tenant: String,
+    /// Weighted-round-robin weight (slices granted per scheduling round).
+    pub priority: u32,
+    /// Scheduler state: `"queued"`, `"running"`, `"paused"`,
+    /// `"quota-blocked"`, `"canceled"`, or `"done"`.
+    pub state: &'static str,
+    /// Photons emitted so far.
+    pub emitted: u64,
+    /// The job's convergence target.
+    pub target_photons: u64,
+    /// Scheduler slices granted to this job so far.
+    pub slices: u64,
+    /// Snapshots published into the store so far.
+    pub epochs: u64,
+    /// Photons per second of solve time actually granted to this job.
+    pub photons_per_sec: f64,
+    /// Epochs published per second of granted solve time.
+    pub epochs_per_sec: f64,
+}
+
+/// Per-tenant scheduling and quota accounting.
+#[derive(Clone, Debug)]
+pub struct TenantMetrics {
+    /// Tenant tag.
+    pub tenant: String,
+    /// Scheduler slices granted across the tenant's jobs.
+    pub slices: u64,
+    /// Photons emitted across the tenant's jobs.
+    pub photons_used: u64,
+    /// Photon budget still grantable; `None` means unlimited.
+    pub budget_remaining: Option<u64>,
+    /// Jobs currently parked because the budget ran out.
+    pub quota_blocked_jobs: u64,
+}
+
+/// Point-in-time copy of a solver pool's scheduler state.
+#[derive(Clone, Debug, Default)]
+pub struct SolverMetricsSnapshot {
+    /// Jobs runnable but waiting for a worker slice (the backpressure
+    /// signal: persistent depth means the pool is oversubscribed).
+    pub queue_depth: u64,
+    /// Jobs currently holding a worker slice.
+    pub running: u64,
+    /// Jobs paused by their owner.
+    pub paused: u64,
+    /// Jobs parked on an exhausted tenant photon budget.
+    pub quota_blocked: u64,
+    /// Jobs finished (converged or canceled).
+    pub done: u64,
+    /// Per-job progress and rates, in submission order.
+    pub jobs: Vec<SolveJobMetrics>,
+    /// Per-tenant slice/quota accounting, sorted by tenant tag.
+    pub tenants: Vec<TenantMetrics>,
+}
+
+/// Anything that can report solver scheduler state — implemented by
+/// `SolverPool`'s shared scheduler so a `RenderService` can surface the
+/// solve tier inside its own [`MetricsSnapshot`].
+pub trait SolverStatsSource: Send + Sync {
+    /// Current scheduler state.
+    fn solver_snapshot(&self) -> SolverMetricsSnapshot;
 }
 
 struct Inner {
@@ -53,7 +138,10 @@ struct Inner {
     cache_hits: u64,
     coalesced: u64,
     batches: u64,
+    cache_entries: u64,
+    cache_purged: u64,
     speed: SpeedTrace,
+    solver: Option<Arc<dyn SolverStatsSource>>,
 }
 
 /// Shared metrics sink written by the dispatcher, read by anyone.
@@ -79,9 +167,26 @@ impl ServiceMetrics {
                 cache_hits: 0,
                 coalesced: 0,
                 batches: 0,
+                cache_entries: 0,
+                cache_purged: 0,
                 speed: SpeedTrace::new(),
+                solver: None,
             }),
         }
+    }
+
+    /// Attaches a solver pool so snapshots include the solve-tier
+    /// scheduler state beside the render-side counters.
+    pub fn attach_solver(&self, source: Arc<dyn SolverStatsSource>) {
+        self.inner.lock().unwrap().solver = Some(source);
+    }
+
+    /// Records the view cache's live entry count and how many stale-epoch
+    /// keys the dispatcher just purged.
+    pub fn record_cache(&self, entries: u64, purged: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.cache_entries = entries;
+        inner.cache_purged += purged;
     }
 
     /// Records one answered request and how it was satisfied.
@@ -106,6 +211,12 @@ impl ServiceMetrics {
 
     /// Snapshots every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // Resolve the solver source outside the counter lock: its snapshot
+        // takes the scheduler lock, and nesting the two invites deadlock.
+        let solver_source = self.inner.lock().unwrap().solver.clone();
+        let solver = solver_source
+            .map(|s| s.solver_snapshot())
+            .unwrap_or_default();
         let inner = self.inner.lock().unwrap();
         let completed = inner.latencies_us.len() as u64;
         let uptime = self.start.elapsed().as_secs_f64();
@@ -120,8 +231,11 @@ impl ServiceMetrics {
             } else {
                 0.0
             },
+            cache_entries: inner.cache_entries,
+            cache_purged: inner.cache_purged,
             latency: summarize(&inner.latencies_us),
             speed: inner.speed.clone(),
+            solver,
         }
     }
 }

@@ -19,11 +19,11 @@
 //! so the service saturates cores without concurrent dispatchers.
 
 use crate::cache::{LruCache, ViewKey};
-use crate::metrics::{MetricsSnapshot, RequestOutcome, ServiceMetrics};
+use crate::metrics::{MetricsSnapshot, RequestOutcome, ServiceMetrics, SolverStatsSource};
 use crate::render::render_parallel;
 use crate::store::{AnswerStore, SceneId};
 use photon_core::{Camera, Image};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -220,6 +220,14 @@ impl RenderService {
         self.metrics.snapshot()
     }
 
+    /// Attaches a solver pool's scheduler (see
+    /// `SolverPool::stats_source`) so [`metrics`](Self::metrics)
+    /// snapshots carry the solve tier's queue depth, per-job rates, and
+    /// per-tenant slice accounting beside the render-side latencies.
+    pub fn attach_solver(&self, source: Arc<dyn SolverStatsSource>) {
+        self.metrics.attach_solver(source);
+    }
+
     /// Stops accepting work, serves what is queued, and joins the
     /// dispatcher.
     pub fn shutdown(mut self) {
@@ -248,6 +256,11 @@ fn dispatch_loop(
 ) {
     let mut cache: Option<LruCache<ViewKey, Arc<Image>>> =
         (config.cache_capacity > 0).then(|| LruCache::new(config.cache_capacity));
+    // Freshest epoch seen per scene — when a publish advances it, the
+    // scene's older-epoch cache keys are orphaned (they can never match a
+    // future request) and are purged eagerly instead of squatting in the
+    // LRU until capacity pressure thrashes live views out.
+    let mut seen_epoch: HashMap<SceneId, u64> = HashMap::new();
     loop {
         // Block for the first job, then opportunistically drain the queue.
         let Ok(first) = rx.recv() else { return };
@@ -274,6 +287,15 @@ fn dispatch_loop(
                 continue;
             };
             let epoch = entry.epoch;
+            let last = seen_epoch.entry(scene_id).or_insert(epoch);
+            if epoch > *last {
+                *last = epoch;
+                if let Some(cache) = cache.as_mut() {
+                    let purged =
+                        cache.retain(|key| key.scene() != scene_id || key.epoch() >= epoch);
+                    metrics.record_cache(cache.len() as u64, purged as u64);
+                }
+            }
             let render_one = |camera: &Camera| {
                 Arc::new(render_parallel(
                     &entry.scene,
@@ -347,6 +369,9 @@ fn dispatch_loop(
                     }
                 }
             }
+        }
+        if let Some(cache) = cache.as_ref() {
+            metrics.record_cache(cache.len() as u64, 0);
         }
         metrics.record_batch(drained, batch_start.elapsed().as_secs_f64());
     }

@@ -1,15 +1,35 @@
-//! The solve pipeline: scenes in, progressively refining answers out.
+//! The solve pipeline: scenes in, progressively refining answers out,
+//! scheduled fairly across many concurrent jobs.
 //!
 //! Before this layer, photon-serve could only replay answers computed
 //! offline. [`SolverPool`] closes the loop: a client submits a
 //! [`SolveRequest`] — a scene, a backend choice, and a convergence target —
 //! and a pool of background solver threads drives the chosen
-//! [`SolverEngine`] batch by batch. After every `publish_every` batches the
-//! engine's [`snapshot`](SolverEngine::snapshot) is published into the
-//! shared [`AnswerStore`] under the next epoch, so the render path
-//! immediately serves views from the freshest solution (its view cache is
-//! keyed by epoch — refinement invalidates stale images automatically) and
-//! render quality visibly converges while clients keep querying.
+//! [`SolverEngine`] batch by batch, publishing snapshots into the shared
+//! [`AnswerStore`] under increasing epochs so the render path serves views
+//! from the freshest solution while the solve is still running.
+//!
+//! **Scheduling.** The pool is *not* run-to-completion: because every
+//! engine is an incremental `step → snapshot` machine that persists
+//! between calls, the scheduler's unit of work is one **slice** — a single
+//! `engine.step(batch)`. Workers pull slices via weighted round-robin over
+//! all runnable jobs, so a 10M-photon tenant and a 20k-photon tenant on a
+//! one-worker pool interleave instead of serializing, and the light job
+//! finishes while the heavy one keeps refining. Each job carries a
+//! [`priority`](SolveRequest::priority) (its round-robin weight) and a
+//! [`tenant`](SolveRequest::tenant) tag; per-tenant photon budgets set via
+//! [`SolverPool::set_tenant_budget`] are enforced at slice grant — an
+//! exhausted tenant's jobs park until more budget arrives, without
+//! stalling anyone else.
+//!
+//! **Lifecycle.** A running job's [`SolveHandle`] can
+//! [`pause`](SolveHandle::pause) (parks after the in-flight slice),
+//! [`resume`](SolveHandle::resume), and [`cancel`](SolveHandle::cancel)
+//! (publishes a final snapshot of whatever was solved and frees the job's
+//! slot). Scheduler state — queue depth, per-job photons/sec and
+//! epochs/sec, slices granted per tenant — is observable through
+//! [`SolverPool::metrics`] or, attached to a `RenderService`, inside every
+//! [`crate::MetricsSnapshot`].
 //!
 //! Backends map onto the three engines:
 //!
@@ -19,16 +39,20 @@
 //! | `Threaded` | `photon_par::ParEngine` | deterministic tally replay: bit-identical to `Serial` |
 //! | `Distributed` | `photon_dist::DistEngine` | virtual-time ranks; progress reports model seconds |
 
+use crate::metrics::{SolveJobMetrics, SolverMetricsSnapshot, SolverStatsSource, TenantMetrics};
 use crate::store::{AnswerStore, SceneId};
 use photon_core::{SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
 use photon_geom::Scene;
 use photon_par::{ParConfig, ParEngine, TallyMode};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Tenant tag used when a request does not set one.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Which engine solves the job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +73,8 @@ pub enum BackendChoice {
     },
 }
 
-/// One solve job: a scene, a backend, and a convergence target.
+/// One solve job: a scene, a backend, a convergence target, and how it
+/// shares the pool.
 #[derive(Clone, Debug)]
 pub struct SolveRequest {
     /// Name for the stored entry (logs, bench reports).
@@ -60,7 +85,8 @@ pub struct SolveRequest {
     pub backend: BackendChoice,
     /// Seed of the photon stream.
     pub seed: u64,
-    /// Photons per engine step.
+    /// Photons per engine step — also the scheduler's slice size, so it
+    /// bounds how long this job can hold a worker before others run.
     pub batch_size: u64,
     /// Convergence target: the job completes once this many photons have
     /// been emitted.
@@ -68,6 +94,11 @@ pub struct SolveRequest {
     /// Publish a snapshot into the store every this many batches (the
     /// final state always publishes).
     pub publish_every: u64,
+    /// Weighted-round-robin weight: slices granted per scheduling round
+    /// relative to other runnable jobs (clamped to ≥ 1).
+    pub priority: u32,
+    /// Tenant tag for quota accounting and fairness metrics.
+    pub tenant: String,
 }
 
 impl SolveRequest {
@@ -81,6 +112,8 @@ impl SolveRequest {
             batch_size: 2_000,
             target_photons: 20_000,
             publish_every: 1,
+            priority: 1,
+            tenant: DEFAULT_TENANT.to_string(),
         }
     }
 }
@@ -115,14 +148,18 @@ pub struct SolveProgress {
     pub virtual_time: bool,
     /// True on the job's final publish.
     pub done: bool,
+    /// True when the final publish came from [`SolveHandle::cancel`]
+    /// rather than reaching the convergence target.
+    pub canceled: bool,
 }
 
-/// The client's end of a submitted job: the store id to render against,
-/// plus a stream of per-epoch progress reports.
+/// The client's end of a submitted job: the store id to render against, a
+/// stream of per-epoch progress reports, and the job's lifecycle controls.
 pub struct SolveHandle {
     job: SolveJobId,
     scene_id: SceneId,
     rx: Receiver<SolveProgress>,
+    shared: Arc<Shared>,
 }
 
 impl SolveHandle {
@@ -135,6 +172,27 @@ impl SolveHandle {
     /// immediately (epoch 0 renders black until the first publish).
     pub fn scene_id(&self) -> SceneId {
         self.scene_id
+    }
+
+    /// Parks the job after its in-flight slice (if any) completes; no
+    /// further slices are granted until [`resume`](Self::resume). Pausing
+    /// a finished job is a no-op.
+    pub fn pause(&self) {
+        self.shared.pause(self.job);
+    }
+
+    /// Returns a paused job to the run queue.
+    pub fn resume(&self) {
+        self.shared.resume(self.job);
+    }
+
+    /// Cancels the job: a worker publishes one final snapshot of whatever
+    /// has been solved (so renders keep the best available answer), sends
+    /// a terminal progress report with [`SolveProgress::canceled`] set,
+    /// and the job's slot frees for other tenants. Canceling a finished
+    /// job is a no-op.
+    pub fn cancel(&self) {
+        self.shared.cancel(self.job);
     }
 
     /// Waits up to `timeout` for the next progress report. `None` when the
@@ -173,55 +231,399 @@ impl SolveHandle {
     }
 }
 
-struct QueuedJob {
-    id: SolveJobId,
-    scene_id: SceneId,
-    request: SolveRequest,
-    progress: Sender<SolveProgress>,
+/// Where a job sits in the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Runnable: in the round-robin queue, waiting for a slice.
+    Ready,
+    /// A worker holds the engine and is stepping it.
+    InSlice,
+    /// Parked by [`SolveHandle::pause`].
+    Paused,
+    /// Parked because the tenant's photon budget ran out.
+    QuotaBlocked,
+    /// Finished — converged or canceled.
+    Done,
 }
 
-/// A pool of background solver threads feeding an [`AnswerStore`].
+struct JobState {
+    id: SolveJobId,
+    scene_id: SceneId,
+    tenant: String,
+    priority: u32,
+    target_photons: u64,
+    batch_size: u64,
+    publish_every: u64,
+    /// Everything needed to construct the backend engine (including the
+    /// scene geometry). Consumed at the first slice grant so finished
+    /// jobs don't retain a `Scene` copy for the pool's lifetime.
+    build: Option<SolveRequest>,
+    progress: Option<Sender<SolveProgress>>,
+    /// The persistent engine, parked here between slices. `None` before
+    /// the first slice (built lazily on a worker) and while leased.
+    engine: Option<Box<dyn SolverEngine>>,
+    phase: Phase,
+    /// Remaining slices this scheduling round (refilled to `priority`).
+    credit: u32,
+    pause_requested: bool,
+    cancel_requested: bool,
+    canceled: bool,
+    emitted: u64,
+    batches: u64,
+    slices: u64,
+    epochs: u64,
+    /// Wall seconds of granted slice time (what the pool spent on it).
+    busy_seconds: f64,
+}
+
+impl JobState {
+    fn metrics_state(&self) -> &'static str {
+        match self.phase {
+            Phase::Ready => "queued",
+            Phase::InSlice => "running",
+            Phase::Paused => "paused",
+            Phase::QuotaBlocked => "quota-blocked",
+            Phase::Done if self.canceled => "canceled",
+            Phase::Done => "done",
+        }
+    }
+}
+
+#[derive(Default)]
+struct TenantState {
+    /// Photon budget still grantable; `None` = unlimited.
+    budget: Option<u64>,
+    photons_used: u64,
+    slices: u64,
+}
+
+/// Scheduler state, guarded by one mutex (slices run unlocked; the lock is
+/// only held to grant and return them).
+struct Sched {
+    jobs: BTreeMap<u64, JobState>,
+    /// Round-robin order over `Phase::Ready` jobs — id in `rr` iff Ready.
+    rr: VecDeque<u64>,
+    tenants: HashMap<String, TenantState>,
+    draining: bool,
+}
+
+impl Sched {
+    fn job(&mut self, id: SolveJobId) -> Option<&mut JobState> {
+        self.jobs.get_mut(&id.0)
+    }
+
+    fn make_ready(&mut self, id: u64) {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.phase = Phase::Ready;
+            if !self.rr.contains(&id) {
+                self.rr.push_back(id);
+            }
+        }
+    }
+
+    fn unqueue(&mut self, id: u64) {
+        self.rr.retain(|&x| x != id);
+    }
+
+    fn tenant_remaining(&self, tenant: &str) -> Option<u64> {
+        self.tenants.get(tenant).and_then(|t| t.budget)
+    }
+
+    /// Returns `tenant`'s quota-blocked jobs to the run queue (after a
+    /// budget top-up, or when a slice's reservation reconciles upward).
+    fn unblock_tenant(&mut self, tenant: &str) {
+        let blocked: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|j| j.phase == Phase::QuotaBlocked && j.tenant == tenant)
+            .map(|j| j.id.0)
+            .collect();
+        for id in blocked {
+            self.make_ready(id);
+        }
+    }
+
+    /// Weighted round-robin slice grant: cycle the ready queue, spending
+    /// one credit per grant; when every ready job is out of credit, refill
+    /// each to its priority and go again. A job with priority `p` thus
+    /// receives `p` slices per round — interleaved, not bursty. A granted
+    /// job leaves the queue ([`Phase::InSlice`]) and rejoins at the tail
+    /// when its slice returns, which is what rotates the ring.
+    fn grant(&mut self) -> Option<Lease> {
+        for pass in 0..2 {
+            let mut saw_zero_credit = false;
+            for _ in 0..self.rr.len() {
+                let Some(id) = self.rr.pop_front() else { break };
+                let Some(job) = self.jobs.get(&id) else {
+                    continue;
+                };
+                debug_assert_eq!(job.phase, Phase::Ready, "rr holds only ready jobs");
+                let tenant_name = job.tenant.clone();
+                let batch = job.batch_size.max(1);
+                let cancel = job.cancel_requested;
+                let credit = job.credit;
+                let remaining = self.tenant_remaining(&tenant_name);
+                if !cancel {
+                    if remaining == Some(0) {
+                        // Parked out of rr until budget arrives.
+                        self.jobs.get_mut(&id).unwrap().phase = Phase::QuotaBlocked;
+                        continue;
+                    }
+                    if credit == 0 {
+                        saw_zero_credit = true;
+                        self.rr.push_back(id);
+                        continue;
+                    }
+                }
+                let job = self.jobs.get_mut(&id).unwrap();
+                job.phase = Phase::InSlice;
+                if cancel {
+                    // Finalization outranks fairness: free the slot now.
+                    return Some(Lease {
+                        id: job.id,
+                        scene_id: job.scene_id,
+                        engine: job.engine.take(),
+                        build: job.build.take(),
+                        kind: LeaseKind::Finalize,
+                    });
+                }
+                job.credit -= 1;
+                job.slices += 1;
+                let slice = remaining.map_or(batch, |left| batch.min(left));
+                let lease = Lease {
+                    id: job.id,
+                    scene_id: job.scene_id,
+                    engine: job.engine.take(),
+                    build: job.build.take(),
+                    kind: LeaseKind::Step { slice },
+                };
+                let tenant = self.tenants.entry(tenant_name).or_default();
+                tenant.slices += 1;
+                // Reserve the slice's photons up front so concurrent
+                // workers of one tenant cannot over-grant the budget; the
+                // reservation is reconciled against the photons actually
+                // emitted when the slice returns.
+                if let Some(budget) = tenant.budget.as_mut() {
+                    *budget -= slice; // slice ≤ remaining by construction
+                }
+                return Some(lease);
+            }
+            if pass == 0 && saw_zero_credit {
+                let ready: Vec<u64> = self.rr.iter().copied().collect();
+                for id in ready {
+                    if let Some(job) = self.jobs.get_mut(&id) {
+                        job.credit = job.priority.max(1);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        None
+    }
+
+    /// At drain time, parked jobs can never run again on their own; mark
+    /// the first one canceled and runnable so a worker finalizes it.
+    fn cancel_one_parked(&mut self) -> bool {
+        let parked = self
+            .jobs
+            .values()
+            .find(|j| matches!(j.phase, Phase::Paused | Phase::QuotaBlocked))
+            .map(|j| j.id.0);
+        match parked {
+            Some(id) => {
+                if let Some(job) = self.jobs.get_mut(&id) {
+                    job.cancel_requested = true;
+                }
+                self.make_ready(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.jobs.values().all(|j| j.phase == Phase::Done)
+    }
+
+    fn snapshot(&self) -> SolverMetricsSnapshot {
+        let mut snap = SolverMetricsSnapshot::default();
+        for job in self.jobs.values() {
+            match job.phase {
+                Phase::Ready => snap.queue_depth += 1,
+                Phase::InSlice => snap.running += 1,
+                Phase::Paused => snap.paused += 1,
+                Phase::QuotaBlocked => snap.quota_blocked += 1,
+                Phase::Done => snap.done += 1,
+            }
+            let rate = |count: u64| {
+                if job.busy_seconds > 0.0 {
+                    count as f64 / job.busy_seconds
+                } else {
+                    0.0
+                }
+            };
+            snap.jobs.push(SolveJobMetrics {
+                job: job.id.0,
+                tenant: job.tenant.clone(),
+                priority: job.priority.max(1),
+                state: job.metrics_state(),
+                emitted: job.emitted,
+                target_photons: job.target_photons,
+                slices: job.slices,
+                epochs: job.epochs,
+                photons_per_sec: rate(job.emitted),
+                epochs_per_sec: rate(job.epochs),
+            });
+        }
+        let mut tenants: BTreeMap<&str, TenantMetrics> = BTreeMap::new();
+        for (name, t) in &self.tenants {
+            tenants.insert(
+                name,
+                TenantMetrics {
+                    tenant: name.clone(),
+                    slices: t.slices,
+                    photons_used: t.photons_used,
+                    budget_remaining: t.budget,
+                    quota_blocked_jobs: 0,
+                },
+            );
+        }
+        for job in self.jobs.values() {
+            if job.phase == Phase::QuotaBlocked {
+                if let Some(t) = tenants.get_mut(job.tenant.as_str()) {
+                    t.quota_blocked_jobs += 1;
+                }
+            }
+        }
+        snap.tenants = tenants.into_values().collect();
+        snap
+    }
+}
+
+/// What a worker took out of the scheduler for one unlocked unit of work.
+struct Lease {
+    id: SolveJobId,
+    scene_id: SceneId,
+    engine: Option<Box<dyn SolverEngine>>,
+    /// The build request, present only on the job's first grant (the
+    /// engine does not exist yet); a `Finalize` lease drops it unused.
+    build: Option<SolveRequest>,
+    kind: LeaseKind,
+}
+
+enum LeaseKind {
+    /// Step the engine by up to `slice` photons.
+    Step { slice: u64 },
+    /// Publish the final snapshot of a canceled job and retire it.
+    Finalize,
+}
+
+struct Shared {
+    state: Mutex<Sched>,
+    work: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.state.lock().unwrap()
+    }
+
+    fn pause(&self, id: SolveJobId) {
+        let mut st = self.lock();
+        let Some(job) = st.job(id) else { return };
+        match job.phase {
+            Phase::Ready => {
+                job.phase = Phase::Paused;
+                st.unqueue(id.0);
+            }
+            Phase::InSlice => job.pause_requested = true,
+            // A quota-blocked job is pausable too — otherwise a later
+            // budget top-up would resume a job its owner explicitly
+            // paused.
+            Phase::QuotaBlocked => job.phase = Phase::Paused,
+            Phase::Paused | Phase::Done => {}
+        }
+    }
+
+    fn resume(&self, id: SolveJobId) {
+        let mut st = self.lock();
+        let Some(job) = st.job(id) else { return };
+        match job.phase {
+            Phase::Paused => {
+                st.make_ready(id.0);
+                self.work.notify_all();
+            }
+            Phase::InSlice => job.pause_requested = false,
+            Phase::Ready | Phase::QuotaBlocked | Phase::Done => {}
+        }
+    }
+
+    fn cancel(&self, id: SolveJobId) {
+        let mut st = self.lock();
+        let Some(job) = st.job(id) else { return };
+        match job.phase {
+            Phase::Done => {}
+            Phase::InSlice => job.cancel_requested = true,
+            Phase::Ready | Phase::Paused | Phase::QuotaBlocked => {
+                job.cancel_requested = true;
+                st.make_ready(id.0);
+                self.work.notify_all();
+            }
+        }
+    }
+}
+
+impl SolverStatsSource for Shared {
+    fn solver_snapshot(&self) -> SolverMetricsSnapshot {
+        self.lock().snapshot()
+    }
+}
+
+/// A pool of background solver threads feeding an [`AnswerStore`],
+/// scheduling all submitted jobs fairly at batch granularity.
 ///
 /// Submission registers the scene immediately (so render requests can
-/// target it before the first batch lands) and queues the job; any free
-/// worker picks it up, builds the backend engine, and drives it to the
-/// convergence target, publishing snapshots along the way. Dropping the
-/// pool (or [`SolverPool::shutdown`]) finishes queued jobs first.
+/// target it before the first batch lands) and enters the job into the
+/// shared weighted-round-robin run queue; workers repeatedly grant one
+/// slice (one `engine.step`) to the next runnable job. Dropping the pool
+/// (or [`SolverPool::shutdown`]) finishes runnable jobs first and cancels
+/// paused or quota-blocked ones (each still publishes its final snapshot).
 pub struct SolverPool {
     store: Arc<AnswerStore>,
-    tx: Option<Sender<QueuedJob>>,
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    next_job: AtomicU64,
+    next_job: Mutex<u64>,
 }
 
 impl SolverPool {
     /// Starts `workers` solver threads over `store`.
     pub fn start(store: Arc<AnswerStore>, workers: usize) -> Self {
         assert!(workers >= 1, "a solver pool needs at least one worker");
-        let (tx, rx) = channel::<QueuedJob>();
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Sched {
+                jobs: BTreeMap::new(),
+                rr: VecDeque::new(),
+                tenants: HashMap::new(),
+                draining: false,
+            }),
+            work: Condvar::new(),
+        });
         let handles = (0..workers)
             .map(|w| {
-                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
                 let store = Arc::clone(&store);
                 std::thread::Builder::new()
                     .name(format!("photon-solve-{w}"))
-                    .spawn(move || loop {
-                        // Hold the lock only to pop; solving runs unlocked.
-                        let job = match rx.lock().unwrap().recv() {
-                            Ok(job) => job,
-                            Err(_) => return,
-                        };
-                        run_job(&store, job);
-                    })
+                    .spawn(move || worker_loop(&store, &shared))
                     .expect("spawn solver worker")
             })
             .collect();
         SolverPool {
             store,
-            tx: Some(tx),
+            shared,
             workers: handles,
-            next_job: AtomicU64::new(0),
+            next_job: Mutex::new(0),
         }
     }
 
@@ -230,40 +632,120 @@ impl SolverPool {
         &self.store
     }
 
-    /// Registers the scene (epoch 0) and queues the solve; returns the
-    /// handle carrying the renderable [`SceneId`] and the progress stream.
+    /// Registers the scene (epoch 0) and enters the job into the run
+    /// queue; returns the handle carrying the renderable [`SceneId`], the
+    /// progress stream, and the pause/resume/cancel controls.
     pub fn submit(&self, request: SolveRequest) -> SolveHandle {
-        let id = SolveJobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+        let id = {
+            let mut next = self.next_job.lock().unwrap();
+            let id = SolveJobId(*next);
+            *next += 1;
+            id
+        };
         let scene_id = self
             .store
             .register(request.name.clone(), request.scene.clone());
         let (progress, rx) = channel();
-        let job = QueuedJob {
-            id,
-            scene_id,
-            request,
-            progress,
-        };
-        if let Some(tx) = &self.tx {
-            // A send error means the workers are gone; the dropped progress
-            // sender surfaces it as a drained handle.
-            let _ = tx.send(job);
+        let mut st = self.shared.lock();
+        // A draining pool accepts no jobs; dropping the progress sender
+        // surfaces it as an immediately-drained handle.
+        if !st.draining {
+            let priority = request.priority.max(1);
+            st.tenants.entry(request.tenant.clone()).or_default();
+            st.jobs.insert(
+                id.0,
+                JobState {
+                    id,
+                    scene_id,
+                    tenant: request.tenant.clone(),
+                    priority,
+                    target_photons: request.target_photons,
+                    batch_size: request.batch_size.max(1),
+                    publish_every: request.publish_every.max(1),
+                    build: Some(request),
+                    progress: Some(progress),
+                    engine: None,
+                    phase: Phase::Ready,
+                    credit: priority,
+                    pause_requested: false,
+                    cancel_requested: false,
+                    canceled: false,
+                    emitted: 0,
+                    batches: 0,
+                    slices: 0,
+                    epochs: 0,
+                    busy_seconds: 0.0,
+                },
+            );
+            st.rr.push_back(id.0);
+            self.work_notify();
         }
+        drop(st);
         SolveHandle {
             job: id,
             scene_id,
             rx,
+            shared: Arc::clone(&self.shared),
         }
     }
 
-    /// Stops accepting jobs, finishes what is queued, and joins the
-    /// workers.
+    fn work_notify(&self) {
+        self.shared.work.notify_all();
+    }
+
+    /// Sets tenant `tenant`'s remaining photon budget. Each slice grant
+    /// *reserves* its photons against the budget (so concurrent workers
+    /// cannot over-grant it) and reconciles to what the engine actually
+    /// emitted when the slice returns; at zero the tenant's jobs park
+    /// until more budget arrives. Unknown tenants are created, so quotas
+    /// can be configured before the first submit.
+    pub fn set_tenant_budget(&self, tenant: &str, photons: u64) {
+        let mut st = self.shared.lock();
+        st.tenants.entry(tenant.to_string()).or_default().budget = Some(photons);
+        if photons > 0 {
+            st.unblock_tenant(tenant);
+            self.work_notify();
+        }
+    }
+
+    /// Adds `photons` to tenant `tenant`'s remaining budget, waking any of
+    /// its quota-blocked jobs. A tenant with no configured budget is
+    /// unlimited; adding to it sets a finite budget of `photons`.
+    pub fn add_tenant_budget(&self, tenant: &str, photons: u64) {
+        let mut st = self.shared.lock();
+        let t = st.tenants.entry(tenant.to_string()).or_default();
+        t.budget = Some(t.budget.unwrap_or(0).saturating_add(photons));
+        if photons > 0 {
+            st.unblock_tenant(tenant);
+            self.work_notify();
+        }
+    }
+
+    /// Current scheduler state: queue depth, per-job rates, per-tenant
+    /// slice and quota accounting.
+    pub fn metrics(&self) -> SolverMetricsSnapshot {
+        self.shared.solver_snapshot()
+    }
+
+    /// The pool's scheduler as a metrics source, for
+    /// [`crate::RenderService::attach_solver`] — the render-side
+    /// [`crate::MetricsSnapshot`] then carries the solve-tier state too.
+    pub fn stats_source(&self) -> Arc<dyn SolverStatsSource> {
+        Arc::clone(&self.shared) as Arc<dyn SolverStatsSource>
+    }
+
+    /// Stops accepting jobs, finishes runnable jobs, cancels parked ones
+    /// (publishing their final snapshots), and joins the workers.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        drop(self.tx.take());
+        {
+            let mut st = self.shared.lock();
+            st.draining = true;
+        }
+        self.shared.work.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -276,25 +758,18 @@ impl Drop for SolverPool {
     }
 }
 
-/// Builds the backend engine and drives it to the convergence target.
-fn run_job(store: &AnswerStore, job: QueuedJob) {
-    let QueuedJob {
-        id,
-        scene_id,
-        request,
-        progress,
-    } = job;
-    let batch = request.batch_size.max(1);
-    let mut engine: Box<dyn SolverEngine> = match request.backend {
+/// Builds the backend engine for one job.
+fn build_engine(request: &SolveRequest) -> Box<dyn SolverEngine> {
+    match request.backend {
         BackendChoice::Serial => Box::new(Simulator::new(
-            request.scene,
+            request.scene.clone(),
             SimConfig {
                 seed: request.seed,
                 ..Default::default()
             },
         )),
         BackendChoice::Threaded { threads } => Box::new(ParEngine::new(
-            request.scene,
+            request.scene.clone(),
             ParConfig {
                 seed: request.seed,
                 threads: threads.max(1),
@@ -305,7 +780,7 @@ fn run_job(store: &AnswerStore, job: QueuedJob) {
         BackendChoice::Distributed { nranks } => {
             let nranks = nranks.max(1);
             Box::new(DistEngine::new(
-                request.scene,
+                request.scene.clone(),
                 DistConfig {
                     seed: request.seed,
                     nranks,
@@ -320,32 +795,286 @@ fn run_job(store: &AnswerStore, job: QueuedJob) {
                 },
             ))
         }
-    };
-    let every = request.publish_every.max(1);
-    let mut batches = 0u64;
+    }
+}
+
+/// The worker loop: grant a slice, run it unlocked, return it; park on the
+/// condvar when nothing is runnable.
+fn worker_loop(store: &AnswerStore, shared: &Shared) {
     loop {
-        let report = engine.step(batch);
-        batches += 1;
-        let done = report.emitted_total >= request.target_photons;
-        if done || batches.is_multiple_of(every) {
-            let epoch = store.publish(scene_id, engine.snapshot());
-            // A dropped handle is fine; the publish still refreshed the
-            // store.
-            let _ = progress.send(SolveProgress {
+        let lease = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(lease) = st.grant() {
+                    break lease;
+                }
+                if st.draining {
+                    if st.cancel_one_parked() {
+                        continue;
+                    }
+                    if st.all_done() {
+                        return;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        run_slice(store, shared, lease);
+        shared.work.notify_all();
+    }
+}
+
+/// Runs one granted slice (or cancel finalization) outside the scheduler
+/// lock, then returns the engine and accounts the outcome.
+fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
+    let Lease {
+        id,
+        scene_id,
+        engine,
+        build,
+        kind,
+    } = lease;
+    let slice_start = Instant::now();
+    // Parameters are read under the lock; the step and publish run free.
+    let (target, publish_every) = {
+        let mut st = shared.lock();
+        let job = st.job(id).expect("leased job exists");
+        (job.target_photons, job.publish_every)
+    };
+
+    let finalize = |engine: &dyn SolverEngine,
+                    emitted: u64,
+                    elapsed: f64,
+                    canceled: bool|
+     -> (u64, SolveProgress) {
+        let answer = engine.snapshot();
+        let leaf_bins = answer.total_leaf_bins();
+        let epoch = store.publish(scene_id, answer);
+        (
+            epoch,
+            SolveProgress {
                 job: id,
                 scene_id,
                 epoch,
-                emitted: report.emitted_total,
-                leaf_bins: report.leaf_bins,
-                elapsed_seconds: report.elapsed_seconds,
+                emitted,
+                leaf_bins,
+                elapsed_seconds: elapsed,
                 virtual_time: engine.virtual_time(),
-                done,
-            });
+                done: true,
+                canceled,
+            },
+        )
+    };
+
+    match kind {
+        LeaseKind::Finalize => {
+            let busy = shared.lock().job(id).map_or(0.0, |j| j.busy_seconds);
+            match engine {
+                // Cancel publishes whatever was solved so renders keep
+                // the best snapshot, then retires the job.
+                Some(engine) => {
+                    let (_, progress) = finalize(engine.as_ref(), engine.emitted(), busy, true);
+                    retire(
+                        shared,
+                        id,
+                        Some(engine),
+                        Some(progress),
+                        true,
+                        true,
+                        slice_start,
+                    );
+                }
+                // The job never received a slice: there is nothing to
+                // publish (the registered epoch-0 entry already serves),
+                // and building a backend just to snapshot an empty answer
+                // would be waste — `build` drops here, freeing the scene.
+                None => {
+                    let epoch = store.get(scene_id).map_or(0, |entry| entry.epoch);
+                    let progress = SolveProgress {
+                        job: id,
+                        scene_id,
+                        epoch,
+                        emitted: 0,
+                        leaf_bins: 0,
+                        elapsed_seconds: busy,
+                        virtual_time: false,
+                        done: true,
+                        canceled: true,
+                    };
+                    retire(shared, id, None, Some(progress), true, true, slice_start);
+                }
+            }
         }
-        if done {
-            return;
+        LeaseKind::Step { slice } => {
+            // The engine persists across slices; build it on first grant.
+            let mut engine = engine.unwrap_or_else(|| {
+                build_engine(&build.expect("first slice carries the build request"))
+            });
+            // Check the target *before* stepping: a target that is already
+            // met (target_photons: 0, or met by a previous slice's
+            // overshoot) must publish immediately, not emit another batch.
+            if engine.emitted() >= target {
+                let busy = shared.lock().job(id).map_or(0.0, |j| j.busy_seconds);
+                let (_, progress) = finalize(engine.as_ref(), engine.emitted(), busy, false);
+                retire(
+                    shared,
+                    id,
+                    Some(engine),
+                    Some(progress),
+                    false,
+                    true,
+                    slice_start,
+                );
+                return;
+            }
+            let report = engine.step(slice);
+            let done = report.emitted_total >= target;
+            // Account the slice (time, photons, quota) and read the flags
+            // that arrived while the step ran unlocked.
+            let (publish_now, cancel_now, tenant_name) = {
+                let mut st = shared.lock();
+                let job = st.job(id).expect("leased job exists");
+                job.batches += 1;
+                job.emitted = report.emitted_total;
+                job.busy_seconds += slice_start.elapsed().as_secs_f64();
+                let cancel_now = job.cancel_requested;
+                let publish_now = done || job.batches.is_multiple_of(publish_every);
+                let tenant_name = job.tenant.clone();
+                let tenant = st.tenants.entry(tenant_name.clone()).or_default();
+                tenant.photons_used += report.batch_photons;
+                // Reconcile the grant-time reservation (`slice` photons)
+                // against what the engine actually emitted — backends may
+                // round a batch to their worker/rank granularity.
+                let mut wake_tenant = false;
+                if let Some(budget) = tenant.budget.as_mut() {
+                    *budget = budget
+                        .saturating_add(slice)
+                        .saturating_sub(report.batch_photons);
+                    wake_tenant = *budget > 0;
+                }
+                if wake_tenant {
+                    // An upward reconcile can revive jobs that parked on
+                    // the reservation; the worker notifies after this
+                    // slice returns.
+                    st.unblock_tenant(&tenant_name);
+                }
+                (publish_now, cancel_now, tenant_name)
+            };
+            if cancel_now {
+                let busy = shared.lock().job(id).map_or(0.0, |j| j.busy_seconds);
+                let (_, progress) = finalize(engine.as_ref(), report.emitted_total, busy, true);
+                retire(
+                    shared,
+                    id,
+                    Some(engine),
+                    Some(progress),
+                    true,
+                    false,
+                    slice_start,
+                );
+                return;
+            }
+            if done {
+                let (_, progress) = finalize(
+                    engine.as_ref(),
+                    report.emitted_total,
+                    report.elapsed_seconds,
+                    false,
+                );
+                retire(
+                    shared,
+                    id,
+                    Some(engine),
+                    Some(progress),
+                    false,
+                    false,
+                    slice_start,
+                );
+                return;
+            }
+            let progress = publish_now.then(|| {
+                let answer = engine.snapshot();
+                let epoch = store.publish(scene_id, answer);
+                SolveProgress {
+                    job: id,
+                    scene_id,
+                    epoch,
+                    emitted: report.emitted_total,
+                    leaf_bins: report.leaf_bins,
+                    elapsed_seconds: report.elapsed_seconds,
+                    virtual_time: engine.virtual_time(),
+                    done: false,
+                    canceled: false,
+                }
+            });
+            // Return the engine and park or requeue per pending requests.
+            let mut st = shared.lock();
+            let quota_empty = st.tenant_remaining(&tenant_name) == Some(0);
+            let job = st.job(id).expect("leased job exists");
+            job.engine = Some(engine);
+            if let Some(p) = progress {
+                job.epochs += 1;
+                if let Some(tx) = job.progress.as_ref() {
+                    // A dropped handle is fine; the publish still
+                    // refreshed the store.
+                    let _ = tx.send(p);
+                }
+            }
+            let job = st.job(id).expect("leased job exists");
+            if job.cancel_requested {
+                st.make_ready(id.0);
+            } else if job.pause_requested {
+                job.pause_requested = false;
+                job.phase = Phase::Paused;
+            } else if quota_empty {
+                job.phase = Phase::QuotaBlocked;
+            } else {
+                st.make_ready(id.0);
+            }
         }
     }
+}
+
+/// Marks a leased job finished, sends its terminal progress report, and
+/// drops its engine and progress sender. `account_time` is false when the
+/// caller's slice accounting already added this lease's wall time — adding
+/// `slice_start.elapsed()` again would double-count the step.
+fn retire(
+    shared: &Shared,
+    id: SolveJobId,
+    engine: Option<Box<dyn SolverEngine>>,
+    progress: Option<SolveProgress>,
+    canceled: bool,
+    account_time: bool,
+    slice_start: Instant,
+) {
+    let emitted = engine.as_ref().map(|e| e.emitted());
+    drop(engine);
+    let mut st = shared.lock();
+    let Some(job) = st.job(id) else { return };
+    if account_time {
+        job.busy_seconds += slice_start.elapsed().as_secs_f64();
+    }
+    if let Some(emitted) = emitted {
+        job.emitted = emitted.max(job.emitted);
+    }
+    job.phase = Phase::Done;
+    job.canceled = canceled;
+    job.engine = None;
+    job.build = None;
+    if let Some(p) = progress {
+        // An engine-less finalize published nothing, so it counts no
+        // epoch; every other retirement path just published a snapshot.
+        if emitted.is_some() {
+            job.epochs += 1;
+        }
+        if let Some(tx) = job.progress.take() {
+            let _ = tx.send(p);
+        }
+    } else {
+        job.progress = None;
+    }
+    st.unqueue(id.0);
 }
 
 #[cfg(test)]
@@ -375,6 +1104,7 @@ mod tests {
         }
         let last = last.expect("at least one publish");
         assert!(last.done);
+        assert!(!last.canceled);
         assert_eq!(last.emitted, 3_000);
         assert_eq!(epochs, vec![1, 2, 3], "one epoch per batch, in order");
         assert_eq!(store.get(handle.scene_id()).unwrap().epoch, 3);
@@ -446,5 +1176,54 @@ mod tests {
             let done = h.wait_done(Duration::from_secs(60)).expect("finished");
             assert!(done.done);
         }
+    }
+
+    #[test]
+    fn one_worker_interleaves_two_jobs() {
+        // The tentpole in miniature: with a single worker, a job submitted
+        // second must publish epochs before the first job finishes.
+        let store = Arc::new(AnswerStore::new());
+        let pool = SolverPool::start(Arc::clone(&store), 1);
+        let mut heavy = quick_request(BackendChoice::Serial);
+        heavy.target_photons = 12_000; // 12 slices
+        let heavy = pool.submit(heavy);
+        let mut light = quick_request(BackendChoice::Serial);
+        light.target_photons = 2_000; // 2 slices
+        let light = pool.submit(light);
+        let light_done = light.wait_done(Duration::from_secs(60)).expect("light job");
+        assert_eq!(light_done.emitted, 2_000);
+        // When the light job finished, the heavy one was still short of
+        // its target — FIFO run-to-completion would have solved all 12k
+        // photons first.
+        let heavy_mid = store.get(heavy.scene_id()).unwrap().answer.emitted();
+        assert!(
+            heavy_mid < 12_000,
+            "heavy job already done ({heavy_mid}) — no interleaving"
+        );
+        let heavy_done = heavy.wait_done(Duration::from_secs(60)).expect("heavy job");
+        assert_eq!(heavy_done.emitted, 12_000);
+    }
+
+    #[test]
+    fn priority_weights_slice_shares() {
+        // Two equal jobs, priorities 3:1 — the favored job must finish
+        // first on one worker even though it was submitted second.
+        let store = Arc::new(AnswerStore::new());
+        let pool = SolverPool::start(Arc::clone(&store), 1);
+        let mut slow = quick_request(BackendChoice::Serial);
+        slow.target_photons = 8_000;
+        slow.priority = 1;
+        let slow = pool.submit(slow);
+        let mut fast = quick_request(BackendChoice::Serial);
+        fast.target_photons = 8_000;
+        fast.priority = 3;
+        let fast = pool.submit(fast);
+        fast.wait_done(Duration::from_secs(60)).expect("fast job");
+        let slow_mid = store.get(slow.scene_id()).unwrap().answer.emitted();
+        assert!(
+            slow_mid < 8_000,
+            "priority-1 job ({slow_mid}) kept pace with the priority-3 job"
+        );
+        slow.wait_done(Duration::from_secs(60)).expect("slow job");
     }
 }

@@ -119,6 +119,13 @@ impl AnswerStore {
     /// Atomically replaces entry `id`'s answer with a fresher snapshot,
     /// bumping the epoch and recalibrating exposure. Returns the new epoch.
     ///
+    /// Publishes are ordered by photon count, not arrival: a snapshot whose
+    /// [`Answer::emitted`] is *less* than the stored answer's is stale by
+    /// construction (the solve only ever adds photons) and is rejected —
+    /// the entry keeps its fresher answer and the existing epoch is
+    /// returned unchanged. Two racing publishers therefore converge on the
+    /// richer snapshot no matter which lands last.
+    ///
     /// # Panics
     /// Panics on an unknown id or an answer whose patch count does not
     /// match the stored scene.
@@ -141,6 +148,12 @@ impl AnswerStore {
         let answer = Arc::new(answer);
         let mut entries = self.entries.write().unwrap();
         let slot = &mut entries[id.0 as usize];
+        // Last-writer-wins guard: the exposure above was computed outside
+        // the lock, so a racing publish may have landed a richer snapshot
+        // in the meantime. Never let a staler answer overwrite it.
+        if answer.emitted() < slot.answer.emitted() {
+            return slot.epoch;
+        }
         let epoch = slot.epoch + 1;
         *slot = Arc::new(StoredAnswer {
             name: slot.name.clone(),
@@ -292,6 +305,36 @@ mod tests {
         let id2 = store.insert("prestored", scene2, answer2.clone());
         assert_eq!(store.get(id2).unwrap().epoch, 1);
         assert_eq!(store.publish(id2, answer2), 2);
+    }
+
+    #[test]
+    fn publish_rejects_stale_snapshots() {
+        // Regression: two publishes racing on one id could land out of
+        // order, letting a snapshot with fewer photons overwrite a fresher
+        // answer while still bumping the epoch.
+        let store = AnswerStore::new();
+        let mut sim = Simulator::new(
+            cornell_box(),
+            SimConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        sim.run_photons(1_000);
+        let early = sim.answer_snapshot();
+        sim.run_photons(1_000);
+        let late = sim.answer_snapshot();
+        let id = store.register("racy", sim.scene().clone());
+
+        assert_eq!(store.publish(id, late.clone()), 1);
+        // The stale snapshot arrives second: no epoch bump, no overwrite.
+        assert_eq!(store.publish(id, early), 1, "stale publish must not bump");
+        let entry = store.get(id).unwrap();
+        assert_eq!(entry.epoch, 1);
+        assert_eq!(entry.answer.emitted(), 2_000, "fresher answer survived");
+        // An equally-rich snapshot still republishes (same photon count is
+        // not stale — the pipeline republishes converged answers).
+        assert_eq!(store.publish(id, late), 2);
     }
 
     #[test]

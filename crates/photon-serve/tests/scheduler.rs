@@ -1,0 +1,427 @@
+//! Scheduler acceptance: fair multi-job scheduling, job lifecycle
+//! (pause/resume/cancel), per-tenant quotas, and regression tests for the
+//! epoch-lifecycle bug batch.
+
+use photon_core::{Camera, SimConfig, Simulator};
+use photon_scenes::{cornell_box, TestScene};
+use photon_serve::{
+    AnswerStore, RenderRequest, RenderService, ServeConfig, SolveRequest, SolverPool,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn cornell_camera() -> Camera {
+    let v = TestScene::CornellBox.view();
+    Camera {
+        eye: v.eye,
+        target: v.target,
+        up: v.up,
+        vfov_deg: v.vfov_deg,
+        width: 24,
+        height: 18,
+    }
+}
+
+/// The tentpole's acceptance bar: on a **one-worker** pool, a 20k-photon
+/// job submitted *after* a 2M-photon job completes while the heavy job is
+/// still running — weighted round-robin interleaves their batches instead
+/// of serializing them — and the heavy job still reaches its target. The
+/// scheduler's state (per-job photons/sec, queue depth) is visible in the
+/// render service's `MetricsSnapshot`.
+#[test]
+fn light_job_finishes_while_heavy_job_still_runs() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let service = RenderService::start(Arc::clone(&store), ServeConfig::default());
+    service.attach_solver(pool.stats_source());
+
+    let mut heavy = SolveRequest::new("heavy-tenant-scene", cornell_box());
+    heavy.seed = 2_001;
+    heavy.batch_size = 50_000;
+    heavy.target_photons = 2_000_000;
+    heavy.publish_every = 4;
+    heavy.tenant = "heavy".into();
+    let heavy = pool.submit(heavy);
+
+    let mut light = SolveRequest::new("light-tenant-scene", cornell_box());
+    light.seed = 2_002;
+    light.batch_size = 2_000;
+    light.target_photons = 20_000;
+    light.tenant = "light".into();
+    let light = pool.submit(light);
+
+    // While both jobs are live on one worker, one holds the slice and the
+    // other waits in the run queue: the queue depth must be observable.
+    let mut saw_queue_depth = false;
+    let light_done = loop {
+        let m = service.metrics();
+        if m.solver.queue_depth >= 1 {
+            saw_queue_depth = true;
+        }
+        if let Some(p) = light.next_progress(Duration::from_millis(20)) {
+            if p.done {
+                break p;
+            }
+        }
+    };
+    assert_eq!(light_done.emitted, 20_000);
+    assert!(
+        saw_queue_depth,
+        "two live jobs on one worker never showed queue depth"
+    );
+
+    // Fairness: at the moment the light job converged, the heavy job must
+    // still be short of its target (FIFO would have run it to completion
+    // first), and the light job's answer is fully served.
+    let heavy_mid = store.get(heavy.scene_id()).unwrap().answer.emitted();
+    assert!(
+        heavy_mid < 2_000_000,
+        "heavy job already finished ({heavy_mid} photons): scheduling is not fair"
+    );
+    assert_eq!(
+        store.get(light.scene_id()).unwrap().answer.emitted(),
+        20_000
+    );
+
+    // The heavy job is not starved either: it still converges.
+    let heavy_done = heavy
+        .wait_done(Duration::from_secs(600))
+        .expect("heavy job converges after the light job");
+    assert_eq!(heavy_done.emitted, 2_000_000);
+
+    // Scheduler state flows through MetricsSnapshot: per-job rates and
+    // per-tenant slice accounting.
+    let m = service.metrics();
+    assert_eq!(m.solver.jobs.len(), 2);
+    for job in &m.solver.jobs {
+        assert_eq!(job.state, "done");
+        assert!(
+            job.photons_per_sec > 0.0,
+            "per-job photons/sec missing: {job:?}"
+        );
+        assert!(job.epochs_per_sec > 0.0);
+        assert!(job.slices >= 1);
+    }
+    let tenants: Vec<&str> = m.solver.tenants.iter().map(|t| t.tenant.as_str()).collect();
+    assert!(tenants.contains(&"heavy") && tenants.contains(&"light"));
+    for t in &m.solver.tenants {
+        assert!(t.slices >= 1, "tenant granted no slices: {t:?}");
+    }
+}
+
+/// Pause parks a job after its in-flight batch; resume puts it back in
+/// the rotation and it still converges exactly to target.
+#[test]
+fn pause_parks_and_resume_finishes() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let mut req = SolveRequest::new("pausable", cornell_box());
+    req.seed = 5;
+    req.batch_size = 1_000;
+    req.target_photons = 30_000;
+    let job = pool.submit(req);
+
+    job.next_progress(Duration::from_secs(60)).expect("started");
+    job.pause();
+    // Drain whatever was already in flight; then the stream must go quiet.
+    while job.next_progress(Duration::from_millis(300)).is_some() {}
+    let parked = store.get(job.scene_id()).unwrap().answer.emitted();
+    assert!(parked < 30_000, "paused job ran to completion");
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        store.get(job.scene_id()).unwrap().answer.emitted(),
+        parked,
+        "paused job kept emitting"
+    );
+    let m = pool.metrics();
+    assert_eq!(m.paused, 1, "{m:?}");
+    assert_eq!(m.jobs[0].state, "paused");
+
+    job.resume();
+    let done = job.wait_done(Duration::from_secs(120)).expect("resumed");
+    assert_eq!(done.emitted, 30_000);
+    assert!(!done.canceled);
+}
+
+/// Cancel publishes one final snapshot (renders keep the best answer so
+/// far), reports a canceled terminal progress, and frees the worker for
+/// the next job.
+#[test]
+fn cancel_publishes_final_snapshot_and_frees_the_slot() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let mut req = SolveRequest::new("doomed", cornell_box());
+    req.seed = 6;
+    req.batch_size = 1_000;
+    req.target_photons = 100_000_000; // would run ~forever
+    let job = pool.submit(req);
+    let first = job.next_progress(Duration::from_secs(60)).expect("started");
+    assert!(first.epoch >= 1);
+
+    job.cancel();
+    let done = job.wait_done(Duration::from_secs(60)).expect("canceled");
+    assert!(done.done && done.canceled);
+    assert!(done.emitted < 100_000_000);
+    let entry = store.get(job.scene_id()).unwrap();
+    assert_eq!(
+        entry.answer.emitted(),
+        done.emitted,
+        "cancel must publish the final snapshot"
+    );
+    assert!(entry.epoch >= first.epoch);
+    assert_eq!(pool.metrics().jobs[0].state, "canceled");
+
+    // The slot is free: a fresh job gets the worker and converges.
+    let mut next = SolveRequest::new("after-cancel", cornell_box());
+    next.seed = 7;
+    next.batch_size = 1_000;
+    next.target_photons = 3_000;
+    let next = pool.submit(next);
+    let done = next.wait_done(Duration::from_secs(60)).expect("ran");
+    assert_eq!(done.emitted, 3_000);
+}
+
+/// Canceling a *paused* job still finalizes it — parked jobs are not
+/// zombies.
+#[test]
+fn cancel_finalizes_a_paused_job() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let mut req = SolveRequest::new("paused-then-canceled", cornell_box());
+    req.seed = 8;
+    req.batch_size = 1_000;
+    req.target_photons = 50_000;
+    let job = pool.submit(req);
+    job.next_progress(Duration::from_secs(60)).expect("started");
+    job.pause();
+    while job.next_progress(Duration::from_millis(300)).is_some() {}
+    job.cancel();
+    let done = job.wait_done(Duration::from_secs(60)).expect("finalized");
+    assert!(done.done && done.canceled);
+    assert!(done.emitted > 0 && done.emitted < 50_000);
+}
+
+/// Canceling a job the scheduler never started publishes nothing — the
+/// registered epoch-0 entry keeps serving — but still reports a terminal
+/// canceled progress.
+#[test]
+fn cancel_before_first_slice_publishes_nothing() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    // Occupy the single worker so the second job stays queued.
+    let mut busy = SolveRequest::new("busy", cornell_box());
+    busy.seed = 20;
+    busy.batch_size = 1_000;
+    busy.target_photons = 1_000_000;
+    let busy = pool.submit(busy);
+    busy.next_progress(Duration::from_secs(60))
+        .expect("running");
+    busy.pause();
+
+    let mut req = SolveRequest::new("never-ran", cornell_box());
+    req.seed = 21;
+    req.target_photons = 50_000;
+    let job = pool.submit(req);
+    job.cancel();
+    let done = job.wait_done(Duration::from_secs(60)).expect("finalized");
+    assert!(done.done && done.canceled);
+    assert_eq!(done.emitted, 0);
+    let entry = store.get(job.scene_id()).unwrap();
+    assert_eq!(entry.epoch, 0, "nothing was solved, nothing published");
+    busy.cancel();
+}
+
+/// Pausing a quota-blocked job sticks: a later budget top-up must not
+/// resume a job its owner explicitly paused.
+#[test]
+fn pause_survives_a_quota_top_up() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    pool.set_tenant_budget("capped", 2_000);
+    let mut req = SolveRequest::new("capped-job", cornell_box());
+    req.seed = 22;
+    req.batch_size = 2_000;
+    req.target_photons = 10_000;
+    req.tenant = "capped".into();
+    let job = pool.submit(req);
+    while job.next_progress(Duration::from_millis(400)).is_some() {}
+    assert_eq!(pool.metrics().quota_blocked, 1);
+
+    job.pause();
+    pool.add_tenant_budget("capped", 100_000);
+    assert!(
+        job.next_progress(Duration::from_millis(400)).is_none(),
+        "paused job resumed on budget top-up"
+    );
+    assert_eq!(pool.metrics().paused, 1);
+    job.resume();
+    let done = job.wait_done(Duration::from_secs(60)).expect("resumed");
+    assert_eq!(done.emitted, 10_000);
+}
+
+/// Per-tenant photon budgets are enforced at slice grant: an exhausted
+/// tenant's job parks at exactly its budget without stalling the pool,
+/// and granting more budget wakes it to convergence.
+#[test]
+fn quota_exhaustion_parks_until_budget_arrives() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    pool.set_tenant_budget("acme", 4_000);
+
+    let mut req = SolveRequest::new("metered", cornell_box());
+    req.seed = 9;
+    req.batch_size = 2_000;
+    req.target_photons = 20_000;
+    req.tenant = "acme".into();
+    let job = pool.submit(req);
+
+    // An unmetered tenant shares the pool and is unaffected by acme's
+    // exhaustion.
+    let mut free = SolveRequest::new("unmetered", cornell_box());
+    free.seed = 10;
+    free.batch_size = 2_000;
+    free.target_photons = 10_000;
+    let free = pool.submit(free);
+
+    // The metered job emits exactly its budget (two full 2k slices) and
+    // then parks.
+    while job.next_progress(Duration::from_millis(500)).is_some() {}
+    assert_eq!(
+        store.get(job.scene_id()).unwrap().answer.emitted(),
+        4_000,
+        "job must stop at the tenant budget"
+    );
+    let m = pool.metrics();
+    assert_eq!(m.quota_blocked, 1, "{m:?}");
+    let acme = m
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "acme")
+        .expect("tenant tracked");
+    assert_eq!(acme.budget_remaining, Some(0));
+    assert_eq!(acme.photons_used, 4_000);
+    assert_eq!(acme.quota_blocked_jobs, 1);
+
+    let free_done = free.wait_done(Duration::from_secs(60)).expect("unmetered");
+    assert_eq!(free_done.emitted, 10_000);
+
+    // More budget wakes the parked job.
+    pool.add_tenant_budget("acme", 100_000);
+    let done = job.wait_done(Duration::from_secs(120)).expect("resumed");
+    assert_eq!(done.emitted, 20_000);
+}
+
+/// Regression (run_job off-by-one): a target that is already met must
+/// publish immediately instead of stepping a full batch first. Before the
+/// fix, `target_photons: 0` still emitted `batch_size` photons.
+#[test]
+fn already_met_target_publishes_without_stepping() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let mut req = SolveRequest::new("zero-target", cornell_box());
+    req.seed = 11;
+    req.batch_size = 2_000;
+    req.target_photons = 0;
+    let job = pool.submit(req);
+    let done = job.wait_done(Duration::from_secs(60)).expect("immediate");
+    assert!(done.done && !done.canceled);
+    assert_eq!(done.emitted, 0, "a met target must not emit another batch");
+    let entry = store.get(job.scene_id()).unwrap();
+    assert_eq!(entry.epoch, 1, "the (empty) final state still publishes");
+    assert_eq!(entry.answer.emitted(), 0);
+}
+
+/// Regression (stale-epoch view-cache leak): every publish orphans the
+/// scene's older-epoch cache keys; the dispatcher must purge them when it
+/// observes the epoch advance, not leave them to LRU pressure. Before the
+/// fix the cache held one dead image per past epoch.
+#[test]
+fn stale_epoch_cache_keys_are_purged() {
+    let store = Arc::new(AnswerStore::new());
+    let scene = cornell_box();
+    let id = store.register("refining", scene.clone());
+    let service = RenderService::start(Arc::clone(&store), ServeConfig::default());
+    let req = RenderRequest {
+        scene_id: id,
+        camera: cornell_camera(),
+    };
+    // Render epoch 0, then five refining publishes, re-rendering the same
+    // view after each.
+    service.render_blocking(req).expect("epoch 0");
+    let mut sim = Simulator::new(
+        scene,
+        SimConfig {
+            seed: 12,
+            ..Default::default()
+        },
+    );
+    for _ in 0..5 {
+        sim.run_photons(1_000);
+        store.publish(id, sim.answer_snapshot());
+        let view = service.render_blocking(req).expect("served");
+        assert!(!view.from_cache(), "a fresher epoch must re-render");
+    }
+    let m = service.metrics();
+    assert_eq!(
+        m.cache_entries, 1,
+        "only the freshest epoch's image may stay cached: {m:?}"
+    );
+    assert!(
+        m.cache_purged >= 5,
+        "each epoch advance must purge the orphaned keys: {m:?}"
+    );
+}
+
+/// Regression (`AnswerStore::publish` last-writer-wins race): a snapshot
+/// with fewer photons than the stored answer must be rejected without
+/// bumping the epoch, so out-of-order publishes cannot regress a scene.
+#[test]
+fn stale_publish_cannot_overwrite_a_fresher_answer() {
+    let store = AnswerStore::new();
+    let mut sim = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed: 13,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(1_000);
+    let early = sim.answer_snapshot();
+    sim.run_photons(4_000);
+    let late = sim.answer_snapshot();
+    let id = store.register("raced", sim.scene().clone());
+    assert_eq!(store.publish(id, late), 1);
+    let epoch = store.publish(id, early); // the straggler lands second
+    assert_eq!(epoch, 1, "stale publish must return the existing epoch");
+    let entry = store.get(id).unwrap();
+    assert_eq!(entry.epoch, 1);
+    assert_eq!(entry.answer.emitted(), 5_000);
+}
+
+/// Sanity: fairness does not cost convergence — N interleaved jobs all
+/// reach their exact targets and the total runtime is bounded.
+#[test]
+fn many_interleaved_jobs_all_converge() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 2);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..5)
+        .map(|i| {
+            let mut r = SolveRequest::new(format!("job-{i}"), cornell_box());
+            r.seed = 100 + i;
+            r.batch_size = 1_000;
+            r.target_photons = 4_000;
+            r.priority = 1 + (i % 3) as u32;
+            r.tenant = format!("tenant-{}", i % 2);
+            pool.submit(r)
+        })
+        .collect();
+    for h in &handles {
+        let done = h.wait_done(Duration::from_secs(120)).expect("converged");
+        assert_eq!(done.emitted, 4_000);
+    }
+    assert!(t0.elapsed() < Duration::from_secs(120));
+    let m = pool.metrics();
+    assert_eq!(m.done, 5);
+    assert_eq!(m.queue_depth + m.running + m.paused + m.quota_blocked, 0);
+}

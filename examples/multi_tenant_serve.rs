@@ -1,0 +1,145 @@
+//! Fair multi-job scheduling, live: two tenants share a one-worker
+//! `SolverPool` — a heavy archviz solve and a light interactive one — and
+//! the light tenant's render converges long before the heavy job is done.
+//! Along the way the heavy job is paused, resumed, and finally canceled
+//! (which still publishes its best snapshot), while a quota keeps a third
+//! tenant from eating the pool.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant_serve
+//! ```
+
+use photon_gi::core::Camera;
+use photon_gi::scenes::TestScene;
+use photon_gi::serve::{
+    AnswerStore, RenderRequest, RenderService, ServeConfig, SolveRequest, SolverPool,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let service = RenderService::start(Arc::clone(&store), ServeConfig::default());
+    service.attach_solver(pool.stats_source());
+
+    // Tenant "batch": a heavy background solve, low priority.
+    let kind = TestScene::CornellBox;
+    let mut heavy = SolveRequest::new("archviz-batch", kind.build());
+    heavy.seed = 41;
+    heavy.batch_size = 20_000;
+    heavy.target_photons = 1_000_000;
+    heavy.publish_every = 5;
+    heavy.tenant = "batch".into();
+    heavy.priority = 1;
+    let heavy = pool.submit(heavy);
+
+    // Tenant "interactive": a small job, double weight — its batches are
+    // interleaved with the heavy job's, so it finishes in seconds even
+    // though the pool has a single worker.
+    let mut light = SolveRequest::new("viewer-session", kind.build());
+    light.seed = 42;
+    light.batch_size = 2_000;
+    light.target_photons = 30_000;
+    light.tenant = "interactive".into();
+    light.priority = 2;
+    let light = pool.submit(light);
+
+    // Tenant "trial": capped at 10k photons until someone pays.
+    pool.set_tenant_budget("trial", 10_000);
+    let mut trial = SolveRequest::new("trial-scene", kind.build());
+    trial.seed = 43;
+    trial.batch_size = 2_000;
+    trial.target_photons = 100_000;
+    trial.tenant = "trial".into();
+    let trial = pool.submit(trial);
+
+    let v = kind.view();
+    let camera = Camera {
+        eye: v.eye,
+        target: v.target,
+        up: v.up,
+        vfov_deg: v.vfov_deg,
+        width: 96,
+        height: 72,
+    };
+
+    let done = light
+        .wait_done(Duration::from_secs(300))
+        .expect("light job converged");
+    let view = service
+        .render_blocking(RenderRequest {
+            scene_id: light.scene_id(),
+            camera,
+        })
+        .expect("served");
+    let heavy_so_far = store.get(heavy.scene_id()).unwrap().answer.emitted();
+    println!(
+        "interactive tenant done: {} photons in {} epochs, served epoch {} \
+         (mean luminance {:.4})",
+        done.emitted,
+        done.epoch,
+        view.epoch,
+        view.image.mean_luminance()
+    );
+    println!(
+        "… while the batch tenant is only at {heavy_so_far}/1000000 photons \
+         on the same single worker"
+    );
+
+    // Operations on the heavy job: pause it, look at the scheduler, bring
+    // it back, then cancel — the store keeps its best snapshot.
+    heavy.pause();
+    std::thread::sleep(Duration::from_millis(200));
+    let m = service.metrics();
+    println!("\nscheduler while paused:");
+    for j in &m.solver.jobs {
+        println!(
+            "  job {} [{}] {}: {}/{} photons, {} slices, {:.0} photons/s",
+            j.job, j.tenant, j.state, j.emitted, j.target_photons, j.slices, j.photons_per_sec
+        );
+    }
+    for t in &m.solver.tenants {
+        println!(
+            "  tenant {:<12} {} slices, {} photons used, budget left: {}",
+            t.tenant,
+            t.slices,
+            t.photons_used,
+            t.budget_remaining
+                .map_or("unlimited".into(), |b| b.to_string()),
+        );
+    }
+
+    heavy.resume();
+    heavy.cancel();
+    let final_heavy = heavy
+        .wait_done(Duration::from_secs(300))
+        .expect("cancel finalizes");
+    println!(
+        "\nbatch job canceled at {} photons (canceled={}); its snapshot still renders:",
+        final_heavy.emitted, final_heavy.canceled
+    );
+    let view = service
+        .render_blocking(RenderRequest {
+            scene_id: heavy.scene_id(),
+            camera,
+        })
+        .expect("served");
+    println!(
+        "  epoch {} image, mean luminance {:.4}",
+        view.epoch,
+        view.image.mean_luminance()
+    );
+
+    // The trial tenant parked at its budget; topping it up finishes it.
+    let parked = store.get(trial.scene_id()).unwrap().answer.emitted();
+    println!("\ntrial tenant parked at {parked} photons (budget 10000)");
+    pool.add_tenant_budget("trial", 200_000);
+    let done = trial
+        .wait_done(Duration::from_secs(300))
+        .expect("trial resumed");
+    println!(
+        "after top-up the trial job converged at {} photons",
+        done.emitted
+    );
+}
