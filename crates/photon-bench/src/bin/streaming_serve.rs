@@ -1,0 +1,169 @@
+//! **Streaming bench — tile deltas vs full frames under a live solve.**
+//!
+//! One progressive Cornell solve, N subscribers at orbiting viewpoints
+//! (two sharing a camera, to show subscriber renders coalescing through
+//! the view cache). Every publish pushes each subscriber a [`FrameDelta`]
+//! carrying only the changed tiles; the table reports deltas/sec, the
+//! tile-bytes actually shipped versus what a frame-per-epoch protocol
+//! would have sent, and verifies each reassembled viewport is
+//! bit-identical to the service's own render of the final epoch.
+//!
+//! Doubles as the CI smoke test for the streaming path:
+//!
+//! ```sh
+//! cargo run --release -p photon-bench --bin streaming_serve
+//! ```
+//!
+//! [`FrameDelta`]: photon_serve::FrameDelta
+
+use photon_bench::{camera_for, fmt, heading, md_table, write_csv};
+use photon_scenes::TestScene;
+use photon_serve::{
+    AnswerStore, BackendChoice, RenderRequest, RenderService, ServeConfig, SolveRequest,
+    SolverPool, StreamRequest,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    heading("Streaming serve — one progressive solve, four subscribers, tile deltas");
+    let kind = TestScene::CornellBox;
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let service = RenderService::start(
+        Arc::clone(&store),
+        ServeConfig {
+            tile_size: 16,
+            ..ServeConfig::default()
+        },
+    );
+
+    let mut request = SolveRequest::new("cornell-streamed", kind.build());
+    request.backend = BackendChoice::Serial;
+    request.seed = 1997;
+    request.batch_size = 5_000;
+    request.target_photons = 30_000; // 6 epochs
+    let final_epoch = request.target_photons / request.batch_size;
+    let job = pool.submit(request);
+
+    // Orbit phases; the last two share a viewpoint on purpose — their
+    // per-epoch renders coalesce into one through the view cache.
+    let phases = [0.0, 0.07, 0.93, 0.93];
+    let streams: Vec<_> = phases
+        .iter()
+        .map(|&phase| {
+            let camera = camera_for(kind.view().orbited(phase, 1.6), 96, 72);
+            service
+                .subscribe(StreamRequest {
+                    scene_id: job.scene_id(),
+                    camera,
+                })
+                .expect("subscribe")
+        })
+        .collect();
+
+    // Collect deltas until every subscriber has seen the final epoch. No
+    // polling: recv blocks until the dispatcher pushes.
+    let t0 = Instant::now();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut total_deltas = 0u64;
+    for (i, stream) in streams.iter().enumerate() {
+        let mut canvas = None;
+        let mut deltas = 0u64;
+        let mut tiles = 0usize;
+        let mut tile_bytes = 0usize;
+        let mut full_bytes = 0usize;
+        loop {
+            let delta = stream
+                .recv_timeout(Duration::from_secs(600))
+                .expect("delta pushed");
+            let canvas = canvas.get_or_insert_with(|| delta.canvas());
+            delta.apply(canvas);
+            deltas += 1;
+            tiles += delta.tiles.len();
+            tile_bytes += delta.tile_bytes();
+            full_bytes += delta.full_frame_bytes();
+            csv.push(format!(
+                "{i},{},{},{},{}",
+                delta.epoch,
+                delta.tiles.len(),
+                delta.tile_bytes(),
+                delta.full_frame_bytes()
+            ));
+            if delta.epoch >= final_epoch {
+                break;
+            }
+        }
+        // The reassembled viewport must equal the served frame bit-for-bit.
+        let served = service
+            .render_blocking(RenderRequest {
+                scene_id: job.scene_id(),
+                camera: stream.camera(),
+            })
+            .expect("served");
+        let canvas = canvas.expect("received at least one delta");
+        assert_eq!(served.epoch, final_epoch, "solve finished before compare");
+        assert!(deltas >= 2, "subscriber {i} saw too few deltas");
+        assert_eq!(
+            canvas.pixels(),
+            served.image.pixels(),
+            "subscriber {i}: reassembled viewport diverged from the served frame"
+        );
+        let saved = full_bytes.saturating_sub(tile_bytes);
+        assert!(
+            saved > 0,
+            "subscriber {i}: deltas failed to undercut frames"
+        );
+        rows.push(vec![
+            format!("sub {i} (phase {})", phases[i]),
+            deltas.to_string(),
+            tiles.to_string(),
+            fmt(tile_bytes as f64 / 1024.0),
+            fmt(full_bytes as f64 / 1024.0),
+            format!("{}%", (saved * 100 / full_bytes.max(1))),
+        ]);
+        total_deltas += deltas;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    job.wait_done(Duration::from_secs(600)).expect("converged");
+
+    println!(
+        "{}",
+        md_table(
+            &[
+                "subscriber",
+                "deltas",
+                "tiles",
+                "tile kB",
+                "full-frame kB",
+                "saved"
+            ],
+            &rows,
+        )
+    );
+    let m = service.metrics();
+    println!(
+        "pushed {} deltas in {:.2}s ({} deltas/s); stream tier: {} deltas, {} tiles, {} kB shipped vs {} kB full-frame ({} kB saved)",
+        total_deltas,
+        elapsed,
+        fmt(total_deltas as f64 / elapsed.max(1e-9)),
+        m.stream.deltas,
+        m.stream.tiles,
+        m.stream.tile_bytes / 1024,
+        m.stream.full_frame_bytes / 1024,
+        m.stream.bytes_saved() / 1024,
+    );
+    // The shared-viewpoint pair coalesced: strictly fewer renders than
+    // subscriber-deltas were pushed (cache hits answered the twin).
+    assert!(
+        m.rendered < m.stream.deltas + m.completed,
+        "shared viewpoints should coalesce through the cache: {m:?}"
+    );
+    let path = write_csv(
+        "streaming_serve.csv",
+        "subscriber,epoch,tiles,tile_bytes,full_frame_bytes",
+        &csv,
+    );
+    println!("per-delta series: {}", path.display());
+}

@@ -131,6 +131,70 @@ pub fn blit_tile(img: &mut Image, tile: Tile, buf: &[Rgb]) {
     }
 }
 
+/// Extracts `tile`'s pixels from `img` into a row-major buffer — the exact
+/// format [`render_tile`] produces and [`blit_tile`] consumes, so a copied
+/// tile can be shipped and blitted elsewhere unchanged.
+pub fn copy_tile(img: &Image, tile: Tile) -> Vec<Rgb> {
+    let mut buf = Vec::with_capacity(tile.pixel_count());
+    for y in tile.y0..tile.y1 {
+        for x in tile.x0..tile.x1 {
+            buf.push(img.get(x, y));
+        }
+    }
+    buf
+}
+
+/// True when any pixel inside `tile` differs between `a` and `b`.
+///
+/// Comparison is exact (bit-level `f64` equality): a rendered view is a
+/// pure function of `(scene, answer, camera, exposure)`, so "unchanged"
+/// means *identical*, and a delta protocol built on this predicate
+/// reassembles frames bit-for-bit.
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn tile_changed(a: &Image, b: &Image, tile: Tile) -> bool {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "tile diff over differently sized images"
+    );
+    for y in tile.y0..tile.y1 {
+        for x in tile.x0..tile.x1 {
+            if a.get(x, y) != b.get(x, y) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Tile-granular frame diff: decomposes the frame into `tile_size`-sided
+/// tiles (the same decomposition [`tiles`] gives the renderer) and returns
+/// the new pixels of every tile that changed between `prev` and `next`.
+///
+/// Blitting the returned buffers onto a copy of `prev` reproduces `next`
+/// exactly — unchanged tiles are bit-identical by [`tile_changed`]'s
+/// definition, changed tiles carry their full new contents. This is the
+/// primitive behind `photon-serve`'s streaming views: a client holding the
+/// previously sent frame needs only the changed tiles to reach the next
+/// epoch's image.
+///
+/// # Panics
+/// Panics if the images differ in size or `tile_size == 0`.
+pub fn diff_tiles(prev: &Image, next: &Image, tile_size: usize) -> Vec<(Tile, Vec<Rgb>)> {
+    assert_eq!(
+        (prev.width(), prev.height()),
+        (next.width(), next.height()),
+        "frame diff over differently sized images"
+    );
+    tiles(next.width(), next.height(), tile_size)
+        .into_iter()
+        .filter(|&tile| tile_changed(prev, next, tile))
+        .map(|tile| (tile, copy_tile(next, tile)))
+        .collect()
+}
+
 /// Renders the answer from a viewpoint. `exposure` scales radiance to
 /// display range; use [`auto_exposure`] when unsure.
 ///
@@ -259,6 +323,77 @@ mod tests {
         for (x, y) in [(0, 0), (7, 3), (cam.width - 1, cam.height - 1)] {
             let expect = shade(scene, &answer, &cam.ray(x, y));
             assert_eq!(img.get(x, y), expect, "pixel ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn diff_of_identical_images_is_empty() {
+        let mut img = Image::new(20, 14);
+        img.set(3, 5, Rgb::WHITE);
+        assert!(diff_tiles(&img, &img.clone(), 8).is_empty());
+    }
+
+    #[test]
+    fn diff_carries_only_changed_tiles_and_reassembles_exactly() {
+        let mut prev = Image::new(40, 24);
+        prev.set(2, 2, Rgb::gray(0.25));
+        let mut next = prev.clone();
+        // One change per distant tile: (0,0) and (33, 20) with tile size 8
+        // land in tiles (0,0) and (4,2).
+        next.set(0, 0, Rgb::new(1.0, 0.0, 0.0));
+        next.set(33, 20, Rgb::new(0.0, 1.0, 0.0));
+        let delta = diff_tiles(&prev, &next, 8);
+        assert_eq!(delta.len(), 2, "exactly the two touched tiles");
+        let total: usize = delta.iter().map(|(t, _)| t.pixel_count()).sum();
+        assert!(total < 40 * 24, "delta must be smaller than the full frame");
+        let mut rebuilt = prev.clone();
+        for (tile, buf) in &delta {
+            blit_tile(&mut rebuilt, *tile, buf);
+        }
+        assert_eq!(rebuilt.pixels(), next.pixels(), "reassembly diverged");
+    }
+
+    #[test]
+    fn diff_against_black_is_a_full_bootstrap() {
+        // A client with no previous frame starts from a black canvas; the
+        // first delta against black must rebuild the frame exactly while
+        // skipping all-black (background) tiles.
+        let mut next = Image::new(33, 17);
+        next.set(10, 10, Rgb::WHITE);
+        let black = Image::new(33, 17);
+        let delta = diff_tiles(&black, &next, 8);
+        assert!(!delta.is_empty());
+        let mut rebuilt = Image::new(33, 17);
+        for (tile, buf) in &delta {
+            blit_tile(&mut rebuilt, *tile, buf);
+        }
+        assert_eq!(rebuilt.pixels(), next.pixels());
+        let covered: usize = delta.iter().map(|(t, _)| t.pixel_count()).sum();
+        assert!(covered < 33 * 17, "black tiles must be skipped");
+    }
+
+    #[test]
+    fn copy_tile_round_trips_through_blit() {
+        let mut img = Image::new(13, 9);
+        for y in 0..9 {
+            for x in 0..13 {
+                img.set(x, y, Rgb::gray((x * 17 + y) as f64 / 100.0));
+            }
+        }
+        let tile = Tile {
+            x0: 4,
+            y0: 2,
+            x1: 11,
+            y1: 7,
+        };
+        let buf = copy_tile(&img, tile);
+        assert_eq!(buf.len(), tile.pixel_count());
+        let mut out = Image::new(13, 9);
+        blit_tile(&mut out, tile, &buf);
+        for y in tile.y0..tile.y1 {
+            for x in tile.x0..tile.x1 {
+                assert_eq!(out.get(x, y), img.get(x, y));
+            }
         }
     }
 

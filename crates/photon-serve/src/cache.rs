@@ -152,6 +152,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         dropped_ticks.len()
     }
 
+    /// Iterates over the keys currently held, in no particular order —
+    /// how the dispatcher learns which scenes still have live cached
+    /// views when bounding its epoch-tracking map.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
     /// Entries currently held.
     pub fn len(&self) -> usize {
         self.map.len()

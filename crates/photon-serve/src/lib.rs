@@ -16,7 +16,8 @@
 //! | [`render`] | tile-parallel rendering over `photon-par`'s worker pool, bit-identical to the serial viewer |
 //! | [`cache`] | LRU of rendered views keyed by (scene, epoch, quantized camera) — a publish invalidates *and purges* stale images |
 //! | [`service`] | submission queue → batching dispatcher → cache/coalesce/render |
-//! | [`metrics`] | p50/p99 latency, queries/sec, speed traces, and solve-tier scheduler state (per-job photons/sec, queue depth, per-tenant slices) |
+//! | [`stream`] | epoch subscriptions: publishes push [`FrameDelta`]s (changed tiles only) to subscribers, reassembling bit-identical frames |
+//! | [`metrics`] | p50/p99 latency, queries/sec, speed traces, streaming-tier counters, and solve-tier scheduler state (per-job photons/sec, queue depth, per-tenant slices) |
 //!
 //! **Multi-job scheduling.** The pool is not FIFO: every backend engine is
 //! an incremental `step → snapshot` machine, so the scheduler's unit is
@@ -76,15 +77,17 @@ pub mod render;
 pub mod service;
 pub mod solver;
 pub mod store;
+pub mod stream;
 
 pub use cache::{LruCache, ViewKey};
 pub use metrics::{
     LatencySummary, MetricsSnapshot, RequestOutcome, SolveJobMetrics, SolverMetricsSnapshot,
-    SolverStatsSource, TenantMetrics,
+    SolverStatsSource, StreamMetricsSnapshot, TenantMetrics,
 };
 pub use render::render_parallel;
 pub use service::{RenderRequest, RenderResponse, RenderService, ServeConfig, ServeError, Ticket};
 pub use solver::{
     BackendChoice, SolveHandle, SolveJobId, SolveProgress, SolveRequest, SolverPool, DEFAULT_TENANT,
 };
-pub use store::{AnswerStore, SceneId, StoredAnswer};
+pub use store::{AnswerStore, SceneId, StoredAnswer, WatcherId};
+pub use stream::{FrameDelta, StreamHandle, StreamRequest};

@@ -54,6 +54,13 @@ pub struct MetricsSnapshot {
     pub cache_entries: u64,
     /// Stale-epoch cache keys purged when a fresher publish was observed.
     pub cache_purged: u64,
+    /// Scenes the dispatcher is tracking freshest-seen epochs for —
+    /// bounded by the scenes with live cache keys, so a long-lived service
+    /// over many retired scenes stays flat (the `seen_epoch` leak
+    /// regression watches this).
+    pub seen_epoch_entries: u64,
+    /// Streaming tier: epoch subscriptions and tile-delta traffic.
+    pub stream: StreamMetricsSnapshot,
     /// Request latency distribution.
     pub latency: LatencySummary,
     /// Per-dispatch-batch rate trace (requests/second), perf style.
@@ -124,6 +131,34 @@ pub struct SolverMetricsSnapshot {
     pub tenants: Vec<TenantMetrics>,
 }
 
+/// Point-in-time copy of the streaming (epoch-subscription) counters.
+///
+/// "Bytes" count raw pixel payload (`pixel count × size_of::<Rgb>()`),
+/// ignoring per-tile headers — the quantity a transport would dominate on.
+/// `full_frame_bytes` is what a frame-per-epoch protocol would have
+/// shipped for the same deltas, so the difference is the bandwidth the
+/// tile diffing saved.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamMetricsSnapshot {
+    /// Live subscriptions (dropped handles leave on their next delta).
+    pub subscribers: u64,
+    /// Frame deltas pushed to subscribers.
+    pub deltas: u64,
+    /// Changed tiles shipped across all deltas.
+    pub tiles: u64,
+    /// Pixel payload bytes actually shipped (changed tiles only).
+    pub tile_bytes: u64,
+    /// Pixel payload bytes a whole-frame-per-epoch protocol would ship.
+    pub full_frame_bytes: u64,
+}
+
+impl StreamMetricsSnapshot {
+    /// Bandwidth saved by shipping deltas instead of full frames.
+    pub fn bytes_saved(&self) -> u64 {
+        self.full_frame_bytes.saturating_sub(self.tile_bytes)
+    }
+}
+
 /// Anything that can report solver scheduler state — implemented by
 /// `SolverPool`'s shared scheduler so a `RenderService` can surface the
 /// solve tier inside its own [`MetricsSnapshot`].
@@ -140,6 +175,8 @@ struct Inner {
     batches: u64,
     cache_entries: u64,
     cache_purged: u64,
+    seen_epoch_entries: u64,
+    stream: StreamMetricsSnapshot,
     speed: SpeedTrace,
     solver: Option<Arc<dyn SolverStatsSource>>,
 }
@@ -169,6 +206,8 @@ impl ServiceMetrics {
                 batches: 0,
                 cache_entries: 0,
                 cache_purged: 0,
+                seen_epoch_entries: 0,
+                stream: StreamMetricsSnapshot::default(),
                 speed: SpeedTrace::new(),
                 solver: None,
             }),
@@ -187,6 +226,28 @@ impl ServiceMetrics {
         let mut inner = self.inner.lock().unwrap();
         inner.cache_entries = entries;
         inner.cache_purged += purged;
+    }
+
+    /// Records the dispatcher's per-scene epoch-tracking map size (the
+    /// `seen_epoch` bound regression watches this gauge).
+    pub fn record_epoch_map(&self, entries: u64) {
+        self.inner.lock().unwrap().seen_epoch_entries = entries;
+    }
+
+    /// Records the current live-subscription count.
+    pub fn record_subscribers(&self, count: u64) {
+        self.inner.lock().unwrap().stream.subscribers = count;
+    }
+
+    /// Records one frame delta pushed to a subscriber: how many changed
+    /// tiles it carried, their pixel payload bytes, and what a full frame
+    /// of that view would have cost instead.
+    pub fn record_delta(&self, tiles: u64, tile_bytes: u64, full_frame_bytes: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stream.deltas += 1;
+        inner.stream.tiles += tiles;
+        inner.stream.tile_bytes += tile_bytes;
+        inner.stream.full_frame_bytes += full_frame_bytes;
     }
 
     /// Records one answered request and how it was satisfied.
@@ -233,6 +294,8 @@ impl ServiceMetrics {
             },
             cache_entries: inner.cache_entries,
             cache_purged: inner.cache_purged,
+            seen_epoch_entries: inner.seen_epoch_entries,
+            stream: inner.stream,
             latency: summarize(&inner.latencies_us),
             speed: inner.speed.clone(),
             solver,
@@ -292,6 +355,27 @@ mod tests {
         let s = summarize(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn stream_tier_accumulates_deltas_and_saved_bytes() {
+        let m = ServiceMetrics::new();
+        m.record_subscribers(2);
+        m.record_epoch_map(3);
+        // Two deltas over a 100-pixel frame (2400 payload bytes each):
+        // one shipping 1 tile / 600 bytes, one shipping nothing.
+        m.record_delta(1, 600, 2400);
+        m.record_delta(0, 0, 2400);
+        let s = m.snapshot();
+        assert_eq!(s.seen_epoch_entries, 3);
+        assert_eq!(s.stream.subscribers, 2);
+        assert_eq!(s.stream.deltas, 2);
+        assert_eq!(s.stream.tiles, 1);
+        assert_eq!(
+            (s.stream.tile_bytes, s.stream.full_frame_bytes),
+            (600, 4800)
+        );
+        assert_eq!(s.stream.bytes_saved(), 4200);
     }
 
     #[test]

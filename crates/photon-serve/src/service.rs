@@ -21,9 +21,15 @@
 use crate::cache::{LruCache, ViewKey};
 use crate::metrics::{MetricsSnapshot, RequestOutcome, ServiceMetrics, SolverStatsSource};
 use crate::render::render_parallel;
-use crate::store::{AnswerStore, SceneId};
+use crate::store::{AnswerStore, SceneId, StoredAnswer, WatcherId};
+use crate::stream::{FrameDelta, StreamHandle, StreamRequest};
+use photon_core::view::{diff_tiles, Tile};
 use photon_core::{Camera, Image};
-use std::collections::{BTreeMap, HashMap};
+use photon_math::Rgb;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -69,6 +75,15 @@ pub enum ServeError {
     /// [`Ticket::wait_timeout`] gave up before the service answered; the
     /// ticket stays valid, so the caller may wait again.
     TimedOut,
+    /// The request can never render (degenerate camera); rejected before
+    /// reaching the dispatcher, with the reason attached.
+    InvalidRequest(&'static str),
+    /// The render panicked mid-job. The dispatcher survived — later
+    /// requests are unaffected — but this request produced no image.
+    RenderFailed,
+    /// The ticket's single response was already collected; waiting again
+    /// can never yield another.
+    TicketConsumed,
 }
 
 impl std::fmt::Display for ServeError {
@@ -77,6 +92,9 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownScene(id) => write!(f, "unknown {id}"),
             ServeError::ServiceStopped => write!(f, "render service stopped"),
             ServeError::TimedOut => write!(f, "timed out waiting for a response"),
+            ServeError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+            ServeError::RenderFailed => write!(f, "render panicked; request abandoned"),
+            ServeError::TicketConsumed => write!(f, "response already collected"),
         }
     }
 }
@@ -86,21 +104,41 @@ impl std::error::Error for ServeError {}
 /// A pending response handle.
 pub struct Ticket {
     rx: Receiver<Result<RenderResponse, ServeError>>,
+    consumed: Cell<bool>,
 }
 
 impl Ticket {
+    fn new(rx: Receiver<Result<RenderResponse, ServeError>>) -> Self {
+        Ticket {
+            rx,
+            consumed: Cell::new(false),
+        }
+    }
+
     /// Blocks until the service answers.
     pub fn wait(self) -> Result<RenderResponse, ServeError> {
+        if self.consumed.get() {
+            return Err(ServeError::TicketConsumed);
+        }
         self.rx.recv().unwrap_or(Err(ServeError::ServiceStopped))
     }
 
     /// Waits at most `timeout` for the response, so a caller is never
     /// wedged behind a stuck job. On [`ServeError::TimedOut`] the ticket
     /// remains live — the render continues and a later wait can still
-    /// collect it.
+    /// collect it. Once a response (success or failure) has been
+    /// collected the ticket is consumed: further waits return
+    /// [`ServeError::TicketConsumed`] immediately instead of blocking out
+    /// the timeout for an answer that can never come.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<RenderResponse, ServeError> {
+        if self.consumed.get() {
+            return Err(ServeError::TicketConsumed);
+        }
         match self.rx.recv_timeout(timeout) {
-            Ok(result) => result,
+            Ok(result) => {
+                self.consumed.set(true);
+                result
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::TimedOut),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::ServiceStopped),
         }
@@ -139,10 +177,57 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Clamps degenerate knobs to the nearest working value, so a
+    /// misconfigured service serves every request instead of panicking the
+    /// shared dispatcher on the first one (`tile_size: 0` used to trip the
+    /// tile decomposition's assert and kill the thread — every later
+    /// ticket then resolved `ServiceStopped`). `cache_capacity: 0` stays
+    /// meaningful ("no cache").
+    fn sanitized(mut self) -> Self {
+        self.render_threads = self.render_threads.max(1);
+        self.tile_size = self.tile_size.max(1);
+        self.max_batch = self.max_batch.max(1);
+        if !self.quant_grid.is_finite() || self.quant_grid <= 0.0 {
+            self.quant_grid = 256.0;
+        }
+        self
+    }
+}
+
 struct Job {
     request: RenderRequest,
     submitted: Instant,
     reply: Sender<Result<RenderResponse, ServeError>>,
+}
+
+/// Everything that reaches the dispatcher thread: render work, new
+/// subscriptions, and store-publish announcements (sent by the watcher the
+/// service registers on its `AnswerStore`, so epoch advances arrive on the
+/// same queue as work — no polling anywhere).
+enum Msg {
+    Job(Job),
+    Subscribe(NewSubscription),
+    EpochAdvanced(SceneId),
+}
+
+/// A subscription in flight to the dispatcher.
+struct NewSubscription {
+    request: StreamRequest,
+    tx: Sender<FrameDelta>,
+    /// Cleared by [`StreamHandle`]'s `Drop`; the dispatcher sweeps dead
+    /// subscriptions on every drain, so an abandoned handle never pins
+    /// its retained last frame past the next dispatcher activity.
+    alive: Arc<AtomicBool>,
+}
+
+/// Degenerate cameras can never produce an image (`Image` rejects
+/// zero-area frames); refuse them up front instead of panicking a render.
+fn validate_camera(camera: &Camera) -> Result<(), ServeError> {
+    if camera.width == 0 || camera.height == 0 {
+        return Err(ServeError::InvalidRequest("camera has zero pixel area"));
+    }
+    Ok(())
 }
 
 /// The concurrent answer-serving engine.
@@ -151,23 +236,40 @@ struct Job {
 /// enqueue); dropping the service (or calling [`shutdown`][Self::shutdown])
 /// drains in-flight requests and joins the dispatcher.
 pub struct RenderService {
-    tx: Option<Sender<Job>>,
+    tx: Option<Sender<Msg>>,
     dispatcher: Option<JoinHandle<()>>,
     metrics: Arc<ServiceMetrics>,
     store: Arc<AnswerStore>,
+    watcher: Option<WatcherId>,
 }
 
 impl RenderService {
     /// Starts the dispatcher over `store`.
+    ///
+    /// Degenerate `config` values are clamped to working ones (see
+    /// [`ServeConfig`] — in particular `tile_size: 0` no longer kills the
+    /// dispatcher on the first request).
     pub fn start(store: Arc<AnswerStore>, config: ServeConfig) -> Self {
-        let (tx, rx) = mpsc::channel::<Job>();
+        let config = config.sanitized();
+        let (tx, rx) = mpsc::channel::<Msg>();
         let metrics = Arc::new(ServiceMetrics::new());
+        // Publishes push an event onto the dispatch queue, so streaming
+        // subscribers learn of fresh epochs without anyone polling the
+        // store. Unregistered at shutdown — otherwise the callback's
+        // sender clone would keep the dispatch channel alive forever and
+        // `stop` would never join.
+        let watcher = {
+            let watcher_tx = tx.clone();
+            store.register_watcher(move |scene_id, _| {
+                let _ = watcher_tx.send(Msg::EpochAdvanced(scene_id));
+            })
+        };
         let dispatcher = {
             let store = Arc::clone(&store);
             let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
                 .name("photon-serve-dispatch".into())
-                .spawn(move || dispatch_loop(rx, store, config, metrics))
+                .spawn(move || Dispatcher::new(store, config, metrics).run(rx))
                 .expect("spawn dispatcher")
         };
         RenderService {
@@ -175,6 +277,7 @@ impl RenderService {
             dispatcher: Some(dispatcher),
             metrics,
             store,
+            watcher: Some(watcher),
         }
     }
 
@@ -184,8 +287,14 @@ impl RenderService {
     }
 
     /// Enqueues a request; the returned ticket resolves when served.
+    /// Invalid requests (degenerate camera) resolve immediately with
+    /// [`ServeError::InvalidRequest`] without reaching the dispatcher.
     pub fn submit(&self, request: RenderRequest) -> Ticket {
         let (reply, rx) = mpsc::channel();
+        if let Err(e) = validate_camera(&request.camera) {
+            let _ = reply.send(Err(e));
+            return Ticket::new(rx);
+        }
         let job = Job {
             request,
             submitted: Instant::now(),
@@ -194,9 +303,33 @@ impl RenderService {
         if let Some(tx) = &self.tx {
             // A send error means the dispatcher is gone; the dropped reply
             // sender surfaces it as ServiceStopped at wait().
-            let _ = tx.send(job);
+            let _ = tx.send(Msg::Job(job));
         }
-        Ticket { rx }
+        Ticket::new(rx)
+    }
+
+    /// Subscribes to a scene: the returned [`StreamHandle`] receives a
+    /// [`FrameDelta`] for the current epoch immediately, then one more
+    /// each time a publish advances the scene's epoch — only the tiles
+    /// that changed since the last delta sent to *this* subscriber.
+    /// Reassembling the deltas (see [`FrameDelta::apply`]) reproduces each
+    /// epoch's full render bit-for-bit. Drop the handle to unsubscribe.
+    pub fn subscribe(&self, request: StreamRequest) -> Result<StreamHandle, ServeError> {
+        validate_camera(&request.camera)?;
+        if self.store.get(request.scene_id).is_none() {
+            return Err(ServeError::UnknownScene(request.scene_id));
+        }
+        let (tx, rx) = mpsc::channel();
+        let alive = Arc::new(AtomicBool::new(true));
+        let sender = self.tx.as_ref().ok_or(ServeError::ServiceStopped)?;
+        sender
+            .send(Msg::Subscribe(NewSubscription {
+                request,
+                tx,
+                alive: Arc::clone(&alive),
+            }))
+            .map_err(|_| ServeError::ServiceStopped)?;
+        Ok(StreamHandle::new(request, rx, alive))
     }
 
     /// Submits and blocks for the response.
@@ -235,6 +368,11 @@ impl RenderService {
     }
 
     fn stop(&mut self) {
+        // Unregister the publish watcher first: it owns a sender clone,
+        // and the dispatcher only exits when every sender is gone.
+        if let Some(watcher) = self.watcher.take() {
+            self.store.unregister_watcher(watcher);
+        }
         drop(self.tx.take());
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
@@ -248,132 +386,393 @@ impl Drop for RenderService {
     }
 }
 
-fn dispatch_loop(
-    rx: Receiver<Job>,
+/// One drained burst of messages, split by kind: render jobs batch (and
+/// cap the drain), subscriptions and epoch announcements ride along.
+#[derive(Default)]
+struct Inbox {
+    jobs: Vec<Job>,
+    advanced: BTreeSet<SceneId>,
+    pending_subs: Vec<NewSubscription>,
+}
+
+impl Inbox {
+    fn triage(&mut self, msg: Msg) {
+        match msg {
+            Msg::Job(job) => self.jobs.push(job),
+            Msg::EpochAdvanced(scene_id) => {
+                self.advanced.insert(scene_id);
+            }
+            Msg::Subscribe(sub) => self.pending_subs.push(sub),
+        }
+    }
+}
+
+/// One live subscription, dispatcher-side.
+struct Subscriber {
+    scene_id: SceneId,
+    camera: Camera,
+    /// Epoch of the last delta sent — fresher publishes trigger the next.
+    last_epoch: u64,
+    /// The frame that delta brought the subscriber to; `None` only before
+    /// the initial delta, whose diff base is a black canvas (what a
+    /// fresh client's [`FrameDelta::canvas`] starts from).
+    last_frame: Option<Arc<Image>>,
+    tx: Sender<FrameDelta>,
+    /// Cleared when the client drops its handle; swept every drain.
+    alive: Arc<AtomicBool>,
+}
+
+/// The pixels of one frame delta, pre-extraction: what `diff_tiles`
+/// returns and a [`FrameDelta`] carries.
+type TileDelta = Vec<(Tile, Vec<Rgb>)>;
+
+/// The dispatcher thread's state: the view cache, the per-scene epoch
+/// tracking that drives purges, and the streaming subscribers.
+struct Dispatcher {
     store: Arc<AnswerStore>,
     config: ServeConfig,
     metrics: Arc<ServiceMetrics>,
-) {
-    let mut cache: Option<LruCache<ViewKey, Arc<Image>>> =
-        (config.cache_capacity > 0).then(|| LruCache::new(config.cache_capacity));
-    // Freshest epoch seen per scene — when a publish advances it, the
-    // scene's older-epoch cache keys are orphaned (they can never match a
-    // future request) and are purged eagerly instead of squatting in the
-    // LRU until capacity pressure thrashes live views out.
-    let mut seen_epoch: HashMap<SceneId, u64> = HashMap::new();
-    loop {
-        // Block for the first job, then opportunistically drain the queue.
-        let Ok(first) = rx.recv() else { return };
-        let mut jobs = vec![first];
-        while jobs.len() < config.max_batch.max(1) {
-            match rx.try_recv() {
-                Ok(job) => jobs.push(job),
-                Err(_) => break,
-            }
+    cache: Option<LruCache<ViewKey, Arc<Image>>>,
+    /// Freshest epoch seen per scene — when a publish advances it, the
+    /// scene's older-epoch cache keys are orphaned (they can never match a
+    /// future request) and are purged eagerly instead of squatting in the
+    /// LRU until capacity pressure thrashes live views out. Bounded: only
+    /// scenes with live cache keys are tracked (see [`note_epoch`]), so a
+    /// long-lived service over an ever-growing store stays flat.
+    ///
+    /// [`note_epoch`]: Dispatcher::note_epoch
+    seen_epoch: HashMap<SceneId, u64>,
+    subscribers: HashMap<u64, Subscriber>,
+    next_subscriber: u64,
+}
+
+impl Dispatcher {
+    fn new(store: Arc<AnswerStore>, config: ServeConfig, metrics: Arc<ServiceMetrics>) -> Self {
+        let cache = (config.cache_capacity > 0).then(|| LruCache::new(config.cache_capacity));
+        Dispatcher {
+            store,
+            config,
+            metrics,
+            cache,
+            seen_epoch: HashMap::new(),
+            subscribers: HashMap::new(),
+            next_subscriber: 0,
         }
+    }
+
+    fn run(&mut self, rx: Receiver<Msg>) {
+        loop {
+            // Block for the first message, then opportunistically drain
+            // the queue: render jobs batch (up to max_batch), control and
+            // epoch messages ride along for free.
+            let Ok(first) = rx.recv() else { return };
+            let mut inbox = Inbox::default();
+            inbox.triage(first);
+            while inbox.jobs.len() < self.config.max_batch {
+                match rx.try_recv() {
+                    Ok(msg) => inbox.triage(msg),
+                    Err(_) => break,
+                }
+            }
+            let Inbox {
+                jobs,
+                advanced,
+                pending_subs,
+            } = inbox;
+
+            if !jobs.is_empty() {
+                self.dispatch_jobs(jobs);
+            }
+            for sub in pending_subs {
+                self.add_subscriber(sub);
+            }
+            for scene_id in advanced {
+                self.push_deltas(scene_id);
+            }
+            // Sweep dropped handles on every drain — not just when their
+            // scene republishes — so an abandoned subscription to a quiet
+            // scene cannot pin its retained frame for the service's life.
+            self.subscribers
+                .retain(|_, s| s.alive.load(Ordering::Acquire));
+            self.metrics.record_epoch_map(self.seen_epoch.len() as u64);
+            self.metrics
+                .record_subscribers(self.subscribers.len() as u64);
+        }
+    }
+
+    /// Serves one drained batch of render jobs, grouped so each stored
+    /// answer resolves once. Every scene's dispatch runs under a panic
+    /// guard: a job that panics the render (a poisoned answer, an
+    /// adversarial camera) answers its whole group with
+    /// [`ServeError::RenderFailed`] and the dispatcher lives on — one bad
+    /// job can no longer turn every future ticket into `ServiceStopped`.
+    fn dispatch_jobs(&mut self, jobs: Vec<Job>) {
         let batch_start = Instant::now();
         let drained = jobs.len() as u64;
-
-        // One store lookup per scene per batch.
         let mut by_scene: BTreeMap<SceneId, Vec<Job>> = BTreeMap::new();
         for job in jobs {
             by_scene.entry(job.request.scene_id).or_default().push(job);
         }
         for (scene_id, group) in by_scene {
-            let Some(entry) = store.get(scene_id) else {
+            let Some(entry) = self.store.get(scene_id) else {
                 for job in group {
                     let _ = job.reply.send(Err(ServeError::UnknownScene(scene_id)));
                 }
                 continue;
             };
-            let epoch = entry.epoch;
-            let last = seen_epoch.entry(scene_id).or_insert(epoch);
-            if epoch > *last {
-                *last = epoch;
-                if let Some(cache) = cache.as_mut() {
-                    let purged =
-                        cache.retain(|key| key.scene() != scene_id || key.epoch() >= epoch);
-                    metrics.record_cache(cache.len() as u64, purged as u64);
+            self.note_epoch(scene_id, entry.epoch);
+            let replies: Vec<Sender<Result<RenderResponse, ServeError>>> =
+                group.iter().map(|job| job.reply.clone()).collect();
+            let guarded = catch_unwind(AssertUnwindSafe(|| {
+                self.serve_scene_group(&entry, scene_id, group)
+            }));
+            if guarded.is_err() {
+                // The panicking render consumed the group's jobs; the
+                // cloned senders still reach every waiter. Those already
+                // answered ignore the second message (tickets read once).
+                for reply in replies {
+                    let _ = reply.send(Err(ServeError::RenderFailed));
                 }
             }
-            let render_one = |camera: &Camera| {
-                Arc::new(render_parallel(
-                    &entry.scene,
-                    &entry.answer,
-                    camera,
-                    entry.exposure,
-                    config.render_threads,
-                    config.tile_size,
-                ))
+        }
+        if let Some(cache) = self.cache.as_ref() {
+            self.metrics.record_cache(cache.len() as u64, 0);
+        }
+        self.metrics
+            .record_batch(drained, batch_start.elapsed().as_secs_f64());
+    }
+
+    /// Serves one scene's batch group: coalesce identical quantized views,
+    /// render misses, answer every waiter.
+    fn serve_scene_group(&mut self, entry: &Arc<StoredAnswer>, scene_id: SceneId, group: Vec<Job>) {
+        let epoch = entry.epoch;
+        if self.cache.is_none() {
+            for job in group {
+                let (image, _) = self.resolve_view(entry, scene_id, &job.request.camera);
+                respond(job, image, RequestOutcome::Rendered, epoch, &self.metrics);
+            }
+            return;
+        }
+        // Coalesce identical quantized views within the batch, preserving
+        // first-seen order. Keyed by the entry's epoch: a progressive
+        // solve publishing a refined answer re-renders instead of serving
+        // the previous epoch's image.
+        let mut keyed: Vec<(ViewKey, Vec<Job>)> = Vec::new();
+        for job in group {
+            let key =
+                ViewKey::quantize(scene_id, epoch, &job.request.camera, self.config.quant_grid);
+            match keyed.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, bucket)) => bucket.push(job),
+                None => keyed.push((key, vec![job])),
+            }
+        }
+        for (_, bucket) in keyed {
+            let mut bucket = bucket.into_iter();
+            let leader = bucket.next().expect("bucket never empty");
+            let (image, outcome) = self.resolve_view(entry, scene_id, &leader.request.camera);
+            // Followers shared the leader's render in this batch, or its
+            // cache hit from an earlier one.
+            let follower_outcome = match outcome {
+                RequestOutcome::Rendered => RequestOutcome::Coalesced,
+                _ => RequestOutcome::CacheHit,
             };
-            match cache.as_mut() {
-                None => {
-                    for job in group {
-                        let image = render_one(&job.request.camera);
-                        respond(job, image, RequestOutcome::Rendered, epoch, &metrics);
-                    }
-                }
-                Some(cache) => {
-                    // Coalesce identical quantized views within the batch,
-                    // preserving first-seen order.
-                    let mut keyed: Vec<(ViewKey, Vec<Job>)> = Vec::new();
-                    for job in group {
-                        // Keyed by the entry's epoch: a progressive solve
-                        // publishing a refined answer re-renders instead of
-                        // serving the previous epoch's image.
-                        let key = ViewKey::quantize(
-                            scene_id,
-                            entry.epoch,
-                            &job.request.camera,
-                            config.quant_grid,
-                        );
-                        match keyed.iter_mut().find(|(k, _)| *k == key) {
-                            Some((_, bucket)) => bucket.push(job),
-                            None => keyed.push((key, vec![job])),
-                        }
-                    }
-                    for (key, bucket) in keyed {
-                        if let Some(image) = cache.get(&key) {
-                            let image = Arc::clone(image);
-                            for job in bucket {
-                                respond(
-                                    job,
-                                    Arc::clone(&image),
-                                    RequestOutcome::CacheHit,
-                                    epoch,
-                                    &metrics,
-                                );
-                            }
-                            continue;
-                        }
-                        let mut bucket = bucket.into_iter();
-                        let leader = bucket.next().expect("bucket never empty");
-                        let image = render_one(&leader.request.camera);
-                        cache.insert(key, Arc::clone(&image));
-                        respond(
-                            leader,
-                            Arc::clone(&image),
-                            RequestOutcome::Rendered,
-                            epoch,
-                            &metrics,
-                        );
-                        for job in bucket {
-                            respond(
-                                job,
-                                Arc::clone(&image),
-                                RequestOutcome::Coalesced,
-                                epoch,
-                                &metrics,
-                            );
-                        }
-                    }
-                }
+            respond(leader, Arc::clone(&image), outcome, epoch, &self.metrics);
+            for job in bucket {
+                respond(
+                    job,
+                    Arc::clone(&image),
+                    follower_outcome,
+                    epoch,
+                    &self.metrics,
+                );
             }
         }
-        if let Some(cache) = cache.as_ref() {
-            metrics.record_cache(cache.len() as u64, 0);
+    }
+
+    /// Resolves one view of `entry` through the cache: a hit clones the
+    /// `Arc`, a miss renders tile-parallel and caches the image. Shared by
+    /// the request path and the streaming path, so subscribers coalesce
+    /// with interactive traffic (two subscribers on one viewpoint render
+    /// once per epoch).
+    fn resolve_view(
+        &mut self,
+        entry: &Arc<StoredAnswer>,
+        scene_id: SceneId,
+        camera: &Camera,
+    ) -> (Arc<Image>, RequestOutcome) {
+        let key = self
+            .cache
+            .is_some()
+            .then(|| ViewKey::quantize(scene_id, entry.epoch, camera, self.config.quant_grid));
+        if let (Some(cache), Some(key)) = (self.cache.as_mut(), key.as_ref()) {
+            if let Some(image) = cache.get(key) {
+                return (Arc::clone(image), RequestOutcome::CacheHit);
+            }
         }
-        metrics.record_batch(drained, batch_start.elapsed().as_secs_f64());
+        let image = Arc::new(render_parallel(
+            &entry.scene,
+            &entry.answer,
+            camera,
+            entry.exposure,
+            self.config.render_threads,
+            self.config.tile_size,
+        ));
+        if let (Some(cache), Some(key)) = (self.cache.as_mut(), key) {
+            cache.insert(key, Arc::clone(&image));
+        }
+        (image, RequestOutcome::Rendered)
+    }
+
+    /// Observes `scene_id` at `epoch`: a fresher epoch purges the scene's
+    /// now-orphaned older cache keys, then drops epoch-tracking entries
+    /// for scenes with no cached views left — the map's size is thereby
+    /// bounded by the cache's contents instead of growing one entry per
+    /// scene forever (the `seen_epoch` leak).
+    fn note_epoch(&mut self, scene_id: SceneId, epoch: u64) {
+        let Some(cache) = self.cache.as_mut() else {
+            // No cache, nothing to purge — and no reason to track.
+            return;
+        };
+        let last = self.seen_epoch.entry(scene_id).or_insert(epoch);
+        if epoch > *last {
+            *last = epoch;
+            let purged = cache.retain(|key| key.scene() != scene_id || key.epoch() >= epoch);
+            self.metrics.record_cache(cache.len() as u64, purged as u64);
+        }
+        // Hard bound, independent of epoch advances: a tracking entry only
+        // exists to trigger the purge above, which is a no-op for scenes
+        // with no cached views — so whenever the map outgrows the cache
+        // (scenes inserted and never republished, evicted views), drop the
+        // dead entries. Invariant: len ≤ cache keys + 1 after every call.
+        if self.seen_epoch.len() > cache.len() {
+            let live: HashSet<SceneId> = cache.keys().map(|key| key.scene()).collect();
+            self.seen_epoch
+                .retain(|id, _| *id == scene_id || live.contains(id));
+        }
+    }
+
+    /// Registers a subscription and pushes its bootstrap delta — the
+    /// current epoch's frame diffed against a black canvas, so background
+    /// tiles never ship. A panicking render drops the subscription (the
+    /// handle sees `ServiceStopped`) instead of the dispatcher.
+    fn add_subscriber(&mut self, sub: NewSubscription) {
+        let NewSubscription { request, tx, alive } = sub;
+        let Some(entry) = self.store.get(request.scene_id) else {
+            // Subscribe validated existence; the store never forgets ids.
+            return;
+        };
+        let id = self.next_subscriber;
+        self.next_subscriber += 1;
+        let mut subscriber = Subscriber {
+            scene_id: request.scene_id,
+            camera: request.camera,
+            last_epoch: entry.epoch,
+            last_frame: None,
+            tx,
+            alive,
+        };
+        let rendered = catch_unwind(AssertUnwindSafe(|| {
+            self.resolve_view(&entry, request.scene_id, &request.camera)
+        }));
+        let Ok((image, _)) = rendered else { return };
+        let tiles = self.diff_frames(None, &image);
+        if self.send_delta(&mut subscriber, entry.epoch, image, tiles) {
+            self.subscribers.insert(id, subscriber);
+        }
+        self.note_epoch(request.scene_id, entry.epoch);
+    }
+
+    /// Pushes a delta to every subscriber of `scene_id` that has not yet
+    /// seen its current epoch. Renders go through the view cache, so N
+    /// subscribers sharing a viewpoint cost one render — and their diffs
+    /// coalesce the same way (identical `(prev, next)` frame pairs are
+    /// diffed once per pass). Dead handles (dropped receivers) are
+    /// unsubscribed here; a panicking render drops the affected
+    /// subscription and spares the rest.
+    fn push_deltas(&mut self, scene_id: SceneId) {
+        let Some(entry) = self.store.get(scene_id) else {
+            return;
+        };
+        let due: Vec<u64> = self
+            .subscribers
+            .iter()
+            .filter(|(_, s)| s.scene_id == scene_id && s.last_epoch < entry.epoch)
+            .map(|(&id, _)| id)
+            .collect();
+        // Diff memo for this pass, keyed by the (prev, next) frame
+        // identities — co-located subscribers share both Arcs.
+        let mut diffed: Vec<(Option<*const Image>, *const Image, TileDelta)> = Vec::new();
+        for id in due {
+            let camera = self.subscribers[&id].camera;
+            let rendered = catch_unwind(AssertUnwindSafe(|| {
+                self.resolve_view(&entry, scene_id, &camera)
+            }));
+            let Ok((image, _)) = rendered else {
+                self.subscribers.remove(&id);
+                continue;
+            };
+            let mut subscriber = self.subscribers.remove(&id).expect("still registered");
+            let prev_key = subscriber.last_frame.as_ref().map(Arc::as_ptr);
+            let next_key = Arc::as_ptr(&image);
+            let tiles = match diffed
+                .iter()
+                .find(|(p, n, _)| *p == prev_key && *n == next_key)
+            {
+                Some((_, _, tiles)) => tiles.clone(),
+                None => {
+                    let tiles = self.diff_frames(subscriber.last_frame.as_deref(), &image);
+                    diffed.push((prev_key, next_key, tiles.clone()));
+                    tiles
+                }
+            };
+            if self.send_delta(&mut subscriber, entry.epoch, image, tiles) {
+                self.subscribers.insert(id, subscriber);
+            }
+        }
+        self.note_epoch(scene_id, entry.epoch);
+    }
+
+    /// Tile-diffs `next` against `prev` — or against the black canvas a
+    /// brand-new subscriber implicitly holds.
+    fn diff_frames(&self, prev: Option<&Image>, next: &Image) -> TileDelta {
+        match prev {
+            Some(prev) => diff_tiles(prev, next, self.config.tile_size),
+            None => diff_tiles(
+                &Image::new(next.width(), next.height()),
+                next,
+                self.config.tile_size,
+            ),
+        }
+    }
+
+    /// Sends `tiles` (the diff advancing the subscriber to `next`) and
+    /// moves the subscriber's cursor. Returns false when the handle is
+    /// gone and the subscription should be dropped.
+    fn send_delta(
+        &self,
+        subscriber: &mut Subscriber,
+        epoch: u64,
+        next: Arc<Image>,
+        tiles: TileDelta,
+    ) -> bool {
+        let delta = FrameDelta {
+            epoch,
+            width: next.width(),
+            height: next.height(),
+            tiles,
+        };
+        let (ntiles, tile_bytes, full_bytes) = (
+            delta.tiles.len() as u64,
+            delta.tile_bytes() as u64,
+            delta.full_frame_bytes() as u64,
+        );
+        if subscriber.tx.send(delta).is_err() {
+            return false;
+        }
+        self.metrics.record_delta(ntiles, tile_bytes, full_bytes);
+        subscriber.last_epoch = epoch;
+        subscriber.last_frame = Some(next);
+        true
     }
 }
 

@@ -23,12 +23,20 @@
 //! so every publish atomically invalidates stale images — readers holding
 //! an older entry `Arc` keep a consistent (scene, answer, exposure, epoch)
 //! tuple until they resolve the entry again.
+//!
+//! **Publish watch.** Pollers waste the latency the epochs were built to
+//! hide, so the store announces every publish: blocking consumers park in
+//! [`AnswerStore::wait_for_epoch`] (a condvar wait, woken by the next
+//! publish), and push consumers — the render service's streaming
+//! dispatcher — register a callback via [`AnswerStore::register_watcher`]
+//! and are invoked inline with the `(SceneId, epoch)` of each publish.
 
 use photon_core::view::auto_exposure;
 use photon_core::Answer;
 use photon_geom::Scene;
 use std::io::{self, Read, Write};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Handle to one stored solution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -57,13 +65,42 @@ pub struct StoredAnswer {
     pub epoch: u64,
 }
 
+/// Handle to one registered publish watcher; pass it back to
+/// [`AnswerStore::unregister_watcher`] to stop the callbacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WatcherId(u64);
+
+type WatcherFn = Box<dyn Fn(SceneId, u64) + Send + Sync>;
+
+#[derive(Default)]
+struct Watchers {
+    next: u64,
+    list: Vec<(u64, WatcherFn)>,
+}
+
 /// A concurrent registry of stored answers, indexed by [`SceneId`].
 ///
 /// Reads (the hot path — every render request resolves its entry here) take
 /// a shared lock and clone an `Arc`; inserts are rare and exclusive.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct AnswerStore {
     entries: RwLock<Vec<Arc<StoredAnswer>>>,
+    /// Pairs with `epoch_cond` for [`wait_for_epoch`][Self::wait_for_epoch]:
+    /// holding it across the epoch check and the condvar park means a
+    /// publish (which takes it before notifying) can never slip between the
+    /// two and leave a waiter asleep past its wake-up.
+    epoch_lock: Mutex<()>,
+    epoch_cond: Condvar,
+    watchers: Mutex<Watchers>,
+}
+
+impl std::fmt::Debug for AnswerStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnswerStore")
+            .field("entries", &self.entries.read().unwrap().len())
+            .field("watchers", &self.watchers.lock().unwrap().list.len())
+            .finish()
+    }
 }
 
 impl AnswerStore {
@@ -111,9 +148,13 @@ impl AnswerStore {
             exposure,
             epoch,
         });
-        let mut entries = self.entries.write().unwrap();
-        entries.push(entry);
-        SceneId(entries.len() as u32 - 1)
+        let id = {
+            let mut entries = self.entries.write().unwrap();
+            entries.push(entry);
+            SceneId(entries.len() as u32 - 1)
+        };
+        self.announce(id, epoch);
+        id
     }
 
     /// Atomically replaces entry `id`'s answer with a fresher snapshot,
@@ -146,23 +187,92 @@ impl AnswerStore {
         );
         let exposure = auto_exposure(&scene, &answer);
         let answer = Arc::new(answer);
-        let mut entries = self.entries.write().unwrap();
-        let slot = &mut entries[id.0 as usize];
-        // Last-writer-wins guard: the exposure above was computed outside
-        // the lock, so a racing publish may have landed a richer snapshot
-        // in the meantime. Never let a staler answer overwrite it.
-        if answer.emitted() < slot.answer.emitted() {
-            return slot.epoch;
+        let bumped = {
+            let mut entries = self.entries.write().unwrap();
+            let slot = &mut entries[id.0 as usize];
+            // Last-writer-wins guard: the exposure above was computed
+            // outside the lock, so a racing publish may have landed a
+            // richer snapshot in the meantime. Never let a staler answer
+            // overwrite it.
+            if answer.emitted() < slot.answer.emitted() {
+                return slot.epoch;
+            }
+            let epoch = slot.epoch + 1;
+            *slot = Arc::new(StoredAnswer {
+                name: slot.name.clone(),
+                scene,
+                answer,
+                exposure,
+                epoch,
+            });
+            epoch
+        };
+        // Announce outside the entries lock: waiters re-resolve the entry
+        // on wake-up, and watcher callbacks must never run under it.
+        self.announce(id, bumped);
+        bumped
+    }
+
+    /// Blocks until entry `id`'s epoch reaches `min_epoch`, returning the
+    /// (fresh) entry, or `None` when `timeout` passes first or the store
+    /// has never seen `id`. An entry already at or past `min_epoch`
+    /// returns immediately — this is the poll-free way to follow a
+    /// progressive solve: `wait_for_epoch(id, last_seen + 1, ..)`.
+    pub fn wait_for_epoch(
+        &self,
+        id: SceneId,
+        min_epoch: u64,
+        timeout: Duration,
+    ) -> Option<Arc<StoredAnswer>> {
+        let deadline = Instant::now() + timeout;
+        let mut parked = self.epoch_lock.lock().unwrap();
+        loop {
+            let entry = self.get(id)?;
+            if entry.epoch >= min_epoch {
+                return Some(entry);
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (guard, _) = self.epoch_cond.wait_timeout(parked, left).unwrap();
+            parked = guard;
         }
-        let epoch = slot.epoch + 1;
-        *slot = Arc::new(StoredAnswer {
-            name: slot.name.clone(),
-            scene,
-            answer,
-            exposure,
-            epoch,
-        });
-        epoch
+    }
+
+    /// Registers `watcher` to be called with `(id, epoch)` on every
+    /// publication — each [`publish`][Self::publish] that bumps an epoch
+    /// and each [`insert`][Self::insert]/[`register`][Self::register] of a
+    /// new entry. Callbacks run inline on the publisher's thread with the
+    /// watcher registry locked: keep them cheap (post to a channel) and
+    /// never call back into the store's watcher APIs from inside one.
+    pub fn register_watcher(
+        &self,
+        watcher: impl Fn(SceneId, u64) + Send + Sync + 'static,
+    ) -> WatcherId {
+        let mut watchers = self.watchers.lock().unwrap();
+        let id = watchers.next;
+        watchers.next += 1;
+        watchers.list.push((id, Box::new(watcher)));
+        WatcherId(id)
+    }
+
+    /// Removes a watcher; unknown (or already removed) ids are a no-op.
+    pub fn unregister_watcher(&self, id: WatcherId) {
+        self.watchers
+            .lock()
+            .unwrap()
+            .list
+            .retain(|(w, _)| *w != id.0);
+    }
+
+    /// Wakes [`wait_for_epoch`][Self::wait_for_epoch] parkers and runs the
+    /// registered watcher callbacks. Callers must not hold the entries
+    /// lock: waiters re-resolve entries inside their critical section.
+    fn announce(&self, id: SceneId, epoch: u64) {
+        drop(self.epoch_lock.lock().unwrap());
+        self.epoch_cond.notify_all();
+        let watchers = self.watchers.lock().unwrap();
+        for (_, watcher) in &watchers.list {
+            watcher(id, epoch);
+        }
     }
 
     /// Looks up a solution.
@@ -335,6 +445,71 @@ mod tests {
         // An equally-rich snapshot still republishes (same photon count is
         // not stale — the pipeline republishes converged answers).
         assert_eq!(store.publish(id, late), 2);
+    }
+
+    #[test]
+    fn wait_for_epoch_wakes_on_publish_without_polling() {
+        let store = Arc::new(AnswerStore::new());
+        let (scene, answer) = small_answer();
+        let id = store.register("watched", scene);
+        // Already-satisfied waits return immediately.
+        let e0 = store
+            .wait_for_epoch(id, 0, Duration::from_secs(5))
+            .expect("epoch 0 exists");
+        assert_eq!(e0.epoch, 0);
+        let publisher = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                store.publish(id, answer)
+            })
+        };
+        let woken = store
+            .wait_for_epoch(id, 1, Duration::from_secs(30))
+            .expect("publish wakes the waiter");
+        assert!(woken.epoch >= 1);
+        assert!(woken.answer.emitted() > 0, "fresh entry, not the stale one");
+        assert_eq!(publisher.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn wait_for_epoch_times_out_and_rejects_unknown_ids() {
+        let store = AnswerStore::new();
+        let (scene, _) = small_answer();
+        let id = store.register("quiet", scene);
+        let t0 = std::time::Instant::now();
+        assert!(store
+            .wait_for_epoch(id, 5, Duration::from_millis(40))
+            .is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(40));
+        assert!(store
+            .wait_for_epoch(SceneId(9), 0, Duration::from_secs(5))
+            .is_none());
+    }
+
+    #[test]
+    fn watchers_observe_publishes_until_unregistered() {
+        let store = AnswerStore::new();
+        let seen: Arc<std::sync::Mutex<Vec<(SceneId, u64)>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        let watcher = store.register_watcher(move |id, epoch| {
+            sink.lock().unwrap().push((id, epoch));
+        });
+        let (scene, answer) = small_answer();
+        let id = store.register("announced", scene);
+        store.publish(id, answer.clone());
+        assert_eq!(
+            seen.lock().unwrap().as_slice(),
+            &[(id, 0), (id, 1)],
+            "register and publish both announce"
+        );
+        // A stale publish bumps nothing and stays silent.
+        let early = Answer::empty(answer.patch_count());
+        store.publish(id, early);
+        assert_eq!(seen.lock().unwrap().len(), 2, "stale publish is silent");
+        store.unregister_watcher(watcher);
+        store.publish(id, answer);
+        assert_eq!(seen.lock().unwrap().len(), 2, "unregistered watcher quiet");
     }
 
     #[test]

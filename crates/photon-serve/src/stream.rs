@@ -1,0 +1,217 @@
+//! Streaming views: epoch subscriptions delivering tile deltas.
+//!
+//! The answer is view-independent and refines progressively — but a client
+//! that polls whole frames re-downloads every pixel per publish, paying
+//! full-frame bandwidth for refinements that usually touch a fraction of
+//! the image. This module inverts the flow: [`RenderService::subscribe`]
+//! registers a `(scene, camera)` subscription, and each time the scene's
+//! epoch advances the dispatcher renders the fresh answer (through the
+//! same cache/coalescing path interactive requests use), diffs it
+//! tile-by-tile against the last frame it sent *that subscriber*, and
+//! pushes a [`FrameDelta`] carrying only the changed tiles.
+//!
+//! Reassembly is exact by construction: a delta's tiles are the changed
+//! tiles' complete new pixels ([`photon_core::view::diff_tiles`]), and the
+//! unchanged tiles are bit-identical between the frames, so blitting each
+//! delta onto the previous frame — starting from the black canvas a
+//! freshly connected client holds — reproduces every epoch's image
+//! bit-for-bit, equal to a full [`crate::render_parallel`] of that epoch.
+//!
+//! ```text
+//! solve job ──publish──▶ AnswerStore ──watcher──▶ dispatcher
+//!                                                    │ render fresh epoch
+//!                                                    │ diff vs last sent
+//! client ◀── FrameDelta { epoch, changed tiles } ────┘
+//! ```
+//!
+//! [`RenderService::subscribe`]: crate::RenderService::subscribe
+
+use crate::service::ServeError;
+use crate::store::SceneId;
+use photon_core::view::{blit_tile, Tile};
+use photon_core::{Camera, Image};
+use photon_math::Rgb;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One subscription: which scene to follow, seen from where.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamRequest {
+    /// The stored solution to follow across epochs.
+    pub scene_id: SceneId,
+    /// The viewpoint every epoch is rendered from.
+    pub camera: Camera,
+}
+
+/// One pushed refinement: the tiles that changed between the last frame
+/// sent to this subscriber and the named epoch's frame.
+///
+/// The very first delta of a subscription is diffed against a black canvas
+/// (what [`FrameDelta::canvas`] returns), so all-black background tiles
+/// are never shipped at all. A delta may carry zero tiles — an epoch can
+/// republish an identical answer — and still announces the epoch advance.
+#[derive(Clone, Debug)]
+pub struct FrameDelta {
+    /// The publication epoch this delta brings the subscriber up to.
+    pub epoch: u64,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Changed tiles and their complete new pixels, in row-major tile
+    /// order — the format [`photon_core::view::blit_tile`] consumes.
+    pub tiles: Vec<(Tile, Vec<Rgb>)>,
+}
+
+impl FrameDelta {
+    /// A black canvas of the frame's dimensions — the implicit "previous
+    /// frame" of a brand-new subscriber. Apply every received delta in
+    /// order to reassemble each epoch's image exactly.
+    pub fn canvas(&self) -> Image {
+        Image::new(self.width, self.height)
+    }
+
+    /// Blits the changed tiles onto `img`, advancing it to this delta's
+    /// epoch.
+    ///
+    /// # Panics
+    /// Panics if `img` does not match the frame's dimensions.
+    pub fn apply(&self, img: &mut Image) {
+        assert_eq!(
+            (img.width(), img.height()),
+            (self.width, self.height),
+            "delta applied to a mismatched canvas"
+        );
+        for (tile, buf) in &self.tiles {
+            blit_tile(img, *tile, buf);
+        }
+    }
+
+    /// Pixels carried by the changed tiles.
+    pub fn tile_pixels(&self) -> usize {
+        self.tiles.iter().map(|(t, _)| t.pixel_count()).sum()
+    }
+
+    /// Pixel payload bytes carried by the changed tiles.
+    pub fn tile_bytes(&self) -> usize {
+        self.tile_pixels() * std::mem::size_of::<Rgb>()
+    }
+
+    /// Pixel payload bytes a full frame of this view would cost — the
+    /// number a frame-per-epoch protocol would have shipped instead.
+    pub fn full_frame_bytes(&self) -> usize {
+        self.width * self.height * std::mem::size_of::<Rgb>()
+    }
+
+    /// True when the epoch advanced without changing any pixel.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+}
+
+/// The client end of a subscription: a stream of [`FrameDelta`]s.
+///
+/// Dropping the handle cancels the subscription — the dispatcher sweeps
+/// it out on its next activity (any message, not just a publish to this
+/// scene), freeing the retained last frame.
+pub struct StreamHandle {
+    scene_id: SceneId,
+    camera: Camera,
+    rx: Receiver<FrameDelta>,
+    alive: Arc<AtomicBool>,
+}
+
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+impl StreamHandle {
+    pub(crate) fn new(
+        request: StreamRequest,
+        rx: Receiver<FrameDelta>,
+        alive: Arc<AtomicBool>,
+    ) -> Self {
+        StreamHandle {
+            scene_id: request.scene_id,
+            camera: request.camera,
+            rx,
+            alive,
+        }
+    }
+
+    /// The scene this subscription follows.
+    pub fn scene_id(&self) -> SceneId {
+        self.scene_id
+    }
+
+    /// The subscribed viewpoint.
+    pub fn camera(&self) -> Camera {
+        self.camera
+    }
+
+    /// Blocks until the next delta. [`ServeError::ServiceStopped`] means
+    /// the service shut down (or dropped the subscription); no further
+    /// deltas will arrive.
+    pub fn recv(&self) -> Result<FrameDelta, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ServiceStopped)
+    }
+
+    /// Waits at most `timeout` for the next delta. On
+    /// [`ServeError::TimedOut`] the subscription stays live; a later call
+    /// can still receive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<FrameDelta, ServeError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ServeError::TimedOut,
+            RecvTimeoutError::Disconnected => ServeError::ServiceStopped,
+        })
+    }
+
+    /// Collects the already-delivered deltas without blocking.
+    pub fn drain(&self) -> Vec<FrameDelta> {
+        self.rx.try_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(x0: usize, y0: usize, x1: usize, y1: usize) -> Tile {
+        Tile { x0, y0, x1, y1 }
+    }
+
+    #[test]
+    fn delta_accounting_and_apply() {
+        let t = tile(0, 0, 4, 4);
+        let delta = FrameDelta {
+            epoch: 3,
+            width: 8,
+            height: 8,
+            tiles: vec![(t, vec![Rgb::WHITE; 16])],
+        };
+        assert_eq!(delta.tile_pixels(), 16);
+        assert_eq!(delta.tile_bytes(), 16 * std::mem::size_of::<Rgb>());
+        assert_eq!(delta.full_frame_bytes(), 64 * std::mem::size_of::<Rgb>());
+        assert!(!delta.is_empty());
+        let mut img = delta.canvas();
+        delta.apply(&mut img);
+        assert_eq!(img.get(2, 2), Rgb::WHITE);
+        assert_eq!(img.get(6, 6), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched canvas")]
+    fn apply_rejects_wrong_canvas() {
+        let delta = FrameDelta {
+            epoch: 0,
+            width: 8,
+            height: 8,
+            tiles: Vec::new(),
+        };
+        delta.apply(&mut Image::new(4, 4));
+    }
+}

@@ -1,0 +1,108 @@
+//! A viewport that refines tile-by-tile as the solve converges: subscribe
+//! to a scene being solved in the background and receive a pushed
+//! `FrameDelta` per published epoch — only the tiles that changed — then
+//! reassemble them locally into the exact frame a full render would
+//! produce. No polling anywhere: the store announces each publish to the
+//! dispatcher, the dispatcher pushes to subscribers, `recv` blocks until
+//! something actually happened.
+//!
+//! ```sh
+//! cargo run --release --example streaming_viewport
+//! ```
+
+use photon_gi::scenes::TestScene;
+use photon_gi::serve::{
+    AnswerStore, RenderRequest, RenderService, ServeConfig, SolveRequest, SolverPool, StreamRequest,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let kind = TestScene::CornellBox;
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let service = RenderService::start(
+        Arc::clone(&store),
+        ServeConfig {
+            tile_size: 16,
+            ..ServeConfig::default()
+        },
+    );
+
+    // A progressive solve: one publish every two batches.
+    let mut request = SolveRequest::new("cornell-viewport", kind.build());
+    request.seed = 7;
+    request.batch_size = 5_000;
+    request.target_photons = 50_000;
+    request.publish_every = 2;
+    let job = pool.submit(request);
+
+    // Subscribe the viewport: the canonical view pulled back, so the box
+    // floats against background — those tiles never change, and the
+    // deltas stay visibly smaller than full frames.
+    let v = kind.view().orbited(0.0, 1.6);
+    let camera = photon_gi::core::Camera {
+        eye: v.eye,
+        target: v.target,
+        up: v.up,
+        vfov_deg: v.vfov_deg,
+        width: 128,
+        height: 96,
+    };
+    let stream = service
+        .subscribe(StreamRequest {
+            scene_id: job.scene_id(),
+            camera,
+        })
+        .expect("subscribe");
+
+    // Apply deltas as they arrive. The first rebuilds the frame from a
+    // black canvas; later ones repaint only what the new photons changed.
+    let mut canvas = None;
+    let final_epoch = 50_000 / 5_000 / 2; // target / batch / publish_every
+    println!("epoch | tiles shipped | delta kB | full kB | viewport luminance");
+    loop {
+        let delta = stream
+            .recv_timeout(Duration::from_secs(300))
+            .expect("pushed delta");
+        let canvas = canvas.get_or_insert_with(|| delta.canvas());
+        delta.apply(canvas);
+        println!(
+            "{:>5} | {:>13} | {:>8.1} | {:>7.1} | {:.4}",
+            delta.epoch,
+            delta.tiles.len(),
+            delta.tile_bytes() as f64 / 1024.0,
+            delta.full_frame_bytes() as f64 / 1024.0,
+            canvas.mean_luminance(),
+        );
+        if delta.epoch >= final_epoch {
+            break;
+        }
+    }
+    job.wait_done(Duration::from_secs(300)).expect("converged");
+
+    // The reassembled viewport is exactly the frame the service would
+    // serve a fresh client asking for the same epoch.
+    let served = service
+        .render_blocking(RenderRequest {
+            scene_id: job.scene_id(),
+            camera,
+        })
+        .expect("served");
+    let canvas = canvas.expect("at least one delta");
+    assert_eq!(
+        canvas.pixels(),
+        served.image.pixels(),
+        "streamed viewport must equal the served frame"
+    );
+    let m = service.metrics();
+    println!(
+        "\nbit-identical to the served epoch-{} frame; {} deltas shipped {} kB \
+         instead of {} kB ({} kB saved)",
+        served.epoch,
+        m.stream.deltas,
+        m.stream.tile_bytes / 1024,
+        m.stream.full_frame_bytes / 1024,
+        m.stream.bytes_saved() / 1024,
+    );
+}

@@ -21,7 +21,7 @@
 //! | [`par`] | `photon-par` | shared-memory parallel simulator (resumable `ParEngine`) |
 //! | [`mpi`] | `simmpi` | in-process message-passing substrate with 1997 platform models |
 //! | [`dist`] | `photon-dist` | distributed-memory simulator (resumable `DistEngine`), load balancing, batch sizing |
-//! | [`serve`] | `photon-serve` | solve→store→render pipeline: background solver pool, epoch-versioned answer store, tile-parallel render service with an epoch-keyed view cache |
+//! | [`serve`] | `photon-serve` | solve→store→render pipeline: background solver pool, epoch-versioned answer store with a publish watch, tile-parallel render service with an epoch-keyed view cache, and streaming tile-delta subscriptions |
 //! | [`baselines`] | `photon-baselines` | Whitted ray tracing, radiosity, density estimation, spherical harmonics |
 //!
 //! ## Quickstart
