@@ -139,100 +139,136 @@ impl Answer {
         w.write_all(&(self.trees.len() as u32).to_le_bytes())?;
         w.write_all(&self.emitted.to_le_bytes())?;
         for tree in &self.trees {
-            let nodes = tree.export_nodes();
-            w.write_all(&(nodes.len() as u32).to_le_bytes())?;
-            for n in nodes {
-                match n {
-                    ExportNode::Leaf(s) => {
-                        w.write_all(&[0u8])?;
-                        w.write_all(&s.n_total.to_le_bytes())?;
-                        for c in [s.rgb.r, s.rgb.g, s.rgb.b] {
-                            w.write_all(&c.to_le_bytes())?;
-                        }
-                        w.write_all(&s.stat_n.to_le_bytes())?;
-                        for l in s.left {
-                            w.write_all(&l.to_le_bytes())?;
-                        }
-                    }
-                    ExportNode::Internal { axis, children } => {
-                        w.write_all(&[1u8])?;
-                        w.write_all(&[axis as u8])?;
-                        w.write_all(&children[0].to_le_bytes())?;
-                        w.write_all(&children[1].to_le_bytes())?;
-                    }
-                }
-            }
+            write_tree(w, tree)?;
         }
         Ok(())
     }
 
     /// Reads a binary answer file written by [`Answer::write_to`].
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Answer> {
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(bad("not a Photon answer file"));
+            return Err(bad_data("not a Photon answer file"));
         }
         let npatches = read_u32(r)? as usize;
         let emitted = read_u64(r)?;
-        let mut trees = Vec::with_capacity(npatches);
+        let mut trees = Vec::with_capacity(npatches.min(PREALLOC_CAP));
         for _ in 0..npatches {
-            let nnodes = read_u32(r)? as usize;
-            if nnodes == 0 {
-                return Err(bad("empty tree"));
-            }
-            let mut nodes = Vec::with_capacity(nnodes);
-            for _ in 0..nnodes {
-                let mut tag = [0u8; 1];
-                r.read_exact(&mut tag)?;
-                match tag[0] {
-                    0 => {
-                        let n_total = read_u64(r)?;
-                        let rgb = Rgb::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
-                        let stat_n = read_u32(r)?;
-                        let left = [read_u32(r)?, read_u32(r)?, read_u32(r)?, read_u32(r)?];
-                        nodes.push(ExportNode::Leaf(LeafStats {
-                            n_total,
-                            rgb,
-                            stat_n,
-                            left,
-                        }));
-                    }
-                    1 => {
-                        let mut ax = [0u8; 1];
-                        r.read_exact(&mut ax)?;
-                        if ax[0] > 3 {
-                            return Err(bad("bad axis"));
-                        }
-                        let axis = photon_hist::Axis::from_index(ax[0] as usize);
-                        let children = [read_u32(r)?, read_u32(r)?];
-                        nodes.push(ExportNode::Internal { axis, children });
-                    }
-                    _ => return Err(bad("bad node tag")),
-                }
-            }
-            let tree = BinTree::from_export(nodes, SplitConfig::default())
-                .ok_or_else(|| bad("malformed tree"))?;
-            trees.push(tree);
+            trees.push(read_tree(r, SplitConfig::default())?);
         }
         Ok(Answer { trees, emitted })
     }
 }
 
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+/// An `InvalidData` error (shared by the `PHOTANS1` and `PHOTCK1` codecs).
+pub(crate) fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Cap on `Vec::with_capacity` for counts read from untrusted bytes: big
+/// enough to never reallocate on real files' tree blocks, small enough
+/// that a corrupt count cannot abort the process on allocation.
+pub(crate) const PREALLOC_CAP: usize = 1 << 16;
+
+/// Exact encoded size of one tree under [`write_tree`], in bytes.
+pub(crate) fn tree_encoded_size(tree: &BinTree) -> u64 {
+    // node count (4) + per node: tag (1) + leaf payload (52) or
+    // internal payload (9).
+    let nodes = tree.node_count() as u64;
+    let leaves = tree.leaf_count() as u64;
+    let internals = nodes - leaves;
+    4 + leaves * 53 + internals * 10
+}
+
+/// Writes one tree as `node count (u32) + nodes in arena order`, the shared
+/// tree block of the `PHOTANS1` and `PHOTCK1` codecs. The encoding captures
+/// the *complete* node state — including each leaf's speculative split
+/// statistics (`stat_n`, per-axis `left` counts) and the arena order — so a
+/// decoded tree continues tallying and splitting exactly like the original.
+pub(crate) fn write_tree<W: Write>(w: &mut W, tree: &BinTree) -> io::Result<()> {
+    let nodes = tree.export_nodes();
+    w.write_all(&(nodes.len() as u32).to_le_bytes())?;
+    for n in nodes {
+        match n {
+            ExportNode::Leaf(s) => {
+                w.write_all(&[0u8])?;
+                w.write_all(&s.n_total.to_le_bytes())?;
+                for c in [s.rgb.r, s.rgb.g, s.rgb.b] {
+                    w.write_all(&c.to_le_bytes())?;
+                }
+                w.write_all(&s.stat_n.to_le_bytes())?;
+                for l in s.left {
+                    w.write_all(&l.to_le_bytes())?;
+                }
+            }
+            ExportNode::Internal { axis, children } => {
+                w.write_all(&[1u8])?;
+                w.write_all(&[axis as u8])?;
+                w.write_all(&children[0].to_le_bytes())?;
+                w.write_all(&children[1].to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads one tree block written by [`write_tree`], validating tags, axes,
+/// and the node graph.
+pub(crate) fn read_tree<R: Read>(r: &mut R, config: SplitConfig) -> io::Result<BinTree> {
+    let nnodes = read_u32(r)? as usize;
+    if nnodes == 0 {
+        return Err(bad_data("empty tree"));
+    }
+    // The count is untrusted until the nodes actually parse: clamp the
+    // pre-allocation so a corrupt header cannot request gigabytes and
+    // abort — a truncated stream fails in `read_exact` instead.
+    let mut nodes = Vec::with_capacity(nnodes.min(PREALLOC_CAP));
+    for _ in 0..nnodes {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        match tag[0] {
+            0 => {
+                let n_total = read_u64(r)?;
+                let rgb = Rgb::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
+                let stat_n = read_u32(r)?;
+                let left = [read_u32(r)?, read_u32(r)?, read_u32(r)?, read_u32(r)?];
+                nodes.push(ExportNode::Leaf(LeafStats {
+                    n_total,
+                    rgb,
+                    stat_n,
+                    left,
+                }));
+            }
+            1 => {
+                let mut ax = [0u8; 1];
+                r.read_exact(&mut ax)?;
+                if ax[0] > 3 {
+                    return Err(bad_data("bad axis"));
+                }
+                let axis = photon_hist::Axis::from_index(ax[0] as usize);
+                let children = [read_u32(r)?, read_u32(r)?];
+                nodes.push(ExportNode::Internal { axis, children });
+            }
+            _ => return Err(bad_data("bad node tag")),
+        }
+    }
+    BinTree::from_export(nodes, config).ok_or_else(|| bad_data("malformed tree"))
+}
+
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+pub(crate) fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))

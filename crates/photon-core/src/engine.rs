@@ -18,6 +18,7 @@
 //! (see `photon-par`'s deterministic tally replay).
 
 use crate::answer::Answer;
+use crate::checkpoint::{EngineCheckpoint, RestoreError};
 use crate::sim::SimStats;
 use photon_rng::Lcg48;
 
@@ -81,6 +82,23 @@ pub trait SolverEngine: Send {
     fn emitted(&self) -> u64 {
         self.stats().emitted
     }
+
+    /// Freezes the resumable state: forest, counters, and the photon-index
+    /// cursor the next [`step`](SolverEngine::step) would start from.
+    ///
+    /// Because every backend draws photon `j` from block substream `j`
+    /// ([`photon_stream`]), this is the *complete* solve state: restore the
+    /// checkpoint into any engine over the same scene, seed, and split
+    /// policy and the solve continues the exact photon stream. For the
+    /// order-preserving backends (serial, deterministic-tally threaded) the
+    /// resumed [`Answer`] is bit-identical to an uninterrupted run.
+    fn checkpoint(&self) -> EngineCheckpoint;
+
+    /// Adopts a checkpoint's state, discarding whatever this engine had
+    /// solved so far. The engine must have been built over the same scene
+    /// (patch count), photon-stream seed, and split policy; the next
+    /// [`step`](SolverEngine::step) continues from the checkpoint's cursor.
+    fn restore(&mut self, checkpoint: &EngineCheckpoint) -> Result<(), RestoreError>;
 
     /// Short backend name for logs and progress reports.
     fn backend(&self) -> &'static str;

@@ -19,6 +19,7 @@
 //! | simulation driver | [`sim`] |
 //! | incremental solve loop (all backends) | [`engine`] |
 //! | answer files | [`answer`] |
+//! | solve checkpoints (freeze/resume) | [`checkpoint`] |
 //! | viewing | [`view`], [`img`] |
 //! | performance traces | [`perf`] |
 //! | polarization (the paper's in-progress extension) | [`polar`] |
@@ -26,6 +27,7 @@
 #![deny(missing_docs)]
 
 pub mod answer;
+pub mod checkpoint;
 pub mod engine;
 pub mod forest;
 pub mod generate;
@@ -38,6 +40,7 @@ pub mod trace;
 pub mod view;
 
 pub use answer::Answer;
+pub use checkpoint::{EngineCheckpoint, RestoreError};
 pub use engine::{photon_stream, BatchReport, SolverEngine, PHOTON_DRAW_STRIDE};
 pub use forest::BinForest;
 pub use generate::{EmittedPhoton, PhotonGenerator};

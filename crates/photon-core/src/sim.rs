@@ -2,6 +2,7 @@
 //! "best serial version" against which all speedups are defined.
 
 use crate::answer::Answer;
+use crate::checkpoint::{EngineCheckpoint, RestoreError};
 use crate::engine::{photon_stream, BatchReport, SolverEngine};
 use crate::forest::BinForest;
 use crate::generate::PhotonGenerator;
@@ -84,6 +85,12 @@ pub struct Simulator {
     generator: PhotonGenerator,
     forest: BinForest,
     seed: u64,
+    split: photon_hist::SplitConfig,
+    /// Next global photon index to trace. Tracks `stats.emitted` for a
+    /// fresh run; they diverge only after restoring a checkpoint whose
+    /// counters include photons outside the main stream (the distributed
+    /// backend's pilot phase).
+    cursor: u64,
     stats: SimStats,
     speed: SpeedTrace,
     memory: MemoryTrace,
@@ -99,6 +106,8 @@ impl Simulator {
             generator,
             forest,
             seed: config.seed,
+            split: config.split,
+            cursor: 0,
             scene,
             stats: SimStats::default(),
             speed: SpeedTrace::new(),
@@ -135,10 +144,10 @@ impl Simulator {
     /// Simulates `n` photons (no batch bookkeeping).
     pub fn run_photons(&mut self, n: u64) {
         for _ in 0..n {
-            // The emitted count doubles as the global photon index.
-            let mut rng = photon_stream(self.seed, self.stats.emitted);
+            let mut rng = photon_stream(self.seed, self.cursor);
             let out = trace_photon(&self.scene, &self.generator, &mut rng, &mut self.forest);
             self.stats.record(&out);
+            self.cursor += 1;
         }
     }
 
@@ -185,6 +194,29 @@ impl SolverEngine for Simulator {
 
     fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint::new(
+            self.seed,
+            self.cursor,
+            self.stats,
+            self.split,
+            self.forest.clone().into_trees(),
+        )
+    }
+
+    fn restore(&mut self, checkpoint: &EngineCheckpoint) -> Result<(), RestoreError> {
+        checkpoint.compatible_with(self.scene.polygon_count(), self.seed, self.split)?;
+        self.forest = checkpoint.forest();
+        self.stats = checkpoint.stats();
+        self.cursor = checkpoint.cursor();
+        // The discarded run's perf traces and clock go with it — rates
+        // reported after a resume describe the resumed solve only.
+        self.speed = SpeedTrace::new();
+        self.memory = MemoryTrace::new();
+        self.started = None;
+        Ok(())
     }
 
     fn backend(&self) -> &'static str {
@@ -319,6 +351,54 @@ mod tests {
         assert_eq!(sim.speed_trace().samples().len(), 5);
         assert_eq!(sim.memory_trace().samples().len(), 5);
         assert_eq!(sim.stats().emitted, 5000);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted() {
+        let cfg = SimConfig {
+            seed: 77,
+            ..Default::default()
+        };
+        let mut straight = Simulator::new(tiny_box(), cfg);
+        straight.run_photons(4_000);
+        let mut first = Simulator::new(tiny_box(), cfg);
+        first.run_photons(1_500);
+        let ck = first.checkpoint();
+        assert_eq!(ck.cursor(), 1_500);
+        assert_eq!(ck.emitted(), 1_500);
+        let mut resumed = Simulator::new(tiny_box(), cfg);
+        resumed.restore(&ck).unwrap();
+        resumed.run_photons(2_500);
+        assert_eq!(resumed.stats(), straight.stats());
+        let bytes = |s: &Simulator| {
+            let mut buf = Vec::new();
+            s.answer_snapshot().write_to(&mut buf).unwrap();
+            buf
+        };
+        assert_eq!(bytes(&resumed), bytes(&straight));
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_checkpoint() {
+        let mut sim = Simulator::new(
+            tiny_box(),
+            SimConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        sim.run_photons(100);
+        let ck = sim.checkpoint();
+        let mut other_seed = Simulator::new(
+            tiny_box(),
+            SimConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert!(other_seed.restore(&ck).is_err());
+        // The failed restore must not have touched the engine.
+        assert_eq!(other_seed.stats().emitted, 0);
     }
 
     #[test]

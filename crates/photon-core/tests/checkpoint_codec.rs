@@ -1,0 +1,207 @@
+//! Round-trip and corruption tests for the `PHOTCK1` checkpoint codec,
+//! driven through the full simulator — the mirror of the `PHOTANS1`
+//! answer-codec suite. Every corruption must come back as an error, never
+//! a panic or a silently wrong checkpoint.
+
+use photon_core::{EngineCheckpoint, SimConfig, Simulator, SolverEngine};
+use photon_scenes::cornell_box;
+
+fn simulated_checkpoint(photons: u64) -> EngineCheckpoint {
+    let mut sim = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed: 321,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(photons);
+    sim.checkpoint()
+}
+
+#[test]
+fn write_read_round_trip_preserves_the_resume_state() {
+    let ck = simulated_checkpoint(6_000);
+    let bytes = ck.to_bytes();
+    assert_eq!(bytes.len() as u64, ck.encoded_size());
+    let back = EngineCheckpoint::from_bytes(&bytes).unwrap();
+    assert_eq!(back.seed(), ck.seed());
+    assert_eq!(back.cursor(), ck.cursor());
+    assert_eq!(back.stats(), ck.stats());
+    assert_eq!(back.split(), ck.split());
+    assert_eq!(back.patch_count(), ck.patch_count());
+    assert_eq!(back.total_leaf_bins(), ck.total_leaf_bins());
+    // Byte-stable across a round trip, like the answer codec.
+    assert_eq!(back.to_bytes(), bytes);
+}
+
+#[test]
+fn a_decoded_checkpoint_resumes_exactly_like_the_original() {
+    // The decisive property: the *decoded* checkpoint drives a resume that
+    // is bit-identical to an uninterrupted solve — the split statistics in
+    // each leaf survived the codec, not just the displayed answer.
+    let cfg = SimConfig {
+        seed: 321,
+        ..Default::default()
+    };
+    let mut straight = Simulator::new(cornell_box(), cfg);
+    straight.run_photons(9_000);
+    let ck = EngineCheckpoint::from_bytes(&simulated_checkpoint(6_000).to_bytes()).unwrap();
+    let mut resumed = Simulator::new(cornell_box(), cfg);
+    resumed.restore(&ck).unwrap();
+    resumed.run_photons(3_000);
+    let answer_bytes = |s: &Simulator| {
+        let mut buf = Vec::new();
+        s.answer_snapshot().write_to(&mut buf).unwrap();
+        buf
+    };
+    assert_eq!(answer_bytes(&resumed), answer_bytes(&straight));
+}
+
+#[test]
+fn corrupt_magic_is_rejected() {
+    let mut bytes = simulated_checkpoint(2_000).to_bytes();
+    bytes[0] ^= 0xFF;
+    let err = EngineCheckpoint::from_bytes(&bytes).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("not a Photon checkpoint"));
+}
+
+#[test]
+fn an_answer_file_is_not_a_checkpoint() {
+    // `PHOTANS1` and `PHOTCK1` share the tree block but must never parse
+    // as each other: the magics differ in the first 7 bytes' tail.
+    let mut sim = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed: 321,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(1_000);
+    let mut answer_file = Vec::new();
+    sim.answer_snapshot().write_to(&mut answer_file).unwrap();
+    assert!(EngineCheckpoint::from_bytes(&answer_file).is_err());
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_its_own_error() {
+    let mut bytes = simulated_checkpoint(2_000).to_bytes();
+    bytes[7] = 2; // the version byte follows the 7-byte magic
+    let err = EngineCheckpoint::from_bytes(&bytes).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("version 2"),
+        "unhelpful version error: {err}"
+    );
+}
+
+#[test]
+fn truncation_anywhere_errors_cleanly() {
+    let bytes = simulated_checkpoint(2_000).to_bytes();
+    // Header boundaries, mid-tree, and one byte short.
+    for cut in [0, 3, 7, 8, 16, 60, 81, 82, bytes.len() / 3, bytes.len() - 1] {
+        assert!(
+            EngineCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} bytes parsed"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = simulated_checkpoint(2_000).to_bytes();
+    bytes.push(0);
+    assert!(EngineCheckpoint::from_bytes(&bytes).is_err());
+    // Even a whole second checkpoint appended must fail: a checkpoint file
+    // is exactly one checkpoint.
+    let mut twice = simulated_checkpoint(1_000).to_bytes();
+    twice.extend(simulated_checkpoint(1_000).to_bytes());
+    assert!(EngineCheckpoint::from_bytes(&twice).is_err());
+}
+
+#[test]
+fn corrupt_node_tag_and_axis_are_rejected() {
+    let ck = simulated_checkpoint(2_000);
+    let bytes = ck.to_bytes();
+    // First node tag of the first tree sits right after the fixed header:
+    // magic(7) + version(1) + seed(8) + cursor(8) + stats(40) + rule(12) +
+    // depth(2) + patch count(4) + node count(4) = 86.
+    let mut bad_tag = bytes.clone();
+    bad_tag[86] = 9;
+    assert!(EngineCheckpoint::from_bytes(&bad_tag).is_err());
+    // An internal node's axis byte of 4+ must be rejected, not index out
+    // of bounds. Find an internal node (tag 1) and break its axis.
+    let mut bad_axis = bytes.clone();
+    let mut i = 86;
+    let mut broke_one = false;
+    // Walk the first tree's nodes to find an internal one.
+    for _ in 0..u32::from_le_bytes(bytes[82..86].try_into().unwrap()) {
+        match bad_axis[i] {
+            0 => i += 1 + 52,
+            1 => {
+                bad_axis[i + 1] = 7;
+                broke_one = true;
+                break;
+            }
+            _ => unreachable!("valid encoding"),
+        }
+    }
+    if broke_one {
+        assert!(EngineCheckpoint::from_bytes(&bad_axis).is_err());
+    }
+}
+
+#[test]
+fn lying_count_headers_error_instead_of_exhausting_memory() {
+    let bytes = simulated_checkpoint(2_000).to_bytes();
+    // Patch count (offset 78) and the first tree's node count (offset 82)
+    // claim u32::MAX entries; the reader must fail on the missing data,
+    // not abort trying to pre-allocate gigabytes.
+    for offset in [78usize, 82] {
+        let mut lying = bytes.clone();
+        lying[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            EngineCheckpoint::from_bytes(&lying).is_err(),
+            "lying count at {offset} parsed"
+        );
+    }
+}
+
+#[test]
+fn cursor_beyond_emitted_is_rejected() {
+    let mut bytes = simulated_checkpoint(2_000).to_bytes();
+    // The cursor sits at offset 16..24 (magic 7 + version 1 + seed 8);
+    // pointing it past the emitted count would resume at the wrong stream
+    // index without any other field looking wrong.
+    bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+    let err = EngineCheckpoint::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("cursor"), "{err}");
+}
+
+#[test]
+fn unconserved_counters_are_rejected() {
+    let mut bytes = simulated_checkpoint(2_000).to_bytes();
+    // stats.emitted sits at offset 24 (magic 7 + version 1 + seed 8 +
+    // cursor 8); bump it so emitted != absorbed + escaped + capped.
+    bytes[24] = bytes[24].wrapping_add(1);
+    let err = EngineCheckpoint::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("conserved"), "{err}");
+}
+
+#[test]
+fn save_load_round_trips_through_a_file() {
+    let ck = simulated_checkpoint(3_000);
+    let path = std::env::temp_dir().join(format!("photon-ck-{}.photck", std::process::id()));
+    ck.save(&path).unwrap();
+    let meta = std::fs::metadata(&path).unwrap();
+    assert_eq!(meta.len(), ck.encoded_size());
+    let back = EngineCheckpoint::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(back.to_bytes(), ck.to_bytes());
+}
+
+#[test]
+fn loading_a_missing_file_is_an_error_not_a_panic() {
+    let path = std::env::temp_dir().join("photon-ck-definitely-missing.photck");
+    assert!(EngineCheckpoint::load(&path).is_err());
+}

@@ -1,0 +1,143 @@
+//! Property tests for the `PHOTCK1` checkpoint codec: encode/decode round
+//! trips over arbitrary forest shapes, tally contents, split policies, and
+//! RNG cursors.
+
+use photon_core::checkpoint::EngineCheckpoint;
+use photon_core::{BinForest, SimStats};
+use photon_hist::{BinPoint, SplitConfig, SplitRule};
+use photon_math::Rgb;
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+fn arb_point() -> impl Strategy<Value = BinPoint> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..TAU, 0.0f64..1.0)
+        .prop_map(|(s, t, th, r)| BinPoint::new(s, t, th, r))
+}
+
+/// Tally streams with a warp so some runs concentrate and split deeply.
+fn arb_stream() -> impl Strategy<Value = Vec<(BinPoint, Rgb)>> {
+    (
+        proptest::collection::vec(arb_point(), 50..1500),
+        1u32..4,
+        0.0f64..2.0,
+    )
+        .prop_map(|(pts, warp, energy)| {
+            pts.into_iter()
+                .map(|mut p| {
+                    p.s = p.s.powi(warp as i32);
+                    p.r_sq = p.r_sq.powi(warp as i32);
+                    (p, Rgb::new(energy, energy * 0.5, energy * 0.25))
+                })
+                .collect()
+        })
+}
+
+/// Split policies spanning loose to strict rules and shallow to deep caps.
+fn arb_split() -> impl Strategy<Value = SplitConfig> {
+    (1.0f64..6.0, 8u32..64, 2u16..24).prop_map(|(sigmas, min_count, max_depth)| SplitConfig {
+        rule: SplitRule { sigmas, min_count },
+        max_depth,
+    })
+}
+
+/// Conserved-by-construction photon counters.
+fn arb_stats() -> impl Strategy<Value = SimStats> {
+    (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 44).prop_map(
+        |(absorbed, escaped, capped, reflections)| SimStats {
+            emitted: absorbed + escaped + capped,
+            absorbed,
+            escaped,
+            capped,
+            reflections,
+        },
+    )
+}
+
+/// A forest of 1..6 patches grown from per-patch tally streams.
+fn arb_forest() -> impl Strategy<Value = (SplitConfig, BinForest)> {
+    (arb_split(), proptest::collection::vec(arb_stream(), 1..6)).prop_map(|(split, streams)| {
+        let mut forest = BinForest::new(streams.len(), split);
+        for (pid, stream) in streams.iter().enumerate() {
+            for (p, e) in stream {
+                forest.tally(pid as u32, p, *e);
+            }
+        }
+        (split, forest)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every field and every leaf of every tree survives the codec, and
+    /// the encoding is byte-stable across a second round trip.
+    #[test]
+    fn round_trip_is_lossless_and_byte_stable(
+        grown in arb_forest(),
+        stats in arb_stats(),
+        seed in 0u64..u64::MAX,
+        cursor_frac in 0.0f64..1.0,
+    ) {
+        let (split, forest) = grown;
+        // The codec rejects cursors beyond the emitted count (corruption),
+        // so valid checkpoints sample the cursor inside it.
+        let cursor = (stats.emitted as f64 * cursor_frac) as u64;
+        let ck = EngineCheckpoint::new(seed, cursor, stats, split, forest.clone().into_trees());
+        let bytes = ck.to_bytes();
+        prop_assert_eq!(bytes.len() as u64, ck.encoded_size());
+        let back = EngineCheckpoint::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.seed(), seed);
+        prop_assert_eq!(back.cursor(), cursor);
+        prop_assert_eq!(back.stats(), stats);
+        prop_assert_eq!(back.split(), split);
+        prop_assert_eq!(back.patch_count(), forest.len());
+        prop_assert_eq!(back.total_leaf_bins(), forest.total_leaf_bins());
+        prop_assert_eq!(back.to_bytes(), bytes);
+        // Leaf-for-leaf equality, including the speculative split state
+        // that makes resumes bit-identical.
+        let rebuilt = back.forest();
+        for (pid, tree) in forest.iter() {
+            let mut mine = Vec::new();
+            tree.for_each_leaf(|range, stats| mine.push((*range, *stats)));
+            let mut theirs = Vec::new();
+            rebuilt.tree(pid).for_each_leaf(|range, stats| theirs.push((*range, *stats)));
+            prop_assert_eq!(&mine, &theirs, "patch {} diverged", pid);
+        }
+    }
+
+    /// A restored forest keeps tallying (and splitting) exactly like the
+    /// original under any continuation stream.
+    #[test]
+    fn decoded_forest_continues_identically(
+        grown in arb_forest(),
+        continuation in arb_stream(),
+    ) {
+        let (split, forest) = grown;
+        let trees = forest.clone().into_trees();
+        let ck = EngineCheckpoint::new(1, 0, SimStats::default(), split, trees);
+        let decoded = EngineCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        let mut original = forest;
+        let mut restored = decoded.forest();
+        let patches = original.len() as u32;
+        for (i, (p, e)) in continuation.iter().enumerate() {
+            let pid = i as u32 % patches;
+            let split_a = original.tally(pid, p, *e);
+            let split_b = restored.tally(pid, p, *e);
+            prop_assert_eq!(split_a, split_b, "split decisions diverged at tally {}", i);
+        }
+        prop_assert_eq!(original.total_leaf_bins(), restored.total_leaf_bins());
+    }
+
+    /// Any truncation of a valid encoding errors instead of panicking.
+    #[test]
+    fn truncations_never_panic(
+        grown in arb_forest(),
+        frac in 0.0f64..1.0,
+    ) {
+        let (split, forest) = grown;
+        let ck = EngineCheckpoint::new(3, 0, SimStats::default(), split, forest.into_trees());
+        let bytes = ck.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(EngineCheckpoint::from_bytes(&bytes[..cut]).is_err());
+    }
+}

@@ -23,13 +23,17 @@ use crate::{DistConfig, DistSink};
 use photon_core::generate::PhotonGenerator;
 use photon_core::sim::SimStats;
 use photon_core::trace::trace_photon;
-use photon_core::{photon_stream, Answer, BatchReport, BinForest, SolverEngine, SpeedTrace};
+use photon_core::{
+    photon_stream, Answer, BatchReport, BinForest, EngineCheckpoint, RestoreError, SolverEngine,
+    SpeedTrace,
+};
 use photon_geom::Scene;
 use photon_hist::BinTree;
+use photon_hist::SplitConfig;
 use photon_rng::Lcg48;
 use simmpi::{run_world, Comm};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Commands broadcast from the engine to every rank, processed in order.
@@ -39,6 +43,15 @@ enum RankCmd {
     Step { per_rank_hint: u64 },
     /// Clone and send back the trees this rank owns.
     Snapshot,
+    /// Overwrite the rank's owned trees from a checkpointed forest and
+    /// move its photon cursor to `main_start` (the restore path; trees the
+    /// rank does not own keep their deterministic pilot-phase state).
+    Restore {
+        /// The checkpoint's full forest, shared across ranks.
+        trees: Arc<Vec<photon_hist::BinTree>>,
+        /// Next main-loop photon index to trace.
+        main_start: u64,
+    },
     /// Leave the command loop and return the rank's final state.
     Finish,
 }
@@ -70,6 +83,8 @@ enum RankReply {
     },
     /// Snapshot payload: the rank's owned trees.
     Trees(Vec<(u32, BinTree)>),
+    /// The rank adopted a restored checkpoint.
+    Restored,
 }
 
 /// What a rank returns when the world winds down.
@@ -88,6 +103,8 @@ pub struct DistEngine {
     reply_rx: Receiver<(usize, RankReply)>,
     world: Option<JoinHandle<Vec<RankFinal>>>,
     ownership: Ownership,
+    seed: u64,
+    split: SplitConfig,
     stats: SimStats,
     speed: SpeedTrace,
     main_emitted: u64,
@@ -152,6 +169,8 @@ impl DistEngine {
             reply_rx,
             world: Some(world),
             ownership: ownership.expect("rank 0 reported"),
+            seed: config.seed,
+            split: config.split,
             stats,
             speed: SpeedTrace::new(),
             main_emitted: 0,
@@ -183,6 +202,30 @@ impl DistEngine {
     /// Bytes shipped through the all-to-all so far.
     pub fn bytes_forwarded(&self) -> u64 {
         self.bytes_forwarded
+    }
+
+    /// Asks every rank for a clone of its owned trees and merges them into
+    /// one forest (each patch exactly once).
+    fn collect_forest(&self) -> BinForest {
+        self.broadcast(|| RankCmd::Snapshot);
+        let mut trees: Vec<Option<BinTree>> = (0..self.npolys).map(|_| None).collect();
+        for _ in 0..self.nranks {
+            match self.reply_rx.recv().expect("world alive") {
+                (_, RankReply::Trees(owned)) => {
+                    for (pid, tree) in owned {
+                        debug_assert!(trees[pid as usize].is_none(), "patch {pid} owned twice");
+                        trees[pid as usize] = Some(tree);
+                    }
+                }
+                _ => unreachable!("only Trees replies outstanding"),
+            }
+        }
+        BinForest::from_trees(
+            trees
+                .into_iter()
+                .map(|t| t.expect("all patches owned"))
+                .collect(),
+        )
     }
 
     fn broadcast(&self, make: impl Fn() -> RankCmd) {
@@ -274,30 +317,46 @@ impl SolverEngine for DistEngine {
     }
 
     fn snapshot(&self) -> Answer {
-        self.broadcast(|| RankCmd::Snapshot);
-        let mut trees: Vec<Option<BinTree>> = (0..self.npolys).map(|_| None).collect();
-        for _ in 0..self.nranks {
-            match self.reply_rx.recv().expect("world alive") {
-                (_, RankReply::Trees(owned)) => {
-                    for (pid, tree) in owned {
-                        debug_assert!(trees[pid as usize].is_none(), "patch {pid} owned twice");
-                        trees[pid as usize] = Some(tree);
-                    }
-                }
-                _ => unreachable!("only Trees replies outstanding"),
-            }
-        }
-        let forest = BinForest::from_trees(
-            trees
-                .into_iter()
-                .map(|t| t.expect("all patches owned"))
-                .collect(),
-        );
-        Answer::from_forest(&forest, self.stats.emitted)
+        Answer::from_forest(&self.collect_forest(), self.stats.emitted)
     }
 
     fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint::new(
+            self.seed,
+            // The stream cursor is the main-loop photon count: pilot-phase
+            // photons (counted in `stats`) draw from a separate stream and
+            // are regenerated deterministically when a world boots.
+            self.main_emitted,
+            self.stats,
+            self.split,
+            self.collect_forest().into_trees(),
+        )
+    }
+
+    fn restore(&mut self, checkpoint: &EngineCheckpoint) -> Result<(), RestoreError> {
+        checkpoint.compatible_with(self.npolys, self.seed, self.split)?;
+        let trees = Arc::new(checkpoint.forest().into_trees());
+        let main_start = checkpoint.cursor();
+        self.broadcast(|| RankCmd::Restore {
+            trees: Arc::clone(&trees),
+            main_start,
+        });
+        for _ in 0..self.nranks {
+            match self.reply_rx.recv().expect("world alive") {
+                (_, RankReply::Restored) => {}
+                _ => unreachable!("only Restored replies outstanding"),
+            }
+        }
+        self.stats = checkpoint.stats();
+        self.main_emitted = main_start;
+        // Rates after a resume describe the resumed solve only (the
+        // virtual clock itself stays synchronized with the rank world).
+        self.speed = SpeedTrace::new();
+        Ok(())
     }
 
     fn backend(&self) -> &'static str {
@@ -451,6 +510,20 @@ fn rank_loop(
                     .map(|&p| (p, forest.tree(p).clone()))
                     .collect();
                 let _ = reply_tx.send((my_rank, RankReply::Trees(trees)));
+            }
+            Ok(RankCmd::Restore {
+                trees,
+                main_start: at,
+            }) => {
+                // Adopt the checkpoint's state for the trees this rank
+                // owns; unowned trees keep the pilot-phase state every
+                // rank regenerated identically at boot, exactly as in an
+                // uninterrupted run.
+                for &p in &owned_patches {
+                    *forest.tree_mut(p) = trees[p as usize].clone();
+                }
+                main_start = at;
+                let _ = reply_tx.send((my_rank, RankReply::Restored));
             }
             // Finish — or the engine dropped its command channels.
             Ok(RankCmd::Finish) | Err(_) => break,

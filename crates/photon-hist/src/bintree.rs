@@ -180,7 +180,7 @@ pub struct LeafStats {
 }
 
 /// Split policy knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SplitConfig {
     /// The statistical rule (3σ by default).
     pub rule: SplitRule,

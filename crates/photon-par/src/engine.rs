@@ -26,7 +26,9 @@ use crate::{ParConfig, SharedForest, SharedSink, TallyMode};
 use photon_core::generate::PhotonGenerator;
 use photon_core::sim::SimStats;
 use photon_core::trace::{trace_photon, TallySink};
-use photon_core::{photon_stream, Answer, BatchReport, SolverEngine, SpeedTrace};
+use photon_core::{
+    photon_stream, Answer, BatchReport, EngineCheckpoint, RestoreError, SolverEngine, SpeedTrace,
+};
 use photon_geom::Scene;
 use photon_hist::BinPoint;
 use photon_math::Rgb;
@@ -173,6 +175,10 @@ pub struct ParEngine {
     reply_rx: Receiver<Reply>,
     handles: Vec<JoinHandle<()>>,
     stats: SimStats,
+    /// Next global photon index to trace; tracks `stats.emitted` for a
+    /// fresh run and diverges only after restoring a checkpoint whose
+    /// counters include out-of-stream photons (a distributed pilot phase).
+    cursor: u64,
     speed: SpeedTrace,
     started: Option<Instant>,
 }
@@ -218,6 +224,7 @@ impl ParEngine {
             reply_rx,
             handles,
             stats: SimStats::default(),
+            cursor: 0,
             speed: SpeedTrace::new(),
             started: None,
         }
@@ -277,7 +284,8 @@ impl SolverEngine for ParEngine {
     fn step(&mut self, batch: u64) -> BatchReport {
         let t0 = *self.started.get_or_insert_with(Instant::now);
         let batch_start = Instant::now();
-        let start = self.stats.emitted;
+        let start = self.cursor;
+        self.cursor += batch;
         self.broadcast(|| Cmd::Trace {
             start,
             count: batch,
@@ -330,6 +338,33 @@ impl SolverEngine for ParEngine {
 
     fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint::new(
+            self.config.seed,
+            self.cursor,
+            self.stats,
+            self.config.split,
+            self.forest.snapshot_forest().into_trees(),
+        )
+    }
+
+    fn restore(&mut self, checkpoint: &EngineCheckpoint) -> Result<(), RestoreError> {
+        checkpoint.compatible_with(
+            self.forest.patch_count(),
+            self.config.seed,
+            self.config.split,
+        )?;
+        // The workers only hold the shared forest and per-photon stream
+        // parameters, so swapping the trees in place restores them too.
+        self.forest.replace(checkpoint.forest());
+        self.stats = checkpoint.stats();
+        self.cursor = checkpoint.cursor();
+        // Rates after a resume describe the resumed solve only.
+        self.speed = SpeedTrace::new();
+        self.started = None;
+        Ok(())
     }
 
     fn backend(&self) -> &'static str {
@@ -431,6 +466,41 @@ mod tests {
         e.step(3000);
         assert_eq!(e.stats(), *serial.stats());
         assert_eq!(e.forest().total_tallies(), serial.forest().total_tallies());
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_an_uninterrupted_run() {
+        let mut straight = engine(3, TallyMode::Deterministic);
+        straight.step(4000);
+        let want = answer_bytes(&straight.snapshot());
+        let mut first = engine(2, TallyMode::Deterministic);
+        first.step(1700);
+        let ck = first.checkpoint();
+        assert_eq!(ck.cursor(), 1700);
+        drop(first); // the original engine (and its workers) are gone
+        let mut resumed = engine(5, TallyMode::Deterministic);
+        resumed.restore(&ck).expect("compatible checkpoint");
+        resumed.step(2300);
+        assert_eq!(resumed.stats(), straight.stats());
+        assert_eq!(answer_bytes(&resumed.snapshot()), want);
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_seed() {
+        let mut a = engine(2, TallyMode::Deterministic);
+        a.step(500);
+        let ck = a.checkpoint();
+        let mut other = ParEngine::new(
+            cornell_box(),
+            ParConfig {
+                seed: 1,
+                threads: 2,
+                tally: TallyMode::Deterministic,
+                ..Default::default()
+            },
+        );
+        assert!(other.restore(&ck).is_err());
+        assert_eq!(other.stats().emitted, 0);
     }
 
     #[test]

@@ -133,6 +133,27 @@ impl SharedForest {
         self.tallies.load(Ordering::Relaxed)
     }
 
+    /// Number of patches (trees).
+    pub fn patch_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Replaces every tree with `forest`'s — the restore path of an engine
+    /// checkpoint. The tally counter resets to the incoming trees' total.
+    ///
+    /// # Panics
+    /// Panics if the patch counts differ (callers validate via
+    /// [`photon_core::EngineCheckpoint::compatible_with`] first).
+    pub fn replace(&self, forest: photon_core::BinForest) {
+        assert_eq!(forest.len(), self.trees.len(), "patch count mismatch");
+        let mut total = 0u64;
+        for (slot, tree) in self.trees.iter().zip(forest.into_trees()) {
+            total += tree.tallies();
+            *slot.write() = tree;
+        }
+        self.tallies.store(total, Ordering::Relaxed);
+    }
+
     /// Total leaf bins across trees.
     pub fn total_leaf_bins(&self) -> u64 {
         self.trees

@@ -11,7 +11,7 @@
 //!
 //! | module | role |
 //! |--------|------|
-//! | [`solver`] | multi-job solver pool: weighted-round-robin batch scheduler, per-tenant photon quotas, pause/resume/cancel |
+//! | [`solver`] | multi-job solver pool: weighted-round-robin batch scheduler, per-tenant photon quotas, pause/resume/cancel, checkpoint/resume job migration |
 //! | [`store`] | registry of `(Scene, Answer)` pairs with publication epochs, persisted via the `PHOTANS1` codec |
 //! | [`render`] | tile-parallel rendering over `photon-par`'s worker pool, bit-identical to the serial viewer |
 //! | [`cache`] | LRU of rendered views keyed by (scene, epoch, quantized camera) — a publish invalidates *and purges* stale images |

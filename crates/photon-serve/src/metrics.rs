@@ -82,8 +82,12 @@ pub struct SolveJobMetrics {
     /// Scheduler state: `"queued"`, `"running"`, `"paused"`,
     /// `"quota-blocked"`, `"canceled"`, or `"done"`.
     pub state: &'static str,
-    /// Photons emitted so far.
+    /// Photons emitted so far (including photons inherited from a resume
+    /// checkpoint).
     pub emitted: u64,
+    /// Photons this job inherited by resuming from a checkpoint (0 for a
+    /// fresh solve). Quota accounting charges only `emitted` beyond these.
+    pub resumed_photons: u64,
     /// The job's convergence target.
     pub target_photons: u64,
     /// Scheduler slices granted to this job so far.
@@ -125,6 +129,12 @@ pub struct SolverMetricsSnapshot {
     pub quota_blocked: u64,
     /// Jobs finished (converged or canceled).
     pub done: u64,
+    /// Engine checkpoints the pool has taken (on pause, cancel, shutdown,
+    /// or on demand via `SolveHandle::checkpoint`).
+    pub checkpoints_taken: u64,
+    /// Total `PHOTCK1`-encoded bytes of those checkpoints — the migration
+    /// payload a pool handoff would ship.
+    pub checkpoint_bytes: u64,
     /// Per-job progress and rates, in submission order.
     pub jobs: Vec<SolveJobMetrics>,
     /// Per-tenant slice/quota accounting, sorted by tenant tag.

@@ -31,6 +31,17 @@
 //! [`SolverPool::metrics`] or, attached to a `RenderService`, inside every
 //! [`crate::MetricsSnapshot`].
 //!
+//! **Checkpoint & migrate.** The pool freezes a job's engine into an
+//! [`EngineCheckpoint`] whenever it parks on pause, whenever cancel or a
+//! pool shutdown finalizes it, and on demand via
+//! [`SolveHandle::checkpoint`]. Submitting that checkpoint to any pool
+//! through [`SolveRequest::resume_from`] (or [`SolveRequest::resume`])
+//! continues the solve where it stopped — on the order-preserving backends
+//! (`Serial`, `Threaded`) the final answer is bit-identical to a job that
+//! was never interrupted, and tenant budgets are charged only for photons
+//! emitted on the resuming pool. Checkpoint counts and encoded bytes
+//! surface in [`crate::SolverMetricsSnapshot`].
+//!
 //! Backends map onto the three engines:
 //!
 //! | [`BackendChoice`] | engine | notes |
@@ -41,7 +52,7 @@
 
 use crate::metrics::{SolveJobMetrics, SolverMetricsSnapshot, SolverStatsSource, TenantMetrics};
 use crate::store::{AnswerStore, SceneId};
-use photon_core::{SimConfig, Simulator, SolverEngine};
+use photon_core::{EngineCheckpoint, SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
 use photon_geom::Scene;
 use photon_par::{ParConfig, ParEngine, TallyMode};
@@ -99,6 +110,16 @@ pub struct SolveRequest {
     pub priority: u32,
     /// Tenant tag for quota accounting and fairness metrics.
     pub tenant: String,
+    /// Starting checkpoint: when set, the job's engine restores this state
+    /// before its first batch and the solve continues the checkpointed
+    /// photon stream — the migration primitive that moves a paused job to
+    /// another pool. The checkpoint must match the request's scene (patch
+    /// count) and [`seed`](SolveRequest::seed); [`SolverPool::submit`]
+    /// panics otherwise. [`target_photons`](SolveRequest::target_photons)
+    /// still counts *total* photons, so a checkpoint at or past the target
+    /// publishes immediately. Tenant budgets are only charged for photons
+    /// emitted on this pool, never for the resumed ones.
+    pub resume_from: Option<Arc<EngineCheckpoint>>,
 }
 
 impl SolveRequest {
@@ -114,7 +135,21 @@ impl SolveRequest {
             publish_every: 1,
             priority: 1,
             tenant: DEFAULT_TENANT.to_string(),
+            resume_from: None,
         }
+    }
+
+    /// A request that resumes `checkpoint` over `scene` — seed and split
+    /// policy are adopted from the checkpoint so the stream continues.
+    pub fn resume(
+        name: impl Into<String>,
+        scene: Scene,
+        checkpoint: Arc<EngineCheckpoint>,
+    ) -> Self {
+        let mut request = SolveRequest::new(name, scene);
+        request.seed = checkpoint.seed();
+        request.resume_from = Some(checkpoint);
+        request
     }
 }
 
@@ -195,6 +230,27 @@ impl SolveHandle {
         self.shared.cancel(self.job);
     }
 
+    /// The job's latest [`EngineCheckpoint`] — the migration payload that
+    /// resumes this solve on any pool via [`SolveRequest::resume_from`].
+    ///
+    /// The pool checkpoints a job when it parks on [`pause`](Self::pause),
+    /// when [`cancel`](Self::cancel) or a pool shutdown finalizes it, and
+    /// on demand here whenever the parked engine has advanced past the
+    /// stored checkpoint (the freeze runs outside the scheduler lock, so
+    /// other jobs keep receiving slices). The handle outlives its pool, so
+    /// the checkpoint of a job canceled by shutdown stays fetchable after
+    /// the pool is dropped.
+    ///
+    /// Returns whatever was last recorded — which may be `None` — while a
+    /// worker holds the engine mid-slice (pause first, then wait for the
+    /// progress stream to quiesce), for a job that never held any state,
+    /// and for a job that ran to normal convergence: a converged job's
+    /// engine is dropped without a final freeze, because its complete
+    /// answer is already published in the store.
+    pub fn checkpoint(&self) -> Option<Arc<EngineCheckpoint>> {
+        self.shared.checkpoint_of(self.job)
+    }
+
     /// Waits up to `timeout` for the next progress report. `None` when the
     /// timeout passes, or when the job is finished and fully drained.
     pub fn next_progress(&self, timeout: Duration) -> Option<SolveProgress> {
@@ -262,6 +318,13 @@ struct JobState {
     /// The persistent engine, parked here between slices. `None` before
     /// the first slice (built lazily on a worker) and while leased.
     engine: Option<Box<dyn SolverEngine>>,
+    /// Latest checkpoint of this job: the starting checkpoint at submit
+    /// (when resuming), refreshed whenever the pool checkpoints the job —
+    /// on pause, on cancel/shutdown finalization, and on demand through
+    /// [`SolveHandle::checkpoint`].
+    checkpoint: Option<Arc<EngineCheckpoint>>,
+    /// Photons inherited from [`SolveRequest::resume_from`] (0 otherwise).
+    resumed_photons: u64,
     phase: Phase,
     /// Remaining slices this scheduling round (refilled to `priority`).
     credit: u32,
@@ -304,12 +367,24 @@ struct Sched {
     /// Round-robin order over `Phase::Ready` jobs — id in `rr` iff Ready.
     rr: VecDeque<u64>,
     tenants: HashMap<String, TenantState>,
+    /// Checkpoints taken by this pool, and their total `PHOTCK1` bytes.
+    checkpoints_taken: u64,
+    checkpoint_bytes: u64,
     draining: bool,
 }
 
 impl Sched {
     fn job(&mut self, id: SolveJobId) -> Option<&mut JobState> {
         self.jobs.get_mut(&id.0)
+    }
+
+    /// Stores `checkpoint` as job `id`'s latest and accounts it.
+    fn record_checkpoint(&mut self, id: SolveJobId, checkpoint: Arc<EngineCheckpoint>) {
+        self.checkpoints_taken += 1;
+        self.checkpoint_bytes += checkpoint.encoded_size();
+        if let Some(job) = self.job(id) {
+            job.checkpoint = Some(checkpoint);
+        }
     }
 
     fn make_ready(&mut self, id: u64) {
@@ -447,7 +522,11 @@ impl Sched {
     }
 
     fn snapshot(&self) -> SolverMetricsSnapshot {
-        let mut snap = SolverMetricsSnapshot::default();
+        let mut snap = SolverMetricsSnapshot {
+            checkpoints_taken: self.checkpoints_taken,
+            checkpoint_bytes: self.checkpoint_bytes,
+            ..Default::default()
+        };
         for job in self.jobs.values() {
             match job.phase {
                 Phase::Ready => snap.queue_depth += 1,
@@ -469,6 +548,7 @@ impl Sched {
                 priority: job.priority.max(1),
                 state: job.metrics_state(),
                 emitted: job.emitted,
+                resumed_photons: job.resumed_photons,
                 target_photons: job.target_photons,
                 slices: job.slices,
                 epochs: job.epochs,
@@ -572,6 +652,65 @@ impl Shared {
             }
         }
     }
+
+    /// The job's latest checkpoint, taking a fresh one when the parked
+    /// engine has advanced past what was stored. Freezing a large forest
+    /// is not cheap, so the engine is *leased* out of the scheduler
+    /// (exactly like a worker slice) and checkpointed outside the lock —
+    /// other jobs keep getting slices granted meanwhile; pause/resume/
+    /// cancel requests arriving during the freeze are honored when the
+    /// engine returns, just as after a step.
+    fn checkpoint_of(&self, id: SolveJobId) -> Option<Arc<EngineCheckpoint>> {
+        let mut st = self.lock();
+        let (engine, tenant_name) = {
+            let job = st.job(id)?;
+            let stored_emitted = job.checkpoint.as_ref().map(|ck| ck.emitted());
+            let stale = match job.engine.as_ref() {
+                Some(engine) => stored_emitted != Some(engine.emitted()),
+                None => false,
+            };
+            if !stale || job.phase == Phase::InSlice {
+                // Done/unstarted jobs and mid-slice fetches fall back to
+                // whatever was last recorded (the submit-time checkpoint,
+                // or the pause/cancel freeze).
+                return job.checkpoint.clone();
+            }
+            if job.phase == Phase::Paused {
+                // Re-park after the freeze unless a resume lands meanwhile
+                // (which clears the flag, exactly as during a slice).
+                job.pause_requested = true;
+            }
+            job.phase = Phase::InSlice;
+            let engine = job.engine.take().expect("parked engine present");
+            (engine, job.tenant.clone())
+        };
+        st.unqueue(id.0);
+        drop(st);
+        let ck = Arc::new(engine.checkpoint());
+        let mut st = self.lock();
+        st.record_checkpoint(id, Arc::clone(&ck));
+        let quota_empty = st.tenant_remaining(&tenant_name) == Some(0);
+        let flags = st.job(id).map(|job| {
+            job.engine = Some(engine);
+            (job.cancel_requested, job.pause_requested)
+        });
+        match flags {
+            Some((true, _)) => st.make_ready(id.0),
+            Some((false, true)) => {
+                let job = st.job(id).expect("job still exists");
+                job.pause_requested = false;
+                job.phase = Phase::Paused;
+            }
+            Some((false, false)) if quota_empty => {
+                st.job(id).expect("job still exists").phase = Phase::QuotaBlocked;
+            }
+            Some((false, false)) => st.make_ready(id.0),
+            None => {}
+        }
+        drop(st);
+        self.work.notify_all();
+        Some(ck)
+    }
 }
 
 impl SolverStatsSource for Shared {
@@ -605,6 +744,8 @@ impl SolverPool {
                 jobs: BTreeMap::new(),
                 rr: VecDeque::new(),
                 tenants: HashMap::new(),
+                checkpoints_taken: 0,
+                checkpoint_bytes: 0,
                 draining: false,
             }),
             work: Condvar::new(),
@@ -635,7 +776,29 @@ impl SolverPool {
     /// Registers the scene (epoch 0) and enters the job into the run
     /// queue; returns the handle carrying the renderable [`SceneId`], the
     /// progress stream, and the pause/resume/cancel controls.
+    ///
+    /// # Panics
+    /// Panics when [`SolveRequest::resume_from`] carries a checkpoint that
+    /// cannot continue this request's solve — wrong patch count for the
+    /// scene, or a different photon-stream seed. (A checkpoint is only
+    /// meaningful against the geometry and stream it froze; accepting it
+    /// would silently corrupt the answer.)
     pub fn submit(&self, request: SolveRequest) -> SolveHandle {
+        if let Some(ck) = request.resume_from.as_deref() {
+            // Only the scene and stream are checkable here; the split
+            // policy cannot mismatch because `build_engine` adopts the
+            // checkpoint's.
+            assert_eq!(
+                ck.patch_count(),
+                request.scene.polygon_count(),
+                "resume checkpoint must match the request's scene"
+            );
+            assert_eq!(
+                ck.seed(),
+                request.seed,
+                "resume checkpoint must match the request's seed"
+            );
+        }
         let id = {
             let mut next = self.next_job.lock().unwrap();
             let id = SolveJobId(*next);
@@ -651,6 +814,7 @@ impl SolverPool {
         // surfaces it as an immediately-drained handle.
         if !st.draining {
             let priority = request.priority.max(1);
+            let resumed_photons = request.resume_from.as_ref().map_or(0, |ck| ck.emitted());
             st.tenants.entry(request.tenant.clone()).or_default();
             st.jobs.insert(
                 id.0,
@@ -662,6 +826,8 @@ impl SolverPool {
                     target_photons: request.target_photons,
                     batch_size: request.batch_size.max(1),
                     publish_every: request.publish_every.max(1),
+                    checkpoint: request.resume_from.clone(),
+                    resumed_photons,
                     build: Some(request),
                     progress: Some(progress),
                     engine: None,
@@ -670,7 +836,7 @@ impl SolverPool {
                     pause_requested: false,
                     cancel_requested: false,
                     canceled: false,
-                    emitted: 0,
+                    emitted: resumed_photons,
                     batches: 0,
                     slices: 0,
                     epochs: 0,
@@ -758,14 +924,21 @@ impl Drop for SolverPool {
     }
 }
 
-/// Builds the backend engine for one job.
+/// Builds the backend engine for one job, restoring the request's starting
+/// checkpoint when one is attached. A resumed engine adopts the
+/// checkpoint's split policy so the restored trees keep refining exactly
+/// as they would have, uninterrupted.
 fn build_engine(request: &SolveRequest) -> Box<dyn SolverEngine> {
-    match request.backend {
+    let split = request
+        .resume_from
+        .as_deref()
+        .map_or_else(Default::default, |ck| ck.split());
+    let mut engine: Box<dyn SolverEngine> = match request.backend {
         BackendChoice::Serial => Box::new(Simulator::new(
             request.scene.clone(),
             SimConfig {
                 seed: request.seed,
-                ..Default::default()
+                split,
             },
         )),
         BackendChoice::Threaded { threads } => Box::new(ParEngine::new(
@@ -774,6 +947,7 @@ fn build_engine(request: &SolveRequest) -> Box<dyn SolverEngine> {
                 seed: request.seed,
                 threads: threads.max(1),
                 tally: TallyMode::Deterministic,
+                split,
                 ..Default::default()
             },
         )),
@@ -791,11 +965,18 @@ fn build_engine(request: &SolveRequest) -> Box<dyn SolverEngine> {
                     // "no adaptive controller" here.
                     balance: BalanceMode::Naive,
                     batch: BatchMode::Fixed(1),
+                    split,
                     ..Default::default()
                 },
             ))
         }
+    };
+    if let Some(ck) = request.resume_from.as_deref() {
+        engine
+            .restore(ck)
+            .expect("checkpoint compatibility was validated at submit");
     }
+    engine
 }
 
 /// The worker loop: grant a slice, run it unlocked, return it; park on the
@@ -873,11 +1054,27 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
                 // Cancel publishes whatever was solved so renders keep
                 // the best snapshot, then retires the job.
                 Some(engine) => {
-                    let (_, progress) = finalize(engine.as_ref(), engine.emitted(), busy, true);
+                    // The engine is about to drop: freeze its state (so a
+                    // canceled or shutdown-drained job can migrate via its
+                    // handle's checkpoint) — unless the stored checkpoint
+                    // is already at this photon count, as it is for a
+                    // paused job drained by shutdown; re-freezing would
+                    // clone the whole forest again for identical bytes.
+                    let emitted = engine.emitted();
+                    let stored_emitted = shared
+                        .lock()
+                        .job(id)
+                        .and_then(|j| j.checkpoint.as_ref().map(|ck| ck.emitted()));
+                    if stored_emitted != Some(emitted) {
+                        let ck = Arc::new(engine.checkpoint());
+                        shared.lock().record_checkpoint(id, ck);
+                    }
+                    let (_, progress) = finalize(engine.as_ref(), emitted, busy, true);
+                    drop(engine);
                     retire(
                         shared,
                         id,
-                        Some(engine),
+                        Some(emitted),
                         Some(progress),
                         true,
                         true,
@@ -906,6 +1103,43 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
             }
         }
         LeaseKind::Step { slice } => {
+            // A resumed job whose checkpoint already meets the target
+            // needs no engine at all: the published answer is derivable
+            // from the checkpoint, so skip booting a worker pool or rank
+            // world just to snapshot and drop it.
+            if engine.is_none() {
+                let met = build
+                    .as_ref()
+                    .and_then(|b| b.resume_from.clone())
+                    .filter(|ck| ck.emitted() >= target);
+                if let Some(ck) = met {
+                    let busy = refund_reservation(shared, id, slice);
+                    let answer = ck.to_answer();
+                    let leaf_bins = answer.total_leaf_bins();
+                    let epoch = store.publish(scene_id, answer);
+                    let progress = SolveProgress {
+                        job: id,
+                        scene_id,
+                        epoch,
+                        emitted: ck.emitted(),
+                        leaf_bins,
+                        elapsed_seconds: busy,
+                        virtual_time: false,
+                        done: true,
+                        canceled: false,
+                    };
+                    retire(
+                        shared,
+                        id,
+                        Some(ck.emitted()),
+                        Some(progress),
+                        false,
+                        true,
+                        slice_start,
+                    );
+                    return;
+                }
+            }
             // The engine persists across slices; build it on first grant.
             let mut engine = engine.unwrap_or_else(|| {
                 build_engine(&build.expect("first slice carries the build request"))
@@ -914,12 +1148,14 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
             // met (target_photons: 0, or met by a previous slice's
             // overshoot) must publish immediately, not emit another batch.
             if engine.emitted() >= target {
-                let busy = shared.lock().job(id).map_or(0.0, |j| j.busy_seconds);
-                let (_, progress) = finalize(engine.as_ref(), engine.emitted(), busy, false);
+                let busy = refund_reservation(shared, id, slice);
+                let emitted = engine.emitted();
+                let (_, progress) = finalize(engine.as_ref(), emitted, busy, false);
+                drop(engine);
                 retire(
                     shared,
                     id,
-                    Some(engine),
+                    Some(emitted),
                     Some(progress),
                     false,
                     true,
@@ -931,13 +1167,14 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
             let done = report.emitted_total >= target;
             // Account the slice (time, photons, quota) and read the flags
             // that arrived while the step ran unlocked.
-            let (publish_now, cancel_now, tenant_name) = {
+            let (publish_now, cancel_now, pause_now, tenant_name) = {
                 let mut st = shared.lock();
                 let job = st.job(id).expect("leased job exists");
                 job.batches += 1;
                 job.emitted = report.emitted_total;
                 job.busy_seconds += slice_start.elapsed().as_secs_f64();
                 let cancel_now = job.cancel_requested;
+                let pause_now = job.pause_requested;
                 let publish_now = done || job.batches.is_multiple_of(publish_every);
                 let tenant_name = job.tenant.clone();
                 let tenant = st.tenants.entry(tenant_name.clone()).or_default();
@@ -958,15 +1195,20 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
                     // slice returns.
                     st.unblock_tenant(&tenant_name);
                 }
-                (publish_now, cancel_now, tenant_name)
+                (publish_now, cancel_now, pause_now, tenant_name)
             };
             if cancel_now {
+                // The step advanced past any stored checkpoint: freeze the
+                // engine before it drops so the canceled job can migrate.
+                let ck = Arc::new(engine.checkpoint());
+                shared.lock().record_checkpoint(id, ck);
                 let busy = shared.lock().job(id).map_or(0.0, |j| j.busy_seconds);
                 let (_, progress) = finalize(engine.as_ref(), report.emitted_total, busy, true);
+                drop(engine);
                 retire(
                     shared,
                     id,
-                    Some(engine),
+                    Some(report.emitted_total),
                     Some(progress),
                     true,
                     false,
@@ -981,10 +1223,11 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
                     report.elapsed_seconds,
                     false,
                 );
+                drop(engine);
                 retire(
                     shared,
                     id,
-                    Some(engine),
+                    Some(report.emitted_total),
                     Some(progress),
                     false,
                     false,
@@ -1007,8 +1250,15 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
                     canceled: false,
                 }
             });
+            // A job about to park on pause gets checkpointed while the
+            // engine is still leased (outside the scheduler lock) — the
+            // freeze that lets its owner migrate it to another pool.
+            let park_checkpoint = pause_now.then(|| Arc::new(engine.checkpoint()));
             // Return the engine and park or requeue per pending requests.
             let mut st = shared.lock();
+            if let Some(ck) = park_checkpoint {
+                st.record_checkpoint(id, ck);
+            }
             let quota_empty = st.tenant_remaining(&tenant_name) == Some(0);
             let job = st.job(id).expect("leased job exists");
             job.engine = Some(engine);
@@ -1035,21 +1285,41 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
     }
 }
 
-/// Marks a leased job finished, sends its terminal progress report, and
-/// drops its engine and progress sender. `account_time` is false when the
-/// caller's slice accounting already added this lease's wall time — adding
+/// Returns one slice's grant-time photon reservation to the tenant budget
+/// (for paths that retire without emitting anything) and reports the job's
+/// accumulated busy seconds.
+fn refund_reservation(shared: &Shared, id: SolveJobId, slice: u64) -> f64 {
+    let mut st = shared.lock();
+    let Some(job) = st.job(id) else { return 0.0 };
+    let busy = job.busy_seconds;
+    let tenant_name = job.tenant.clone();
+    let tenant = st.tenants.entry(tenant_name.clone()).or_default();
+    let mut wake_tenant = false;
+    if let Some(budget) = tenant.budget.as_mut() {
+        *budget = budget.saturating_add(slice);
+        wake_tenant = *budget > 0;
+    }
+    if wake_tenant {
+        st.unblock_tenant(&tenant_name);
+    }
+    busy
+}
+
+/// Marks a leased job finished (callers drop the engine first; `emitted`
+/// is its final photon count, `None` when the job never held an engine and
+/// published nothing), sends its terminal progress report, and drops the
+/// progress sender. `account_time` is false when the caller's slice
+/// accounting already added this lease's wall time — adding
 /// `slice_start.elapsed()` again would double-count the step.
 fn retire(
     shared: &Shared,
     id: SolveJobId,
-    engine: Option<Box<dyn SolverEngine>>,
+    emitted: Option<u64>,
     progress: Option<SolveProgress>,
     canceled: bool,
     account_time: bool,
     slice_start: Instant,
 ) {
-    let emitted = engine.as_ref().map(|e| e.emitted());
-    drop(engine);
     let mut st = shared.lock();
     let Some(job) = st.job(id) else { return };
     if account_time {

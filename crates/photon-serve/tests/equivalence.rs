@@ -11,9 +11,14 @@
 //!   match serial exactly and its merged forest holds every tally exactly
 //!   once;
 //! * successive `SolveJob` epochs are monotonically non-decreasing in
-//!   tallied photons.
+//!   tallied photons;
+//! * a checkpoint taken at photon `N` under any order-preserving backend,
+//!   restored into any order-preserving backend (after a `PHOTCK1` codec
+//!   round trip), and stepped to `M` photons is **bit-identical** to an
+//!   uninterrupted `M`-photon solve — and a distributed world resumes
+//!   bit-identically into a freshly booted world of the same shape.
 
-use photon_core::{Answer, SimConfig, Simulator, SolverEngine};
+use photon_core::{Answer, EngineCheckpoint, SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
 use photon_par::{ParConfig, ParEngine, TallyMode};
 use photon_scenes::{cornell_box, TestScene};
@@ -105,6 +110,176 @@ fn distributed_engine_matches_serial_counters_and_tally_invariants() {
         );
         assert_eq!(answer.emitted(), photons);
     }
+}
+
+/// The tentpole invariant, engine-to-engine: checkpoint at `N`, restore
+/// across the serial↔threaded boundary (both directions, several split
+/// points, uneven thread counts), step to `M` — the answer is bit-identical
+/// to the uninterrupted reference. Every checkpoint crosses the `PHOTCK1`
+/// codec on the way, so the bytes on disk carry the whole resume state.
+#[test]
+fn checkpoint_resume_is_bit_identical_across_serial_and_threaded() {
+    let seed = 777;
+    let total = 6_000u64;
+    let (reference, _) = serial_answer(TestScene::CornellBox, seed, total);
+    let want = answer_bytes(&reference);
+    let par_engine = |threads: usize| {
+        ParEngine::new(
+            cornell_box(),
+            ParConfig {
+                seed,
+                threads,
+                tally: TallyMode::Deterministic,
+                ..Default::default()
+            },
+        )
+    };
+    let roundtrip = |ck: EngineCheckpoint| {
+        EngineCheckpoint::from_bytes(&ck.to_bytes()).expect("codec round trip")
+    };
+    for split_at in [1u64, 1_234, 3_000, 5_999] {
+        // Serial solves the prefix; the suffix runs threaded.
+        let mut serial = Simulator::new(
+            cornell_box(),
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        serial.run_photons(split_at);
+        let ck = roundtrip(serial.checkpoint());
+        assert_eq!(ck.cursor(), split_at);
+        let mut threaded = par_engine(3);
+        threaded.restore(&ck).expect("serial → threaded restore");
+        threaded.step(total - split_at);
+        assert_eq!(
+            answer_bytes(&threaded.snapshot()),
+            want,
+            "serial→threaded resume at {split_at} diverged"
+        );
+
+        // Threaded solves the prefix; the suffix runs serial.
+        let mut threaded = par_engine(4);
+        threaded.step(split_at);
+        let ck = roundtrip(threaded.checkpoint());
+        let mut serial = Simulator::new(
+            cornell_box(),
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        serial.restore(&ck).expect("threaded → serial restore");
+        serial.run_photons(total - split_at);
+        assert_eq!(
+            answer_bytes(&serial.answer_snapshot()),
+            want,
+            "threaded→serial resume at {split_at} diverged"
+        );
+
+        // Threaded → threaded across a different worker count.
+        let mut threaded = par_engine(2);
+        threaded.step(split_at);
+        let ck = roundtrip(threaded.checkpoint());
+        let mut wider = par_engine(7);
+        wider.restore(&ck).expect("threaded → threaded restore");
+        wider.step(total - split_at);
+        assert_eq!(
+            answer_bytes(&wider.snapshot()),
+            want,
+            "2→7-thread resume at {split_at} diverged"
+        );
+    }
+}
+
+/// A distributed world's checkpoint resumes bit-identically into a *fresh*
+/// world of the same shape: the original engine is dropped entirely, a new
+/// rank world boots, restores, and continues the same step schedule.
+#[test]
+fn distributed_checkpoint_resumes_bit_identically_on_a_fresh_world() {
+    let config = DistConfig {
+        seed: 901,
+        nranks: 3,
+        balance: BalanceMode::Naive,
+        batch: BatchMode::Fixed(1),
+        ..Default::default()
+    };
+    let per_rank = 400u64;
+    let rounds_total = 6;
+    let rounds_before = 2;
+
+    let mut straight = DistEngine::new(cornell_box(), config);
+    for _ in 0..rounds_total {
+        straight.step_round(per_rank);
+    }
+    let want = answer_bytes(&straight.snapshot());
+
+    let mut first = DistEngine::new(cornell_box(), config);
+    for _ in 0..rounds_before {
+        first.step_round(per_rank);
+    }
+    let ck = EngineCheckpoint::from_bytes(&first.checkpoint().to_bytes()).expect("codec");
+    assert_eq!(ck.cursor(), per_rank * 3 * rounds_before);
+    drop(first);
+
+    let mut resumed = DistEngine::new(cornell_box(), config);
+    resumed.restore(&ck).expect("same-shape world restore");
+    for _ in 0..rounds_total - rounds_before {
+        resumed.step_round(per_rank);
+    }
+    assert_eq!(resumed.stats(), straight.stats());
+    assert_eq!(
+        answer_bytes(&resumed.snapshot()),
+        want,
+        "fresh-world resume diverged from the uninterrupted distributed run"
+    );
+}
+
+/// Crossing the order boundary — a serial checkpoint restored into a
+/// distributed world — keeps the photon-set invariants: the union of
+/// photons is exactly the serial stream, so the counters and tally totals
+/// match the uninterrupted serial run even though rank-partitioned tally
+/// order may move bin boundaries.
+#[test]
+fn serial_checkpoint_restored_into_distributed_keeps_photon_set_invariants() {
+    let seed = 640;
+    let total = 5_000u64;
+    let split_at = 2_000u64;
+    let (_, serial) = serial_answer(TestScene::CornellBox, seed, total);
+
+    let mut prefix = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    prefix.run_photons(split_at);
+    let ck = prefix.checkpoint();
+
+    let mut dist = DistEngine::new(
+        cornell_box(),
+        DistConfig {
+            seed,
+            nranks: 3,
+            balance: BalanceMode::Naive,
+            batch: BatchMode::Fixed(1),
+            ..Default::default()
+        },
+    );
+    dist.restore(&ck).expect("serial → distributed restore");
+    let mut emitted = split_at;
+    while emitted < total {
+        let report = dist.step_round((total - emitted).min(1_500) / 3);
+        emitted += report.batch_photons;
+    }
+    assert_eq!(dist.stats(), *serial.stats());
+    let answer = dist.snapshot();
+    let tallies: u64 = (0..answer.patch_count() as u32)
+        .map(|p| answer.tree(p).tallies())
+        .sum();
+    assert_eq!(tallies, serial.forest().total_tallies());
+    assert_eq!(answer.emitted(), total);
 }
 
 #[test]

@@ -398,6 +398,246 @@ fn stale_publish_cannot_overwrite_a_fresher_answer() {
     assert_eq!(entry.answer.emitted(), 5_000);
 }
 
+/// The migration primitive, end to end: pause a job on one pool, fetch its
+/// checkpoint, *drop the pool entirely*, and resume the job on a freshly
+/// constructed pool. The resumed job's final published answer must be
+/// bit-identical to a never-interrupted job's — and the new pool's tenant
+/// budget is charged only for the photons emitted there, never for the
+/// resumed ones.
+#[test]
+fn paused_job_migrates_to_a_fresh_pool_via_its_checkpoint() {
+    let seed = 4_040;
+    let target = 30_000u64;
+    let scene = cornell_box();
+
+    // The never-interrupted reference, through the same pool machinery.
+    let reference_store = Arc::new(AnswerStore::new());
+    let reference = {
+        let pool = SolverPool::start(Arc::clone(&reference_store), 1);
+        let mut req = SolveRequest::new("uninterrupted", scene.clone());
+        req.seed = seed;
+        req.batch_size = 2_000;
+        req.target_photons = target;
+        let job = pool.submit(req);
+        let done = job.wait_done(Duration::from_secs(120)).expect("reference");
+        assert_eq!(done.emitted, target);
+        reference_store.get(job.scene_id()).unwrap()
+    };
+    let reference_bytes = {
+        let mut buf = Vec::new();
+        reference.answer.write_to(&mut buf).unwrap();
+        buf
+    };
+
+    // First pool: run part of the job, pause it, take the checkpoint.
+    let store_a = Arc::new(AnswerStore::new());
+    let pool_a = SolverPool::start(Arc::clone(&store_a), 1);
+    let mut req = SolveRequest::new("interrupted", scene.clone());
+    req.seed = seed;
+    req.batch_size = 2_000;
+    req.target_photons = target;
+    let job_a = pool_a.submit(req);
+    job_a
+        .next_progress(Duration::from_secs(60))
+        .expect("started");
+    job_a.pause();
+    while job_a.next_progress(Duration::from_millis(300)).is_some() {}
+    let ck = job_a
+        .checkpoint()
+        .expect("a paused job always has a checkpoint");
+    assert!(
+        ck.emitted() > 0 && ck.emitted() < target,
+        "{}",
+        ck.emitted()
+    );
+    assert_eq!(ck.emitted() % 2_000, 0, "pause parks at a batch boundary");
+    let m = pool_a.metrics();
+    assert!(m.checkpoints_taken >= 1, "{m:?}");
+    assert_eq!(m.checkpoint_bytes, ck.encoded_size() * m.checkpoints_taken);
+    drop(job_a);
+    drop(pool_a); // the first pool is gone; only the checkpoint survives
+
+    // Second pool: resume from the checkpoint under a tenant whose budget
+    // covers exactly the *remaining* photons — if resumed photons were
+    // charged, the job would park on quota instead of converging.
+    let store_b = Arc::new(AnswerStore::new());
+    let pool_b = SolverPool::start(Arc::clone(&store_b), 1);
+    let remaining = target - ck.emitted();
+    pool_b.set_tenant_budget("migrant", remaining);
+    let mut req = SolveRequest::resume("resumed", scene, Arc::clone(&ck));
+    req.batch_size = 2_000;
+    req.target_photons = target;
+    req.tenant = "migrant".into();
+    let job_b = pool_b.submit(req);
+    let done = job_b.wait_done(Duration::from_secs(120)).expect("resumed");
+    assert_eq!(done.emitted, target);
+    assert!(!done.canceled);
+
+    // Bit-identical to the uninterrupted solve, through the whole
+    // pause → checkpoint → new-pool pipeline.
+    let resumed = store_b.get(job_b.scene_id()).unwrap();
+    let mut resumed_bytes = Vec::new();
+    resumed.answer.write_to(&mut resumed_bytes).unwrap();
+    assert_eq!(resumed_bytes, reference_bytes, "migrated job diverged");
+
+    // Budget accounting: only the photons emitted on pool B were charged.
+    let m = pool_b.metrics();
+    let migrant = m
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "migrant")
+        .expect("tenant tracked");
+    assert_eq!(migrant.photons_used, remaining);
+    assert_eq!(migrant.budget_remaining, Some(0));
+    let job = &m.jobs[0];
+    assert_eq!(job.resumed_photons, ck.emitted());
+    assert_eq!(job.emitted, target);
+    assert_eq!(job.state, "done");
+}
+
+/// Cancel and shutdown both leave a fetchable checkpoint behind: the
+/// handle outlives the pool, so a drained job's state can still migrate.
+#[test]
+fn cancel_and_shutdown_leave_checkpoints_behind() {
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let mut req = SolveRequest::new("canceled-migrant", cornell_box());
+    req.seed = 31_337;
+    req.batch_size = 1_000;
+    req.target_photons = 1_000_000;
+    let canceled = pool.submit(req);
+    canceled
+        .next_progress(Duration::from_secs(60))
+        .expect("started");
+    canceled.cancel();
+    let done = canceled.wait_done(Duration::from_secs(60)).expect("final");
+    assert!(done.canceled);
+
+    // A second long job parks on pause and is cancel-finalized by the
+    // shutdown drain.
+    let mut req = SolveRequest::new("shutdown-migrant", cornell_box());
+    req.seed = 31_338;
+    req.batch_size = 1_000;
+    req.target_photons = 1_000_000;
+    let parked = pool.submit(req);
+    parked
+        .next_progress(Duration::from_secs(60))
+        .expect("started");
+    parked.pause();
+    while parked.next_progress(Duration::from_millis(300)).is_some() {}
+    pool.shutdown();
+
+    let ck_canceled = canceled.checkpoint().expect("cancel checkpoints");
+    let ck_parked = parked.checkpoint().expect("shutdown checkpoints");
+    assert_eq!(ck_canceled.emitted(), done.emitted);
+    assert!(ck_parked.emitted() > 0);
+    // Both checkpoints are real resume points: their encoded form decodes.
+    for ck in [ck_canceled, ck_parked] {
+        let decoded = photon_core::EngineCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(decoded.emitted(), ck.emitted());
+    }
+}
+
+/// A checkpoint at or past the target publishes immediately on resume —
+/// the already-met-target regression, through the resume path.
+#[test]
+fn resume_with_a_met_target_publishes_without_stepping() {
+    use photon_core::SolverEngine;
+    let scene = cornell_box();
+    let mut sim = Simulator::new(
+        scene.clone(),
+        SimConfig {
+            seed: 51,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(4_000);
+    let ck = Arc::new(sim.checkpoint());
+
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let mut req = SolveRequest::resume("already-done", scene, ck);
+    req.batch_size = 2_000;
+    req.target_photons = 4_000; // met by the checkpoint
+    let job = pool.submit(req);
+    let done = job.wait_done(Duration::from_secs(60)).expect("immediate");
+    assert!(done.done && !done.canceled);
+    assert_eq!(done.emitted, 4_000, "a met target must not emit more");
+    let entry = store.get(job.scene_id()).unwrap();
+    assert_eq!(entry.answer.emitted(), 4_000);
+    // The published answer is exactly the checkpoint's solution.
+    let mut published = Vec::new();
+    entry.answer.write_to(&mut published).unwrap();
+    let mut direct = Vec::new();
+    sim.answer_snapshot().write_to(&mut direct).unwrap();
+    assert_eq!(published, direct);
+}
+
+/// Regression (met-target budget leak): the grant-time photon reservation
+/// must flow back when the target is already met and nothing is emitted —
+/// before the fix, every met-target publish silently shrank the tenant's
+/// budget by one batch.
+#[test]
+fn met_target_publish_returns_the_budget_reservation() {
+    use photon_core::SolverEngine;
+    let scene = cornell_box();
+    let mut sim = Simulator::new(
+        scene.clone(),
+        SimConfig {
+            seed: 53,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(2_000);
+    let ck = Arc::new(sim.checkpoint());
+
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    pool.set_tenant_budget("frugal", 5_000);
+    let mut req = SolveRequest::resume("met", scene, ck);
+    req.batch_size = 4_000;
+    req.target_photons = 2_000; // met by the checkpoint: nothing to emit
+    req.tenant = "frugal".into();
+    let job = pool.submit(req);
+    let done = job.wait_done(Duration::from_secs(60)).expect("immediate");
+    assert_eq!(done.emitted, 2_000);
+    let m = pool.metrics();
+    let frugal = m
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "frugal")
+        .expect("tenant tracked");
+    assert_eq!(
+        frugal.budget_remaining,
+        Some(5_000),
+        "a met-target publish emitted nothing and must charge nothing"
+    );
+    assert_eq!(frugal.photons_used, 0);
+}
+
+/// Submitting a checkpoint against the wrong scene or seed is refused up
+/// front — a mismatched resume would silently corrupt the answer.
+#[test]
+#[should_panic(expected = "resume checkpoint must match")]
+fn submit_rejects_a_checkpoint_for_another_stream() {
+    use photon_core::SolverEngine;
+    let mut sim = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed: 52,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(1_000);
+    let ck = Arc::new(sim.checkpoint());
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(store, 1);
+    let mut req = SolveRequest::new("wrong-seed", cornell_box());
+    req.seed = 99; // not the checkpoint's stream
+    req.resume_from = Some(ck);
+    let _ = pool.submit(req);
+}
+
 /// Sanity: fairness does not cost convergence — N interleaved jobs all
 /// reach their exact targets and the total runtime is bounded.
 #[test]
