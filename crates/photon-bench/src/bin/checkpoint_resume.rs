@@ -17,7 +17,7 @@
 //! cargo run --release -p photon-bench --bin checkpoint_resume
 //! ```
 
-use photon_bench::{fmt, heading, md_table};
+use photon_bench::{fmt, heading, json_mode, md_table, JsonReport};
 use photon_core::{Answer, EngineCheckpoint, SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
 use photon_par::{ParConfig, ParEngine, TallyMode};
@@ -71,6 +71,7 @@ fn main() {
     let kind = TestScene::CornellBox;
     let path = std::env::temp_dir().join(format!("photon-ck-bench-{}.photck", std::process::id()));
     let mut rows = Vec::new();
+    let mut report = JsonReport::new("checkpoint_resume");
 
     for backend in ["serial", "threaded", "distributed"] {
         // Uninterrupted reference for the verification column.
@@ -119,6 +120,19 @@ fn main() {
             ck.encoded_size(),
             "encoded_size must predict the file exactly"
         );
+        report.raw(
+            backend,
+            format!(
+                "{{\"photons\":{TOTAL},\"photons_per_sec\":{:.1},\"checkpoint_bytes\":{},\"answer_bytes\":{},\"freeze_ms\":{:.3},\"save_ms\":{:.3},\"load_ms\":{:.3},\"restore_ms\":{:.3},\"verified\":\"{verified}\"}}",
+                TOTAL as f64 / solve_s,
+                ck.encoded_size(),
+                want.len(),
+                checkpoint_s * 1e3,
+                save_s * 1e3,
+                load_s * 1e3,
+                restore_s * 1e3,
+            ),
+        );
         rows.push(vec![
             backend.to_string(),
             format!("{:.0}k", TOTAL as f64 / 1_000.0),
@@ -134,6 +148,10 @@ fn main() {
     }
     let _ = std::fs::remove_file(&path);
 
+    if json_mode() {
+        report.print();
+        return;
+    }
     println!(
         "{}",
         md_table(

@@ -16,7 +16,7 @@
 //! cargo run --release -p photon-bench --bin multi_tenant
 //! ```
 
-use photon_bench::{fmt, heading, md_table};
+use photon_bench::{fmt, heading, json_mode, md_table, JsonReport};
 use photon_scenes::TestScene;
 use photon_serve::{AnswerStore, SolveRequest, SolverPool};
 use std::sync::Arc;
@@ -85,9 +85,26 @@ fn main() {
     done_at[metered_idx] = t0.elapsed().as_secs_f64();
 
     let m = pool.metrics();
+    let mut report = JsonReport::new("multi_tenant");
     let mut rows = Vec::new();
     for job in &m.jobs {
         let (label, _) = handles[job.job as usize];
+        report.raw(
+            label,
+            format!(
+                "{{\"tenant\":\"{}\",\"priority\":{},\"slices\":{},\"photons\":{},\"photons_per_sec\":{:.1},\"done_at_s\":{}}}",
+                job.tenant,
+                job.priority,
+                job.slices,
+                job.emitted,
+                job.photons_per_sec,
+                if done_at[job.job as usize].is_finite() {
+                    format!("{:.3}", done_at[job.job as usize])
+                } else {
+                    "null".to_string()
+                },
+            ),
+        );
         rows.push(vec![
             label.to_string(),
             job.tenant.clone(),
@@ -99,40 +116,59 @@ fn main() {
             heavy_at_finish[job.job as usize].map_or("—".to_string(), |p: u64| p.to_string()),
         ]);
     }
-    println!(
-        "{}",
-        md_table(
-            &[
-                "job",
-                "tenant",
-                "priority",
-                "slices",
-                "photons",
-                "photons/s",
-                "done at (s)",
-                "heavy photons then"
-            ],
-            &rows
-        )
-    );
+    let tenants_json: Vec<String> = m
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\":\"{}\",\"slices\":{},\"photons_used\":{},\"budget_remaining\":{}}}",
+                t.tenant,
+                t.slices,
+                t.photons_used,
+                t.budget_remaining
+                    .map_or("null".to_string(), |b| b.to_string()),
+            )
+        })
+        .collect();
+    report.raw("tenants", format!("[{}]", tenants_json.join(",")));
+    if json_mode() {
+        report.print();
+    } else {
+        println!(
+            "{}",
+            md_table(
+                &[
+                    "job",
+                    "tenant",
+                    "priority",
+                    "slices",
+                    "photons",
+                    "photons/s",
+                    "done at (s)",
+                    "heavy photons then"
+                ],
+                &rows
+            )
+        );
 
-    let mut tenant_rows = Vec::new();
-    for t in &m.tenants {
-        tenant_rows.push(vec![
-            t.tenant.clone(),
-            t.slices.to_string(),
-            t.photons_used.to_string(),
-            t.budget_remaining
-                .map_or("unlimited".to_string(), |b| b.to_string()),
-        ]);
+        let mut tenant_rows = Vec::new();
+        for t in &m.tenants {
+            tenant_rows.push(vec![
+                t.tenant.clone(),
+                t.slices.to_string(),
+                t.photons_used.to_string(),
+                t.budget_remaining
+                    .map_or("unlimited".to_string(), |b| b.to_string()),
+            ]);
+        }
+        println!(
+            "{}",
+            md_table(
+                &["tenant", "slices granted", "photons used", "budget left"],
+                &tenant_rows
+            )
+        );
     }
-    println!(
-        "{}",
-        md_table(
-            &["tenant", "slices granted", "photons used", "budget left"],
-            &tenant_rows
-        )
-    );
 
     // The scheduler's point, asserted: when each light job crossed its
     // finish line, the heavy job was still short of its target.
@@ -144,6 +180,8 @@ fn main() {
             );
         }
     }
-    println!("light jobs finished before the heavy one on a single worker —");
-    println!("weighted round-robin interleaves batch slices instead of FIFO.");
+    if !json_mode() {
+        println!("light jobs finished before the heavy one on a single worker —");
+        println!("weighted round-robin interleaves batch slices instead of FIFO.");
+    }
 }

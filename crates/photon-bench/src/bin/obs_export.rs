@@ -1,0 +1,164 @@
+//! **Observability smoke — boot a pool, scrape the exporter, validate.**
+//!
+//! Runs a real solve/serve/stream workload (one progressive Cornell solve,
+//! one subscriber, one served view), starts an [`ObsServer`] on loopback,
+//! scrapes `GET /metrics` and `GET /metrics.json` over TCP like a
+//! Prometheus agent would, and validates the exposition: every sample
+//! line parses as `name{labels} value`, and the solve, render, and stream
+//! tiers all report nonzero series. Exits nonzero on any violation — the
+//! CI step that keeps the exporter honest:
+//!
+//! ```sh
+//! cargo run --release -p photon-bench --bin obs_export
+//! ```
+//!
+//! [`ObsServer`]: photon_serve::ObsServer
+
+use photon_bench::{camera_for, heading};
+use photon_scenes::TestScene;
+use photon_serve::{
+    AnswerStore, BackendChoice, ObsServer, RenderRequest, RenderService, ServeConfig, SolveRequest,
+    SolverPool, StreamRequest,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fetch(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect to ObsServer");
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn body_of(response: &str) -> &str {
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "scrape failed: {}",
+        response.lines().next().unwrap_or("<empty>")
+    );
+    response.split("\r\n\r\n").nth(1).expect("response body")
+}
+
+fn main() {
+    heading("Observability smoke — scrape a live pool's exporter");
+
+    // A real workload so every tier has something to report.
+    let kind = TestScene::CornellBox;
+    let store = Arc::new(AnswerStore::new());
+    let pool = SolverPool::start(Arc::clone(&store), 1);
+    let service = RenderService::start(
+        Arc::clone(&store),
+        ServeConfig {
+            tile_size: 16,
+            ..ServeConfig::default()
+        },
+    );
+    service.attach_solver(pool.stats_source());
+
+    let mut request = SolveRequest::new("cornell-obs-smoke", kind.build());
+    request.backend = BackendChoice::Serial;
+    request.seed = 1997;
+    request.batch_size = 5_000;
+    request.target_photons = 10_000;
+    let job = pool.submit(request);
+    let stream = service
+        .subscribe(StreamRequest {
+            scene_id: job.scene_id(),
+            camera: camera_for(kind.view(), 96, 72),
+        })
+        .expect("subscribe");
+    stream
+        .recv_timeout(Duration::from_secs(600))
+        .expect("bootstrap delta");
+    job.wait_done(Duration::from_secs(600)).expect("solved");
+    stream
+        .recv_timeout(Duration::from_secs(600))
+        .expect("refinement delta");
+    service
+        .render_blocking(RenderRequest {
+            scene_id: job.scene_id(),
+            camera: camera_for(kind.view().orbited(0.25, 1.4), 96, 72),
+        })
+        .expect("served");
+
+    let server = ObsServer::serve(service.exporter()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // --- Text exposition: parseable, and alive in all three tiers. ---
+    let text = fetch(addr, "/metrics");
+    let body = body_of(&text);
+    let mut samples = 0usize;
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("exposition line has no value: {line:?}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value: {line:?}"
+        );
+        assert!(
+            !name.is_empty() && name.starts_with("photon_"),
+            "unexpected series name: {line:?}"
+        );
+        samples += 1;
+    }
+    let series = |prefix: &str| -> f64 {
+        body.lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("series {prefix} missing from exposition"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("numeric sample")
+    };
+    let solve_photons = series("photon_solve_photons_total");
+    let solver_done = series("photon_solver_done_total");
+    let latency_count = series("photon_request_latency_us_count");
+    let stream_deltas = series("photon_stream_deltas_total");
+    let events = series("photon_events_recorded_total");
+    assert!(solver_done >= 1.0, "solve tier dead: no finished jobs");
+    assert!(solve_photons >= 10_000.0, "solve tier dead: no photons");
+    assert!(latency_count >= 1.0, "render tier dead: no served requests");
+    assert!(stream_deltas >= 2.0, "stream tier dead: no deltas pushed");
+    assert!(events >= 1.0, "flight recorder dead: no events");
+
+    // --- JSON dump: versioned, structurally balanced, carries events. ---
+    let json = fetch(addr, "/metrics.json");
+    let body = body_of(&json);
+    assert!(body.starts_with("{\"version\":1,"), "JSON dump unversioned");
+    assert_eq!(
+        body.matches(['{', '[']).count(),
+        body.matches(['}', ']']).count(),
+        "JSON dump structurally unbalanced"
+    );
+    for kind in [
+        "job-submitted",
+        "epoch-published",
+        "job-done",
+        "delta-pushed",
+    ] {
+        assert!(
+            body.contains(&format!("\"kind\":\"{kind}\"")),
+            "flight-recorder tail missing {kind}"
+        );
+    }
+
+    // --- Unknown routes 404 instead of confusing a scraper. ---
+    assert!(
+        fetch(addr, "/other").starts_with("HTTP/1.1 404"),
+        "unknown route must 404"
+    );
+
+    drop(server);
+    pool.shutdown();
+    println!(
+        "scraped {samples} samples from http://{addr}/metrics — solve {solve_photons} photons / {solver_done} jobs, render {latency_count} requests, stream {stream_deltas} deltas, {events} recorded events; JSON dump versioned and balanced."
+    );
+}

@@ -11,7 +11,7 @@
 //! its wall time mostly measures the in-process simulation of the 1997
 //! machine — the epochs/freshness columns are the comparable part.
 
-use photon_bench::{camera_for, fmt, heading, md_table};
+use photon_bench::{camera_for, fmt, heading, json_mode, md_table, JsonReport};
 use photon_scenes::TestScene;
 use photon_serve::{
     AnswerStore, BackendChoice, RenderRequest, RenderService, ServeConfig, SolveRequest, SolverPool,
@@ -34,6 +34,7 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut report = JsonReport::new("progressive_solve");
     for (label, backend) in backends {
         let store = Arc::new(AnswerStore::new());
         let solver = SolverPool::start(Arc::clone(&store), 1);
@@ -76,6 +77,20 @@ fn main() {
             .jobs
             .first()
             .expect("the submitted job is tracked in the scheduler");
+        report.raw(
+            label,
+            format!(
+                "{{\"first_renderable_ms\":{:.3},\"solve_done_s\":{:.3},\"epochs\":{},\"fresh_renders\":{},\"leaf_bins\":{},\"solve_clock_s\":{:.3},\"slices\":{},\"photons_per_sec\":{:.1}}}",
+                t_first * 1e3,
+                t_done,
+                last.epoch,
+                fresh_renders,
+                last.leaf_bins,
+                last.elapsed_seconds,
+                job_stats.slices,
+                job_stats.photons_per_sec,
+            ),
+        );
         rows.push(vec![
             label.to_string(),
             fmt(t_first * 1e3),
@@ -87,6 +102,10 @@ fn main() {
             job_stats.slices.to_string(),
             fmt(job_stats.photons_per_sec),
         ]);
+    }
+    if json_mode() {
+        report.print();
+        return;
     }
     println!(
         "{}",

@@ -16,7 +16,7 @@
 //!
 //! [`FrameDelta`]: photon_serve::FrameDelta
 
-use photon_bench::{camera_for, fmt, heading, md_table, write_csv};
+use photon_bench::{camera_for, fmt, heading, json_mode, md_table, write_csv, JsonReport};
 use photon_scenes::TestScene;
 use photon_serve::{
     AnswerStore, BackendChoice, RenderRequest, RenderService, ServeConfig, SolveRequest,
@@ -67,6 +67,7 @@ fn main() {
     let t0 = Instant::now();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
+    let mut subscribers_json = Vec::new();
     let mut total_deltas = 0u64;
     for (i, stream) in streams.iter().enumerate() {
         let mut canvas = None;
@@ -115,6 +116,10 @@ fn main() {
             saved > 0,
             "subscriber {i}: deltas failed to undercut frames"
         );
+        subscribers_json.push(format!(
+            "{{\"phase\":{},\"deltas\":{deltas},\"tiles\":{tiles},\"tile_bytes\":{tile_bytes},\"full_frame_bytes\":{full_bytes},\"saved_bytes\":{saved}}}",
+            phases[i],
+        ));
         rows.push(vec![
             format!("sub {i} (phase {})", phases[i]),
             deltas.to_string(),
@@ -128,32 +133,47 @@ fn main() {
     let elapsed = t0.elapsed().as_secs_f64();
     job.wait_done(Duration::from_secs(600)).expect("converged");
 
-    println!(
-        "{}",
-        md_table(
-            &[
-                "subscriber",
-                "deltas",
-                "tiles",
-                "tile kB",
-                "full-frame kB",
-                "saved"
-            ],
-            &rows,
-        )
-    );
     let m = service.metrics();
-    println!(
-        "pushed {} deltas in {:.2}s ({} deltas/s); stream tier: {} deltas, {} tiles, {} kB shipped vs {} kB full-frame ({} kB saved)",
-        total_deltas,
-        elapsed,
-        fmt(total_deltas as f64 / elapsed.max(1e-9)),
-        m.stream.deltas,
-        m.stream.tiles,
-        m.stream.tile_bytes / 1024,
-        m.stream.full_frame_bytes / 1024,
-        m.stream.bytes_saved() / 1024,
-    );
+    if json_mode() {
+        let mut report = JsonReport::new("streaming_serve");
+        report
+            .raw("subscribers", format!("[{}]", subscribers_json.join(",")))
+            .int("total_deltas", total_deltas)
+            .num("elapsed_s", elapsed)
+            .num("deltas_per_sec", total_deltas as f64 / elapsed.max(1e-9))
+            .int("stream_deltas", m.stream.deltas)
+            .int("stream_tiles", m.stream.tiles)
+            .int("stream_tile_bytes", m.stream.tile_bytes)
+            .int("stream_full_frame_bytes", m.stream.full_frame_bytes)
+            .int("stream_bytes_saved", m.stream.bytes_saved());
+        report.print();
+    } else {
+        println!(
+            "{}",
+            md_table(
+                &[
+                    "subscriber",
+                    "deltas",
+                    "tiles",
+                    "tile kB",
+                    "full-frame kB",
+                    "saved"
+                ],
+                &rows,
+            )
+        );
+        println!(
+            "pushed {} deltas in {:.2}s ({} deltas/s); stream tier: {} deltas, {} tiles, {} kB shipped vs {} kB full-frame ({} kB saved)",
+            total_deltas,
+            elapsed,
+            fmt(total_deltas as f64 / elapsed.max(1e-9)),
+            m.stream.deltas,
+            m.stream.tiles,
+            m.stream.tile_bytes / 1024,
+            m.stream.full_frame_bytes / 1024,
+            m.stream.bytes_saved() / 1024,
+        );
+    }
     // The shared-viewpoint pair coalesced: strictly fewer renders than
     // subscriber-deltas were pushed (cache hits answered the twin).
     assert!(
@@ -165,5 +185,7 @@ fn main() {
         "subscriber,epoch,tiles,tile_bytes,full_frame_bytes",
         &csv,
     );
-    println!("per-delta series: {}", path.display());
+    if !json_mode() {
+        println!("per-delta series: {}", path.display());
+    }
 }

@@ -79,9 +79,86 @@ pub fn fmt(v: f64) -> String {
     }
 }
 
-/// Prints a section heading for the experiment logs.
+/// Prints a section heading for the experiment logs (suppressed under
+/// [`json_mode`], where stdout must be one JSON object).
 pub fn heading(title: &str) {
-    println!("\n## {title}\n");
+    if !json_mode() {
+        println!("\n## {title}\n");
+    }
+}
+
+/// True when `--json` was passed: the binary emits a single JSON object
+/// on stdout (machine-readable, for baselines like `BENCH_baseline.json`)
+/// instead of markdown tables. Assertions still run either way.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Hand-rolled JSON object builder for `--json` bench reports — the
+/// workspace has no serializer dependency, and bench output is flat
+/// enough not to need one.
+pub struct JsonReport {
+    bench: String,
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// A report named after the bench binary.
+    pub fn new(bench: impl Into<String>) -> Self {
+        JsonReport {
+            bench: bench.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.raw(key, v.to_string())
+    }
+
+    /// Adds a float field (non-finite values become `null`).
+    pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
+        let rendered = if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            "null".to_string()
+        };
+        self.raw(key, rendered)
+    }
+
+    /// Adds a string field (escaped).
+    pub fn text(&mut self, key: &str, v: &str) -> &mut Self {
+        self.raw(key, format!("\"{}\"", photon_core::obs::json_escape(v)))
+    }
+
+    /// Adds a pre-rendered JSON value — nested objects and arrays are the
+    /// caller's responsibility.
+    pub fn raw(&mut self, key: &str, rendered_json: impl Into<String>) -> &mut Self {
+        self.fields.push((key.to_string(), rendered_json.into()));
+        self
+    }
+
+    /// The report as one JSON object.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"bench\":\"{}\"",
+            photon_core::obs::json_escape(&self.bench)
+        );
+        for (key, value) in &self.fields {
+            out.push_str(&format!(
+                ",\"{}\":{}",
+                photon_core::obs::json_escape(key),
+                value
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prints the report — the only stdout a `--json` run produces.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
 }
 
 /// Builds a `photon_core` camera from a scene's recommended view.
@@ -110,6 +187,22 @@ mod tests {
         assert!(t.contains("| a | b |"));
         assert!(t.contains("| 1 | 2 |"));
         assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut r = JsonReport::new("demo");
+        r.int("count", 3)
+            .num("rate", 1.5)
+            .num("bad", f64::NAN)
+            .text("label", "a\"b")
+            .raw("nested", "{\"x\":1}");
+        let s = r.render();
+        assert_eq!(
+            s,
+            "{\"bench\":\"demo\",\"count\":3,\"rate\":1.500000,\"bad\":null,\
+             \"label\":\"a\\\"b\",\"nested\":{\"x\":1}}"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | solve checkpoints (freeze/resume) | [`checkpoint`] |
 //! | viewing | [`view`], [`img`] |
 //! | performance traces | [`perf`] |
+//! | observability (flight recorder, histograms) | [`obs`] |
 //! | polarization (the paper's in-progress extension) | [`polar`] |
 
 #![deny(missing_docs)]
@@ -32,6 +33,7 @@ pub mod engine;
 pub mod forest;
 pub mod generate;
 pub mod img;
+pub mod obs;
 pub mod perf;
 pub mod polar;
 pub mod reflect;
@@ -45,7 +47,11 @@ pub use engine::{photon_stream, BatchReport, SolverEngine, PHOTON_DRAW_STRIDE};
 pub use forest::BinForest;
 pub use generate::{EmittedPhoton, PhotonGenerator};
 pub use img::Image;
-pub use perf::{MemoryTrace, SpeedTrace};
+pub use obs::{
+    FlightRecorder, Histogram, HistogramSnapshot, ObsCtx, ObsEvent, ObsHub, ObsKind, ObsTier,
+    Stage, StageTimings, StageTimingsSnapshot,
+};
+pub use perf::{MemoryTrace, SpeedTrace, SPEED_TRACE_CAP};
 pub use polar::{Polarization, PolarizedBounce};
 pub use sim::{SimConfig, SimStats, Simulator};
 pub use trace::{trace_photon, TallySink, TraceOutcome};

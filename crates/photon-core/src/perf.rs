@@ -9,6 +9,11 @@
 //!
 //! [`MemoryTrace`] records bin-forest bytes against photons simulated
 //! (Fig 5.4).
+//!
+//! A [`SpeedTrace`] is bounded: past [`SPEED_TRACE_CAP`] samples it
+//! coalesces adjacent pairs, halving its resolution but never its span, so
+//! a week-long solve cannot grow it without limit. `total_photons` stays
+//! exact through coalescing.
 
 /// One batch sample of a run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,6 +25,9 @@ pub struct SpeedSample {
     /// Instantaneous rate of this batch (photons/second).
     pub rate: f64,
 }
+
+/// Samples a [`SpeedTrace`] retains before coalescing adjacent pairs.
+pub const SPEED_TRACE_CAP: usize = 4096;
 
 /// Speed-vs-time trace of one run.
 #[derive(Clone, Debug, Default)]
@@ -36,18 +44,63 @@ impl SpeedTrace {
 
     /// Records a batch that finished at `elapsed` seconds, having simulated
     /// `photons` photons in `batch_seconds`.
+    ///
+    /// When the trace reaches [`SPEED_TRACE_CAP`] samples, adjacent pairs
+    /// are merged (summed photons and durations, the later endpoint),
+    /// halving resolution while keeping the full time span and the exact
+    /// photon total — a long-lived solve's trace stays a fixed size.
     pub fn push_batch(&mut self, elapsed: f64, photons: u64, batch_seconds: f64) {
         let rate = if batch_seconds > 0.0 {
             photons as f64 / batch_seconds
         } else {
             0.0
         };
+        if self.samples.len() >= SPEED_TRACE_CAP {
+            self.coalesce();
+        }
         self.samples.push(SpeedSample {
             elapsed,
             photons,
             rate,
         });
         self.total_photons += photons;
+    }
+
+    /// Merges adjacent sample pairs in place, halving the sample count.
+    /// Each merged sample covers both batches: photons add, the batch
+    /// durations (reconstructed as `photons / rate`) add to form the new
+    /// rate, and the later batch's endpoint carries over.
+    fn coalesce(&mut self) {
+        let mut merged = Vec::with_capacity(self.samples.len().div_ceil(2));
+        for pair in self.samples.chunks(2) {
+            if pair.len() == 1 {
+                merged.push(pair[0]);
+                continue;
+            }
+            let (a, b) = (pair[0], pair[1]);
+            let photons = a.photons + b.photons;
+            let seconds = [a, b]
+                .iter()
+                .map(|s| {
+                    if s.rate > 0.0 {
+                        s.photons as f64 / s.rate
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>();
+            let rate = if seconds > 0.0 {
+                photons as f64 / seconds
+            } else {
+                0.0
+            };
+            merged.push(SpeedSample {
+                elapsed: b.elapsed,
+                photons,
+                rate,
+            });
+        }
+        self.samples = merged;
     }
 
     /// All samples.
@@ -217,6 +270,33 @@ mod tests {
             lin.push(i * 1000, (i * 1000) as usize);
         }
         assert!(!lin.is_sublinear());
+    }
+
+    #[test]
+    fn cap_coalesces_but_keeps_totals_exact() {
+        let mut t = SpeedTrace::new();
+        let n = (SPEED_TRACE_CAP * 3) as u64;
+        for i in 0..n {
+            // Odd photon counts so any lossy accounting would show up.
+            t.push_batch((i + 1) as f64 * 0.5, 3 * i + 1, 0.5);
+        }
+        assert!(t.samples().len() <= SPEED_TRACE_CAP);
+        let exact: u64 = (0..n).map(|i| 3 * i + 1).sum();
+        assert_eq!(t.total_photons(), exact);
+        // Sum of per-sample photons also stays exact (merging adds).
+        assert_eq!(t.samples().iter().map(|s| s.photons).sum::<u64>(), exact);
+        // The span survives: last endpoint is the last batch's.
+        assert_eq!(t.total_elapsed(), n as f64 * 0.5);
+        // Samples stay time-ordered.
+        assert!(t.samples().windows(2).all(|w| w[0].elapsed < w[1].elapsed));
+        // Constant-rate input coalesces to the same constant rate.
+        let mut c = SpeedTrace::new();
+        for i in 0..(SPEED_TRACE_CAP as u64 + 10) {
+            c.push_batch((i + 1) as f64, 1000, 1.0);
+        }
+        for s in c.samples() {
+            assert!((s.rate - 1000.0).abs() < 1e-9);
+        }
     }
 
     #[test]

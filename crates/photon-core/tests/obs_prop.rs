@@ -1,0 +1,109 @@
+//! Property tests for the log2-bucketed [`Histogram`]: the quantile
+//! approximation stays within one bucket of the exact nearest-rank
+//! statistic, and merging histograms is indistinguishable from having
+//! recorded the concatenated stream into one.
+
+use photon_core::Histogram;
+use proptest::prelude::*;
+
+/// Latency-shaped samples: mostly small values with a heavy tail, plus
+/// exact powers of two (and their predecessors) to sit right on bucket
+/// boundaries.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    // Bits capped at 48 so 400 samples can never overflow a u64 sum —
+    // the test compares against an exact `iter().sum()`.
+    proptest::collection::vec((0u32..5, 0u64..1 << 20, 0u32..49), 1..400).prop_map(|raws| {
+        raws.into_iter()
+            .map(|(class, v, bit)| match class {
+                0 => v % 16,
+                1 => 16 + v % 4_080,
+                2 => v,
+                3 => 1u64 << bit,
+                _ => (1u64 << bit).wrapping_sub(1),
+            })
+            .collect()
+    })
+}
+
+/// Exact nearest-rank quantile over the raw samples — the statistic the
+/// bucketed estimate approximates.
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The bucket a value lands in: 0 for 0, else its bit length.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+}
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every quantile, the bucketed estimate lives in the same log2
+    /// bucket as the exact nearest-rank sample (never below it), and the
+    /// count/sum/max accounting is exact.
+    #[test]
+    fn quantile_within_one_bucket_of_exact(samples in arb_samples(), q in 0.01f64..1.0) {
+        let h = record_all(&samples).snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(h.max, *sorted.last().unwrap());
+
+        let exact = exact_nearest_rank(&sorted, q);
+        let est = h.quantile(q);
+        // The estimate is the bucket's upper bound clamped to the true
+        // max: always >= the exact statistic, and within its bucket.
+        prop_assert!(est >= exact,
+            "estimate {} fell below exact nearest-rank {}", est, exact);
+        prop_assert!(bucket_of(est) <= bucket_of(exact).max(bucket_of(h.max.min(est))),
+            "estimate {} escaped the exact value's bucket ({} vs {})",
+            est, bucket_of(est), bucket_of(exact));
+        prop_assert_eq!(bucket_of(est.min(h.max)), bucket_of(est),
+            "estimate clamped past the exact max");
+        // Tight form of "within one bucket": the estimate never exceeds
+        // the upper bound of the exact value's bucket (or the max).
+        let upper = if bucket_of(exact) >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bucket_of(exact)) - 1
+        };
+        prop_assert!(est <= upper.min(h.max).max(exact),
+            "estimate {} beyond exact's bucket upper {} (max {})", est, upper, h.max);
+    }
+
+    /// Merging two snapshots equals one histogram fed the concatenation:
+    /// identical buckets, sum, max — hence identical quantiles. This is
+    /// the property that makes per-shard histograms aggregatable.
+    #[test]
+    fn merge_equals_concatenation(a in arb_samples(), b in arb_samples()) {
+        let mut merged = record_all(&a).snapshot();
+        merged.merge(&record_all(&b).snapshot());
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let whole = record_all(&concat).snapshot();
+
+        prop_assert_eq!(&merged.buckets[..], &whole.buckets[..]);
+        prop_assert_eq!(merged.sum, whole.sum);
+        prop_assert_eq!(merged.max, whole.max);
+        prop_assert_eq!(merged.count(), whole.count());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`service`] | submission queue → batching dispatcher → cache/coalesce/render |
 //! | [`stream`] | epoch subscriptions: publishes push [`FrameDelta`]s (changed tiles only) to subscribers, reassembling bit-identical frames |
 //! | [`metrics`] | p50/p99 latency, queries/sec, speed traces, streaming-tier counters, and solve-tier scheduler state (per-job photons/sec, queue depth, per-tenant slices) |
+//! | [`obs`] | exporters over the shared observability hub: Prometheus text exposition, versioned JSON dump (metrics + stage histograms + flight-recorder tail), and a scrapeable TCP endpoint |
 //!
 //! **Multi-job scheduling.** The pool is not FIFO: every backend engine is
 //! an incremental `step → snapshot` machine, so the scheduler's unit is
@@ -73,6 +74,7 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod obs;
 pub mod render;
 pub mod service;
 pub mod solver;
@@ -84,6 +86,7 @@ pub use metrics::{
     LatencySummary, MetricsSnapshot, RequestOutcome, SolveJobMetrics, SolverMetricsSnapshot,
     SolverStatsSource, StreamMetricsSnapshot, TenantMetrics,
 };
+pub use obs::{ObsExporter, ObsServer};
 pub use render::render_parallel;
 pub use service::{RenderRequest, RenderResponse, RenderService, ServeConfig, ServeError, Ticket};
 pub use solver::{

@@ -16,23 +16,46 @@
 //! depth grows while per-job photon rates fall, the solve tier is
 //! saturated no matter how healthy the render latencies look.
 
-use photon_core::SpeedTrace;
+use photon_core::obs::HistogramSnapshot;
+use photon_core::{Histogram, SpeedTrace};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Latency distribution summary, milliseconds.
+///
+/// Percentiles are read from the bounded log-bucketed latency histogram
+/// ([`photon_core::Histogram`]): each is the upper bound of the bucket
+/// holding the nearest-rank sample, clamped to the exact max — within one
+/// log-bucket of the exact statistic, at constant memory forever. `count`,
+/// `mean_ms`, and `max_ms` are exact.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LatencySummary {
     /// Requests measured.
     pub count: u64,
-    /// Mean latency.
+    /// Mean latency (exact).
     pub mean_ms: f64,
-    /// Median latency.
+    /// Median latency (bucketed).
     pub p50_ms: f64,
-    /// 99th-percentile latency.
+    /// 90th-percentile latency (bucketed).
+    pub p90_ms: f64,
+    /// 99th-percentile latency (bucketed).
     pub p99_ms: f64,
-    /// Worst observed latency.
+    /// Worst observed latency (exact).
     pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Reads the summary off a histogram snapshot (microsecond samples).
+    pub fn from_histogram(h: &HistogramSnapshot) -> Self {
+        LatencySummary {
+            count: h.count(),
+            mean_ms: h.mean() / 1000.0,
+            p50_ms: h.quantile(0.50) as f64 / 1000.0,
+            p90_ms: h.quantile(0.90) as f64 / 1000.0,
+            p99_ms: h.quantile(0.99) as f64 / 1000.0,
+            max_ms: h.max as f64 / 1000.0,
+        }
+    }
 }
 
 /// Point-in-time copy of the service counters.
@@ -61,8 +84,11 @@ pub struct MetricsSnapshot {
     pub seen_epoch_entries: u64,
     /// Streaming tier: epoch subscriptions and tile-delta traffic.
     pub stream: StreamMetricsSnapshot,
-    /// Request latency distribution.
+    /// Request latency distribution (read off `latency_hist`).
     pub latency: LatencySummary,
+    /// The raw bounded latency histogram (microsecond buckets) — what
+    /// exporters turn into Prometheus `le` buckets.
+    pub latency_hist: HistogramSnapshot,
     /// Per-dispatch-batch rate trace (requests/second), perf style.
     pub speed: SpeedTrace,
     /// Solve-tier scheduler state, when a solver pool is attached via
@@ -177,8 +203,9 @@ pub trait SolverStatsSource: Send + Sync {
     fn solver_snapshot(&self) -> SolverMetricsSnapshot;
 }
 
+#[derive(Default)]
 struct Inner {
-    latencies_us: Vec<u64>,
+    completed: u64,
     rendered: u64,
     cache_hits: u64,
     coalesced: u64,
@@ -192,8 +219,16 @@ struct Inner {
 }
 
 /// Shared metrics sink written by the dispatcher, read by anyone.
+///
+/// Memory is bounded by construction: latencies go into a fixed-size
+/// log-bucketed [`Histogram`] (not a growing `Vec`), and the per-batch
+/// [`SpeedTrace`] coalesces past [`photon_core::SPEED_TRACE_CAP`] samples
+/// — a service that answers a billion requests holds the same metrics
+/// footprint as one that answered a thousand.
 pub struct ServiceMetrics {
     start: Instant,
+    // Lock-free: recorded outside the counter mutex on the hot path.
+    latency: Histogram,
     inner: Mutex<Inner>,
 }
 
@@ -208,19 +243,8 @@ impl ServiceMetrics {
     pub fn new() -> Self {
         ServiceMetrics {
             start: Instant::now(),
-            inner: Mutex::new(Inner {
-                latencies_us: Vec::new(),
-                rendered: 0,
-                cache_hits: 0,
-                coalesced: 0,
-                batches: 0,
-                cache_entries: 0,
-                cache_purged: 0,
-                seen_epoch_entries: 0,
-                stream: StreamMetricsSnapshot::default(),
-                speed: SpeedTrace::new(),
-                solver: None,
-            }),
+            latency: Histogram::new(),
+            inner: Mutex::new(Inner::default()),
         }
     }
 
@@ -260,10 +284,12 @@ impl ServiceMetrics {
         inner.stream.full_frame_bytes += full_frame_bytes;
     }
 
-    /// Records one answered request and how it was satisfied.
+    /// Records one answered request and how it was satisfied. The latency
+    /// lands in the bounded histogram without taking the counter lock.
     pub fn record_request(&self, latency: Duration, outcome: RequestOutcome) {
+        self.latency.record(latency.as_micros() as u64);
         let mut inner = self.inner.lock().unwrap();
-        inner.latencies_us.push(latency.as_micros() as u64);
+        inner.completed += 1;
         match outcome {
             RequestOutcome::Rendered => inner.rendered += 1,
             RequestOutcome::CacheHit => inner.cache_hits += 1,
@@ -281,35 +307,47 @@ impl ServiceMetrics {
     }
 
     /// Snapshots every counter.
+    ///
+    /// All service counters are copied in ONE critical section, so the
+    /// snapshot can never tear (e.g. observe a delta's `tiles` without its
+    /// `tile_bytes`). The solver source is cloned inside that same section
+    /// but its `solver_snapshot()` — which takes the scheduler's own lock
+    /// — runs strictly after the counter lock is released, so the two
+    /// locks are never nested and a solver that reports back into these
+    /// metrics cannot deadlock.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        // Resolve the solver source outside the counter lock: its snapshot
-        // takes the scheduler lock, and nesting the two invites deadlock.
-        let solver_source = self.inner.lock().unwrap().solver.clone();
-        let solver = solver_source
-            .map(|s| s.solver_snapshot())
-            .unwrap_or_default();
-        let inner = self.inner.lock().unwrap();
-        let completed = inner.latencies_us.len() as u64;
         let uptime = self.start.elapsed().as_secs_f64();
-        MetricsSnapshot {
-            completed,
-            rendered: inner.rendered,
-            cache_hits: inner.cache_hits,
-            coalesced: inner.coalesced,
-            batches: inner.batches,
-            qps: if uptime > 0.0 {
-                completed as f64 / uptime
-            } else {
-                0.0
-            },
-            cache_entries: inner.cache_entries,
-            cache_purged: inner.cache_purged,
-            seen_epoch_entries: inner.seen_epoch_entries,
-            stream: inner.stream,
-            latency: summarize(&inner.latencies_us),
-            speed: inner.speed.clone(),
-            solver,
+        let latency_hist = self.latency.snapshot();
+        let (mut snap, solver_source) = {
+            let inner = self.inner.lock().unwrap();
+            (
+                MetricsSnapshot {
+                    completed: inner.completed,
+                    rendered: inner.rendered,
+                    cache_hits: inner.cache_hits,
+                    coalesced: inner.coalesced,
+                    batches: inner.batches,
+                    qps: if uptime > 0.0 {
+                        inner.completed as f64 / uptime
+                    } else {
+                        0.0
+                    },
+                    cache_entries: inner.cache_entries,
+                    cache_purged: inner.cache_purged,
+                    seen_epoch_entries: inner.seen_epoch_entries,
+                    stream: inner.stream,
+                    latency: LatencySummary::from_histogram(&latency_hist),
+                    latency_hist,
+                    speed: inner.speed.clone(),
+                    solver: SolverMetricsSnapshot::default(),
+                },
+                inner.solver.clone(),
+            )
+        };
+        if let Some(source) = solver_source {
+            snap.solver = source.solver_snapshot();
         }
+        snap
     }
 }
 
@@ -324,45 +362,33 @@ pub enum RequestOutcome {
     Coalesced,
 }
 
-/// Summarizes microsecond latencies (nearest-rank percentiles).
-fn summarize(latencies_us: &[u64]) -> LatencySummary {
-    if latencies_us.is_empty() {
-        return LatencySummary::default();
-    }
-    let mut sorted = latencies_us.to_vec();
-    sorted.sort_unstable();
-    let pick = |q: f64| {
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1] as f64 / 1000.0
-    };
-    LatencySummary {
-        count: sorted.len() as u64,
-        mean_ms: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1000.0,
-        p50_ms: pick(0.50),
-        p99_ms: pick(0.99),
-        max_ms: *sorted.last().unwrap() as f64 / 1000.0,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_follow_nearest_rank() {
+    fn percentiles_read_off_the_bounded_histogram() {
         // 1..=100 ms in microseconds.
-        let us: Vec<u64> = (1..=100).map(|ms| ms * 1000).collect();
-        let s = summarize(&us);
+        let m = ServiceMetrics::new();
+        for ms in 1..=100u64 {
+            m.record_request(Duration::from_millis(ms), RequestOutcome::Rendered);
+        }
+        let s = m.snapshot().latency;
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_ms, 50.0);
-        assert_eq!(s.p99_ms, 99.0);
+        // Exact aggregates stay exact.
         assert_eq!(s.max_ms, 100.0);
         assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        // Bucketed percentiles are ≥ the exact nearest-rank value and
+        // within the same log2 bucket (exact p50 = 50 ms → bucket upper
+        // bound 65.535 ms; exact p99 = 99 ms → clamped to max).
+        assert_eq!(s.p50_ms, 65.535);
+        assert_eq!(s.p90_ms, 100.0);
+        assert_eq!(s.p99_ms, 100.0);
     }
 
     #[test]
     fn empty_summary_is_zeroed() {
-        let s = summarize(&[]);
+        let s = ServiceMetrics::new().snapshot().latency;
         assert_eq!(s.count, 0);
         assert_eq!(s.p99_ms, 0.0);
     }

@@ -23,8 +23,9 @@ use crate::metrics::{MetricsSnapshot, RequestOutcome, ServiceMetrics, SolverStat
 use crate::render::render_parallel;
 use crate::store::{AnswerStore, SceneId, StoredAnswer, WatcherId};
 use crate::stream::{FrameDelta, StreamHandle, StreamRequest};
+use photon_core::obs::{ObsCtx, ObsKind, Stage};
 use photon_core::view::{diff_tiles, Tile};
-use photon_core::{Camera, Image};
+use photon_core::{Camera, Image, ObsHub};
 use photon_math::Rgb;
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -329,7 +330,12 @@ impl RenderService {
                 alive: Arc::clone(&alive),
             }))
             .map_err(|_| ServeError::ServiceStopped)?;
-        Ok(StreamHandle::new(request, rx, alive))
+        Ok(StreamHandle::new(
+            request,
+            rx,
+            alive,
+            Some(self.store.obs()),
+        ))
     }
 
     /// Submits and blocks for the response.
@@ -351,6 +357,13 @@ impl RenderService {
     /// Current service counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The shared metrics sink itself (not a snapshot) — what
+    /// [`exporter`](Self::exporter) and tests that probe concurrency
+    /// hang on to.
+    pub fn metrics_handle(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Attaches a solver pool's scheduler (see
@@ -432,6 +445,9 @@ struct Dispatcher {
     store: Arc<AnswerStore>,
     config: ServeConfig,
     metrics: Arc<ServiceMetrics>,
+    /// The store's shared observability hub: stage timings (cache probe,
+    /// render, diff, reply) and serve/stream lifecycle events.
+    obs: Arc<ObsHub>,
     cache: Option<LruCache<ViewKey, Arc<Image>>>,
     /// Freshest epoch seen per scene — when a publish advances it, the
     /// scene's older-epoch cache keys are orphaned (they can never match a
@@ -449,10 +465,12 @@ struct Dispatcher {
 impl Dispatcher {
     fn new(store: Arc<AnswerStore>, config: ServeConfig, metrics: Arc<ServiceMetrics>) -> Self {
         let cache = (config.cache_capacity > 0).then(|| LruCache::new(config.cache_capacity));
+        let obs = store.obs();
         Dispatcher {
             store,
             config,
             metrics,
+            obs,
             cache,
             seen_epoch: HashMap::new(),
             subscribers: HashMap::new(),
@@ -527,6 +545,14 @@ impl Dispatcher {
                 self.serve_scene_group(&entry, scene_id, group)
             }));
             if guarded.is_err() {
+                self.obs.emit(
+                    ObsKind::DispatchPanic,
+                    ObsCtx {
+                        scene: Some(scene_id.0),
+                        payload: replies.len() as u64,
+                        ..Default::default()
+                    },
+                );
                 // The panicking render consumed the group's jobs; the
                 // cloned senders still reach every waiter. Those already
                 // answered ignore the second message (tickets read once).
@@ -549,7 +575,14 @@ impl Dispatcher {
         if self.cache.is_none() {
             for job in group {
                 let (image, _) = self.resolve_view(entry, scene_id, &job.request.camera);
-                respond(job, image, RequestOutcome::Rendered, epoch, &self.metrics);
+                respond(
+                    job,
+                    image,
+                    RequestOutcome::Rendered,
+                    epoch,
+                    &self.metrics,
+                    &self.obs,
+                );
             }
             return;
         }
@@ -576,7 +609,14 @@ impl Dispatcher {
                 RequestOutcome::Rendered => RequestOutcome::Coalesced,
                 _ => RequestOutcome::CacheHit,
             };
-            respond(leader, Arc::clone(&image), outcome, epoch, &self.metrics);
+            respond(
+                leader,
+                Arc::clone(&image),
+                outcome,
+                epoch,
+                &self.metrics,
+                &self.obs,
+            );
             for job in bucket {
                 respond(
                     job,
@@ -584,6 +624,7 @@ impl Dispatcher {
                     follower_outcome,
                     epoch,
                     &self.metrics,
+                    &self.obs,
                 );
             }
         }
@@ -605,18 +646,24 @@ impl Dispatcher {
             .is_some()
             .then(|| ViewKey::quantize(scene_id, entry.epoch, camera, self.config.quant_grid));
         if let (Some(cache), Some(key)) = (self.cache.as_mut(), key.as_ref()) {
-            if let Some(image) = cache.get(key) {
-                return (Arc::clone(image), RequestOutcome::CacheHit);
+            let probe_start = Instant::now();
+            let hit = cache.get(key).cloned();
+            self.obs
+                .stage(Stage::CacheProbe, probe_start.elapsed().as_secs_f64());
+            if let Some(image) = hit {
+                return (image, RequestOutcome::CacheHit);
             }
         }
-        let image = Arc::new(render_parallel(
-            &entry.scene,
-            &entry.answer,
-            camera,
-            entry.exposure,
-            self.config.render_threads,
-            self.config.tile_size,
-        ));
+        let image = self.obs.time(Stage::Render, || {
+            Arc::new(render_parallel(
+                &entry.scene,
+                &entry.answer,
+                camera,
+                entry.exposure,
+                self.config.render_threads,
+                self.config.tile_size,
+            ))
+        });
         if let (Some(cache), Some(key)) = (self.cache.as_mut(), key) {
             cache.insert(key, Arc::clone(&image));
         }
@@ -638,6 +685,16 @@ impl Dispatcher {
             *last = epoch;
             let purged = cache.retain(|key| key.scene() != scene_id || key.epoch() >= epoch);
             self.metrics.record_cache(cache.len() as u64, purged as u64);
+            if purged > 0 {
+                self.obs.emit(
+                    ObsKind::CachePurged,
+                    ObsCtx {
+                        scene: Some(scene_id.0),
+                        payload: purged as u64,
+                        ..Default::default()
+                    },
+                );
+            }
         }
         // Hard bound, independent of epoch advances: a tracking entry only
         // exists to trigger the purge above, which is a no-op for scenes
@@ -735,14 +792,14 @@ impl Dispatcher {
     /// Tile-diffs `next` against `prev` — or against the black canvas a
     /// brand-new subscriber implicitly holds.
     fn diff_frames(&self, prev: Option<&Image>, next: &Image) -> TileDelta {
-        match prev {
+        self.obs.time(Stage::Diff, || match prev {
             Some(prev) => diff_tiles(prev, next, self.config.tile_size),
             None => diff_tiles(
                 &Image::new(next.width(), next.height()),
                 next,
                 self.config.tile_size,
             ),
-        }
+        })
     }
 
     /// Sends `tiles` (the diff advancing the subscriber to `next`) and
@@ -770,6 +827,14 @@ impl Dispatcher {
             return false;
         }
         self.metrics.record_delta(ntiles, tile_bytes, full_bytes);
+        self.obs.emit(
+            ObsKind::DeltaPushed,
+            ObsCtx {
+                scene: Some(subscriber.scene_id.0),
+                payload: tile_bytes,
+                ..Default::default()
+            },
+        );
         subscriber.last_epoch = epoch;
         subscriber.last_frame = Some(next);
         true
@@ -782,7 +847,10 @@ fn respond(
     outcome: RequestOutcome,
     epoch: u64,
     metrics: &ServiceMetrics,
+    obs: &ObsHub,
 ) {
+    let reply_start = Instant::now();
+    let scene = job.request.scene_id.0;
     let latency = job.submitted.elapsed();
     metrics.record_request(latency, outcome);
     // A dead waiter (dropped ticket) is fine; the render still warmed the
@@ -793,6 +861,15 @@ fn respond(
         epoch,
         latency,
     }));
+    obs.emit(
+        ObsKind::RequestServed,
+        ObsCtx {
+            scene: Some(scene),
+            payload: latency.as_micros() as u64,
+            ..Default::default()
+        },
+    );
+    obs.stage(Stage::Reply, reply_start.elapsed().as_secs_f64());
 }
 
 #[cfg(test)]

@@ -52,7 +52,8 @@
 
 use crate::metrics::{SolveJobMetrics, SolverMetricsSnapshot, SolverStatsSource, TenantMetrics};
 use crate::store::{AnswerStore, SceneId};
-use photon_core::{EngineCheckpoint, SimConfig, Simulator, SolverEngine};
+use photon_core::obs::{ObsCtx, ObsKind, Stage};
+use photon_core::{EngineCheckpoint, ObsHub, SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
 use photon_geom::Scene;
 use photon_par::{ParConfig, ParEngine, TallyMode};
@@ -371,6 +372,10 @@ struct Sched {
     checkpoints_taken: u64,
     checkpoint_bytes: u64,
     draining: bool,
+    /// The store's shared observability hub (also held by [`Shared`]);
+    /// kept here so grant/park/checkpoint edges can be recorded from
+    /// methods that only see the scheduler state.
+    obs: Arc<ObsHub>,
 }
 
 impl Sched {
@@ -382,6 +387,14 @@ impl Sched {
     fn record_checkpoint(&mut self, id: SolveJobId, checkpoint: Arc<EngineCheckpoint>) {
         self.checkpoints_taken += 1;
         self.checkpoint_bytes += checkpoint.encoded_size();
+        self.obs.emit(
+            ObsKind::CheckpointFrozen,
+            ObsCtx {
+                job: Some(id.0),
+                payload: checkpoint.encoded_size(),
+                ..Default::default()
+            },
+        );
         if let Some(job) = self.job(id) {
             job.checkpoint = Some(checkpoint);
         }
@@ -441,7 +454,17 @@ impl Sched {
                 if !cancel {
                     if remaining == Some(0) {
                         // Parked out of rr until budget arrives.
-                        self.jobs.get_mut(&id).unwrap().phase = Phase::QuotaBlocked;
+                        let job = self.jobs.get_mut(&id).unwrap();
+                        job.phase = Phase::QuotaBlocked;
+                        self.obs.emit(
+                            ObsKind::SliceParked,
+                            ObsCtx {
+                                scene: Some(job.scene_id.0),
+                                job: Some(id),
+                                tenant: Some(tenant_name),
+                                payload: 1, // quota exhausted
+                            },
+                        );
                         continue;
                     }
                     if credit == 0 {
@@ -602,6 +625,9 @@ enum LeaseKind {
 struct Shared {
     state: Mutex<Sched>,
     work: Condvar,
+    /// The store's observability hub, reachable without the scheduler
+    /// lock for emits on the unlocked slice path.
+    obs: Arc<ObsHub>,
 }
 
 impl Shared {
@@ -612,17 +638,36 @@ impl Shared {
     fn pause(&self, id: SolveJobId) {
         let mut st = self.lock();
         let Some(job) = st.job(id) else { return };
-        match job.phase {
+        let scene = job.scene_id.0;
+        let parked = match job.phase {
             Phase::Ready => {
                 job.phase = Phase::Paused;
                 st.unqueue(id.0);
+                true
             }
-            Phase::InSlice => job.pause_requested = true,
+            Phase::InSlice => {
+                job.pause_requested = true;
+                false
+            }
             // A quota-blocked job is pausable too — otherwise a later
             // budget top-up would resume a job its owner explicitly
             // paused.
-            Phase::QuotaBlocked => job.phase = Phase::Paused,
-            Phase::Paused | Phase::Done => {}
+            Phase::QuotaBlocked => {
+                job.phase = Phase::Paused;
+                true
+            }
+            Phase::Paused | Phase::Done => false,
+        };
+        if parked {
+            st.obs.emit(
+                ObsKind::SliceParked,
+                ObsCtx {
+                    scene: Some(scene),
+                    job: Some(id.0),
+                    payload: 0, // paused by owner
+                    ..Default::default()
+                },
+            );
         }
     }
 
@@ -686,7 +731,9 @@ impl Shared {
         };
         st.unqueue(id.0);
         drop(st);
-        let ck = Arc::new(engine.checkpoint());
+        let ck = self
+            .obs
+            .time(Stage::CheckpointFreeze, || Arc::new(engine.checkpoint()));
         let mut st = self.lock();
         st.record_checkpoint(id, Arc::clone(&ck));
         let quota_empty = st.tenant_remaining(&tenant_name) == Some(0);
@@ -736,9 +783,12 @@ pub struct SolverPool {
 }
 
 impl SolverPool {
-    /// Starts `workers` solver threads over `store`.
+    /// Starts `workers` solver threads over `store`. The pool records into
+    /// the store's observability hub ([`AnswerStore::obs`]), so its events
+    /// land on the same timeline as the serve and stream tiers'.
     pub fn start(store: Arc<AnswerStore>, workers: usize) -> Self {
         assert!(workers >= 1, "a solver pool needs at least one worker");
+        let obs = store.obs();
         let shared = Arc::new(Shared {
             state: Mutex::new(Sched {
                 jobs: BTreeMap::new(),
@@ -747,8 +797,10 @@ impl SolverPool {
                 checkpoints_taken: 0,
                 checkpoint_bytes: 0,
                 draining: false,
+                obs: Arc::clone(&obs),
             }),
             work: Condvar::new(),
+            obs,
         });
         let handles = (0..workers)
             .map(|w| {
@@ -815,6 +867,7 @@ impl SolverPool {
         if !st.draining {
             let priority = request.priority.max(1);
             let resumed_photons = request.resume_from.as_ref().map_or(0, |ck| ck.emitted());
+            let (tenant, target) = (request.tenant.clone(), request.target_photons);
             st.tenants.entry(request.tenant.clone()).or_default();
             st.jobs.insert(
                 id.0,
@@ -844,6 +897,15 @@ impl SolverPool {
                 },
             );
             st.rr.push_back(id.0);
+            self.shared.obs.emit(
+                ObsKind::JobSubmitted,
+                ObsCtx {
+                    scene: Some(scene_id.0),
+                    job: Some(id.0),
+                    tenant: Some(tenant),
+                    payload: target,
+                },
+            );
             self.work_notify();
         }
         drop(st);
@@ -927,8 +989,9 @@ impl Drop for SolverPool {
 /// Builds the backend engine for one job, restoring the request's starting
 /// checkpoint when one is attached. A resumed engine adopts the
 /// checkpoint's split policy so the restored trees keep refining exactly
-/// as they would have, uninterrupted.
-fn build_engine(request: &SolveRequest) -> Box<dyn SolverEngine> {
+/// as they would have, uninterrupted. The restore (when any) is timed into
+/// `obs` and recorded as a [`ObsKind::CheckpointRestored`] event.
+fn build_engine(request: &SolveRequest, obs: &ObsHub, id: SolveJobId) -> Box<dyn SolverEngine> {
     let split = request
         .resume_from
         .as_deref()
@@ -972,9 +1035,19 @@ fn build_engine(request: &SolveRequest) -> Box<dyn SolverEngine> {
         }
     };
     if let Some(ck) = request.resume_from.as_deref() {
-        engine
-            .restore(ck)
-            .expect("checkpoint compatibility was validated at submit");
+        obs.time(Stage::CheckpointRestore, || {
+            engine
+                .restore(ck)
+                .expect("checkpoint compatibility was validated at submit");
+        });
+        obs.emit(
+            ObsKind::CheckpointRestored,
+            ObsCtx {
+                job: Some(id.0),
+                payload: ck.emitted(),
+                ..Default::default()
+            },
+        );
     }
     engine
 }
@@ -1016,6 +1089,17 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
         kind,
     } = lease;
     let slice_start = Instant::now();
+    if let LeaseKind::Step { slice } = kind {
+        shared.obs.emit(
+            ObsKind::SliceGranted,
+            ObsCtx {
+                scene: Some(scene_id.0),
+                job: Some(id.0),
+                payload: slice,
+                ..Default::default()
+            },
+        );
+    }
     // Parameters are read under the lock; the step and publish run free.
     let (target, publish_every) = {
         let mut st = shared.lock();
@@ -1066,7 +1150,9 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
                         .job(id)
                         .and_then(|j| j.checkpoint.as_ref().map(|ck| ck.emitted()));
                     if stored_emitted != Some(emitted) {
-                        let ck = Arc::new(engine.checkpoint());
+                        let ck = shared
+                            .obs
+                            .time(Stage::CheckpointFreeze, || Arc::new(engine.checkpoint()));
                         shared.lock().record_checkpoint(id, ck);
                     }
                     let (_, progress) = finalize(engine.as_ref(), emitted, busy, true);
@@ -1142,7 +1228,11 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
             }
             // The engine persists across slices; build it on first grant.
             let mut engine = engine.unwrap_or_else(|| {
-                build_engine(&build.expect("first slice carries the build request"))
+                build_engine(
+                    &build.expect("first slice carries the build request"),
+                    &shared.obs,
+                    id,
+                )
             });
             // Check the target *before* stepping: a target that is already
             // met (target_photons: 0, or met by a previous slice's
@@ -1163,7 +1253,20 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
                 );
                 return;
             }
+            let step_start = Instant::now();
             let report = engine.step(slice);
+            shared
+                .obs
+                .stage(Stage::SolveSlice, step_start.elapsed().as_secs_f64());
+            shared.obs.emit(
+                ObsKind::BatchStepped,
+                ObsCtx {
+                    scene: Some(scene_id.0),
+                    job: Some(id.0),
+                    payload: report.batch_photons,
+                    ..Default::default()
+                },
+            );
             let done = report.emitted_total >= target;
             // Account the slice (time, photons, quota) and read the flags
             // that arrived while the step ran unlocked.
@@ -1200,7 +1303,9 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
             if cancel_now {
                 // The step advanced past any stored checkpoint: freeze the
                 // engine before it drops so the canceled job can migrate.
-                let ck = Arc::new(engine.checkpoint());
+                let ck = shared
+                    .obs
+                    .time(Stage::CheckpointFreeze, || Arc::new(engine.checkpoint()));
                 shared.lock().record_checkpoint(id, ck);
                 let busy = shared.lock().job(id).map_or(0.0, |j| j.busy_seconds);
                 let (_, progress) = finalize(engine.as_ref(), report.emitted_total, busy, true);
@@ -1253,7 +1358,11 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
             // A job about to park on pause gets checkpointed while the
             // engine is still leased (outside the scheduler lock) — the
             // freeze that lets its owner migrate it to another pool.
-            let park_checkpoint = pause_now.then(|| Arc::new(engine.checkpoint()));
+            let park_checkpoint = pause_now.then(|| {
+                shared
+                    .obs
+                    .time(Stage::CheckpointFreeze, || Arc::new(engine.checkpoint()))
+            });
             // Return the engine and park or requeue per pending requests.
             let mut st = shared.lock();
             if let Some(ck) = park_checkpoint {
@@ -1276,8 +1385,26 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
             } else if job.pause_requested {
                 job.pause_requested = false;
                 job.phase = Phase::Paused;
+                st.obs.emit(
+                    ObsKind::SliceParked,
+                    ObsCtx {
+                        scene: Some(scene_id.0),
+                        job: Some(id.0),
+                        payload: 0, // paused by owner
+                        ..Default::default()
+                    },
+                );
             } else if quota_empty {
                 job.phase = Phase::QuotaBlocked;
+                st.obs.emit(
+                    ObsKind::SliceParked,
+                    ObsCtx {
+                        scene: Some(scene_id.0),
+                        job: Some(id.0),
+                        tenant: Some(tenant_name),
+                        payload: 1, // quota exhausted
+                    },
+                );
             } else {
                 st.make_ready(id.0);
             }
@@ -1320,6 +1447,14 @@ fn retire(
     account_time: bool,
     slice_start: Instant,
 ) {
+    shared.obs.emit(
+        ObsKind::JobDone,
+        ObsCtx {
+            job: Some(id.0),
+            payload: emitted.unwrap_or(0),
+            ..Default::default()
+        },
+    );
     let mut st = shared.lock();
     let Some(job) = st.job(id) else { return };
     if account_time {

@@ -31,8 +31,9 @@
 //! dispatcher — register a callback via [`AnswerStore::register_watcher`]
 //! and are invoked inline with the `(SceneId, epoch)` of each publish.
 
+use photon_core::obs::{ObsCtx, ObsKind};
 use photon_core::view::auto_exposure;
-use photon_core::Answer;
+use photon_core::{Answer, ObsHub};
 use photon_geom::Scene;
 use std::io::{self, Read, Write};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -92,6 +93,12 @@ pub struct AnswerStore {
     epoch_lock: Mutex<()>,
     epoch_cond: Condvar,
     watchers: Mutex<Watchers>,
+    /// The shared observability hub. The store is the rendezvous every
+    /// tier already meets at, so every component built over this store
+    /// (solver pool, render service, exporters) clones this hub — one
+    /// flight recorder spans solve → publish → render → delta →
+    /// checkpoint with zero configuration.
+    obs: Arc<ObsHub>,
 }
 
 impl std::fmt::Debug for AnswerStore {
@@ -107,6 +114,12 @@ impl AnswerStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The store's observability hub — shared by every tier built over
+    /// this store, so one timeline spans the whole pipeline.
+    pub fn obs(&self) -> Arc<ObsHub> {
+        Arc::clone(&self.obs)
     }
 
     /// Registers a solution and returns its id.
@@ -267,6 +280,14 @@ impl AnswerStore {
     /// registered watcher callbacks. Callers must not hold the entries
     /// lock: waiters re-resolve entries inside their critical section.
     fn announce(&self, id: SceneId, epoch: u64) {
+        self.obs.emit(
+            ObsKind::EpochPublished,
+            ObsCtx {
+                scene: Some(id.0),
+                payload: epoch,
+                ..Default::default()
+            },
+        );
         drop(self.epoch_lock.lock().unwrap());
         self.epoch_cond.notify_all();
         let watchers = self.watchers.lock().unwrap();

@@ -28,8 +28,9 @@
 
 use crate::service::ServeError;
 use crate::store::SceneId;
+use photon_core::obs::{ObsCtx, ObsKind};
 use photon_core::view::{blit_tile, Tile};
-use photon_core::{Camera, Image};
+use photon_core::{Camera, Image, ObsHub};
 use photon_math::Rgb;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
@@ -121,11 +122,25 @@ pub struct StreamHandle {
     camera: Camera,
     rx: Receiver<FrameDelta>,
     alive: Arc<AtomicBool>,
+    /// The service's observability hub: dropping the handle is the one
+    /// place a subscription's end is certain (the dispatcher only notices
+    /// later, on its next sweep), so the `SubscriberDropped` event is
+    /// emitted here and nowhere else.
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl Drop for StreamHandle {
     fn drop(&mut self) {
         self.alive.store(false, Ordering::Release);
+        if let Some(obs) = self.obs.as_ref() {
+            obs.emit(
+                ObsKind::SubscriberDropped,
+                ObsCtx {
+                    scene: Some(self.scene_id.0),
+                    ..Default::default()
+                },
+            );
+        }
     }
 }
 
@@ -134,12 +149,14 @@ impl StreamHandle {
         request: StreamRequest,
         rx: Receiver<FrameDelta>,
         alive: Arc<AtomicBool>,
+        obs: Option<Arc<ObsHub>>,
     ) -> Self {
         StreamHandle {
             scene_id: request.scene_id,
             camera: request.camera,
             rx,
             alive,
+            obs,
         }
     }
 
