@@ -1,47 +1,71 @@
-//! **Ablation — locking granularity in the shared-memory simulator.**
+//! **Ablation — tally pipeline in the shared-memory simulator.**
 //!
-//! The paper's shared-memory design locks at bin granularity with a
-//! multiple-reader/single-writer protocol (Fig 5.2) precisely because a
-//! single global lock would serialize the forest. This ablation quantifies
-//! that choice on real threads: per-tree reader/writer locks versus one
-//! global lock, across thread counts and scenes.
+//! The paper's shared-memory design serializes tally application per bin
+//! tree (Fig 5.2's multiple-reader/single-writer protocol). Our batched
+//! pipeline goes further: workers trace lock-free into record buffers, a
+//! counting-sort partitions records by patch, and each patch's run is
+//! applied under one lock acquisition in serial order. This ablation
+//! quantifies each ingredient on real threads:
 //!
-//! Expected shape: identical at 1 thread (no contention), diverging as
-//! threads increase — most on the small Cornell Box, whose 30 trees give
-//! the least lock spreading (the paper: "for small geometries, using more
-//! than two processors is a waste" — memory contention).
+//! - `inline`   — the old path: every tally takes the patch lock (oracle).
+//! - `batched`  — trace → partition → apply, plain leaf descent.
+//! - `+cache`   — batched apply with the per-run leaf-descent cursor.
+//!
+//! Expected shape: batching wins by replacing per-tally locking with one
+//! lock per patch run; the leaf cursor adds on top because a run's records
+//! hit the same tree and mostly the same leaves. All three produce the same
+//! photon statistics; `batched` and `+cache` are bit-identical to serial.
 
-use photon_bench::{fmt, heading, md_table};
-use photon_par::{run, LockMode, ParConfig};
+use photon_bench::{fmt, heading, json_mode, md_table, JsonReport};
+use photon_par::{run, ParConfig, PipelineMode};
 use photon_scenes::TestScene;
 
 fn main() {
-    heading("Ablation — per-tree RwLocks vs one global lock (real threads)");
+    heading("Ablation — inline-tally vs batched-apply vs batched-apply + leaf cache");
     let photons = 40_000u64;
     let mut rows = Vec::new();
+    let mut report = JsonReport::new("ablation_pipeline");
     for scene_kind in [TestScene::CornellBox, TestScene::ComputerLab] {
         let scene = scene_kind.build();
         for &threads in &[1usize, 2, 4] {
-            let rate_with = |lock: LockMode| {
+            let rate_with = |pipeline: PipelineMode| {
                 let config = ParConfig {
                     seed: 1997,
                     threads,
-                    batch_size: photons,
-                    lock,
+                    batch_size: 4_000,
+                    pipeline,
+                    // The ablation sweeps real thread counts.
+                    oversubscribe: true,
                     ..Default::default()
                 };
                 run(&scene, &config, photons).speed.steady_rate()
             };
-            let per_tree = rate_with(LockMode::PerTree);
-            let global = rate_with(LockMode::Global);
+            let inline = rate_with(PipelineMode::InlineTally);
+            let batched = rate_with(PipelineMode::BatchedNoCache);
+            let cached = rate_with(PipelineMode::Batched);
+            report.raw(
+                &format!(
+                    "{}_t{threads}",
+                    scene_kind.name().replace(' ', "_").to_lowercase()
+                ),
+                format!(
+                    "{{\"inline\":{inline:.1},\"batched\":{batched:.1},\"batched_cache\":{cached:.1}}}"
+                ),
+            );
             rows.push(vec![
                 scene_kind.name().to_string(),
                 threads.to_string(),
-                fmt(per_tree),
-                fmt(global),
-                fmt(per_tree / global.max(1e-9)),
+                fmt(inline),
+                fmt(batched),
+                fmt(cached),
+                fmt(cached / inline.max(1e-9)),
             ]);
         }
+    }
+    if json_mode() {
+        report.int("photons", photons);
+        report.print();
+        return;
     }
     println!(
         "{}",
@@ -49,13 +73,14 @@ fn main() {
             &[
                 "scene",
                 "threads",
-                "per-tree rate (photons/s)",
-                "global-lock rate",
-                "fine/coarse ratio"
+                "inline rate (photons/s)",
+                "batched rate",
+                "batched+cache rate",
+                "cache/inline ratio"
             ],
             &rows
         )
     );
-    println!("paper's design argument: fine-grained locking keeps the forest parallel;");
-    println!("a global lock turns every tally into a serialization point.");
+    println!("batching replaces a lock per tally with a lock per patch run;");
+    println!("the leaf cursor then skips re-descending the tree for clustered hits.");
 }

@@ -1,0 +1,299 @@
+//! **Bench diff — throughput regression gate against `BENCH_baseline.json`.**
+//!
+//! Runs the machine-readable benches (`progressive_solve`,
+//! `checkpoint_resume`) with `--json`, extracts every per-backend
+//! `photons_per_sec`, and compares each against the committed baseline at
+//! the repo root. Any backend running slower than 90% of its baseline is a
+//! regression: the table marks it and the process exits nonzero, so CI can
+//! surface it (as a non-blocking step — shared runners are noisy).
+//!
+//! ```sh
+//! cargo build --release -p photon-bench --bins
+//! cargo run  --release -p photon-bench --bin bench_diff
+//! ```
+//!
+//! To refresh the baseline after an intentional performance change:
+//!
+//! ```sh
+//! cargo run --release -p photon-bench --bin bench_diff -- --record
+//! ```
+//!
+//! which re-runs all four `--json` benches (the two throughput benches plus
+//! `multi_tenant` and `streaming_serve`) and rewrites `BENCH_baseline.json`
+//! in place. The JSON scraping is hand-rolled, like the reports themselves:
+//! the workspace carries no serializer dependency.
+
+use photon_bench::{fmt, heading, md_table};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Relative throughput below which a backend counts as regressed.
+const FLOOR: f64 = 0.9;
+
+/// Benches whose `photons_per_sec` fields gate regressions.
+const RATE_BENCHES: [&str; 2] = ["progressive_solve", "checkpoint_resume"];
+
+/// Everything `--record` snapshots into the baseline file.
+const ALL_BENCHES: [&str; 4] = [
+    "progressive_solve",
+    "multi_tenant",
+    "streaming_serve",
+    "checkpoint_resume",
+];
+
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json")
+}
+
+/// Runs a sibling bench binary with `--json` and returns its stdout.
+fn run_bench(name: &str) -> String {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("exe dir");
+    let path = dir.join(name);
+    if !path.exists() {
+        eprintln!(
+            "bench_diff: {} not found — build the bench binaries first:\n  cargo build --release -p photon-bench --bins",
+            path.display()
+        );
+        std::process::exit(2);
+    }
+    let out = Command::new(&path)
+        .arg("--json")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} --json exited with {}",
+        out.status
+    );
+    String::from_utf8(out.stdout).expect("bench output is UTF-8")
+}
+
+/// Extracts the balanced-brace JSON object that follows `"key":` — needed
+/// because labels like `"serial"` repeat across benches, so rate lookups
+/// must be scoped to one bench's object first.
+fn object_after<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let start = at + (json[at..].len() - rest.len());
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, b) in json[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Every `(backend_label, photons_per_sec)` pair in a bench's JSON object:
+/// each occurrence of the field is attributed to the key of its enclosing
+/// object. Bench output never puts braces inside strings, so plain brace
+/// counting is enough.
+fn rates(bench_json: &str) -> Vec<(String, f64)> {
+    let needle = "\"photons_per_sec\":";
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = bench_json[from..].find(needle) {
+        let pos = from + rel;
+        let val_start = pos + needle.len();
+        let val: String = bench_json[val_start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(rate) = val.parse::<f64>() {
+            out.push((enclosing_key(bench_json, pos), rate));
+        }
+        from = val_start;
+    }
+    out
+}
+
+/// Walks backwards from `pos` to the `{` opening the enclosing object, then
+/// returns the quoted key right before it (or "root" at the bench's top).
+fn enclosing_key(json: &str, pos: usize) -> String {
+    let bytes = json.as_bytes();
+    let mut depth = 0i32;
+    let mut open = None;
+    for i in (0..pos).rev() {
+        match bytes[i] {
+            b'}' => depth += 1,
+            b'{' => {
+                if depth == 0 {
+                    open = Some(i);
+                    break;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else {
+        return "root".into();
+    };
+    let before = json[..open].trim_end().strip_suffix(':').unwrap_or("");
+    let before = before.trim_end();
+    if let Some(stripped) = before.strip_suffix('"') {
+        if let Some(q) = stripped.rfind('"') {
+            return stripped[q + 1..].to_string();
+        }
+    }
+    "root".into()
+}
+
+fn record(path: &Path) {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"recorded\": \"{}\",\n", today_utc()));
+    out.push_str(
+        "  \"command\": \"cargo run --release -p photon-bench --bin <name> -- --json\",\n",
+    );
+    out.push_str("  \"benches\": {\n");
+    for (i, name) in ALL_BENCHES.iter().enumerate() {
+        eprintln!("bench_diff: recording {name} ...");
+        let json = run_bench(name);
+        let comma = if i + 1 < ALL_BENCHES.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {}{comma}\n", json.trim()));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).expect("write baseline");
+    println!("recorded baseline: {}", path.display());
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no date dependency).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let path = baseline_path();
+    if std::env::args().any(|a| a == "--record") {
+        record(&path);
+        return;
+    }
+
+    heading("Bench diff — current photons/s vs BENCH_baseline.json");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(_) => {
+            println!(
+                "no baseline at {} — record one with `--record`",
+                path.display()
+            );
+            return;
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut regressions = 0u32;
+    for bench in RATE_BENCHES {
+        let fresh = rates(&run_bench(bench));
+        let base = object_after(&baseline, bench).map_or_else(Vec::new, rates);
+        for (label, rate) in fresh {
+            let Some(&(_, want)) = base.iter().find(|(l, _)| *l == label) else {
+                rows.push(vec![
+                    bench.into(),
+                    label,
+                    "—".into(),
+                    fmt(rate),
+                    "—".into(),
+                    "new (no baseline)".into(),
+                ]);
+                continue;
+            };
+            let ratio = rate / want.max(1e-9);
+            let status = if ratio < FLOOR {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            rows.push(vec![
+                bench.into(),
+                label,
+                fmt(want),
+                fmt(rate),
+                format!("{ratio:.2}"),
+                status.into(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        md_table(
+            &[
+                "bench",
+                "backend",
+                "baseline photons/s",
+                "current photons/s",
+                "ratio",
+                "status"
+            ],
+            &rows
+        )
+    );
+    if regressions > 0 {
+        println!("{regressions} backend(s) below {FLOOR}x baseline — failing.");
+        std::process::exit(1);
+    }
+    println!("all backends within {FLOOR}x of baseline.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"benches":{"a":{"bench":"a","serial":{"photons_per_sec":100.5},"threaded x4":{"n":1,"photons_per_sec":90.0}},"b":{"bench":"b","serial":{"photons_per_sec":7.0}}}}"#;
+
+    #[test]
+    fn object_extraction_is_scoped() {
+        let a = object_after(SAMPLE, "a").unwrap();
+        assert!(a.contains("100.5") && !a.contains("7.0"));
+        let b = object_after(SAMPLE, "b").unwrap();
+        assert!(b.contains("7.0") && !b.contains("100.5"));
+        assert!(object_after(SAMPLE, "missing").is_none());
+    }
+
+    #[test]
+    fn rates_attribute_to_backend_labels() {
+        let a = rates(object_after(SAMPLE, "a").unwrap());
+        assert_eq!(
+            a,
+            vec![
+                ("serial".to_string(), 100.5),
+                ("threaded x4".to_string(), 90.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn date_renders_civil() {
+        // Smoke: shape only (the value depends on the clock).
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+    }
+}

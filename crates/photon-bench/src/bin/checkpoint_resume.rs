@@ -20,7 +20,7 @@
 use photon_bench::{fmt, heading, json_mode, md_table, JsonReport};
 use photon_core::{Answer, EngineCheckpoint, SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
-use photon_par::{ParConfig, ParEngine, TallyMode};
+use photon_par::{ParConfig, ParEngine};
 use photon_scenes::TestScene;
 use std::time::Instant;
 
@@ -48,7 +48,6 @@ fn build(kind: TestScene, backend: &str) -> Box<dyn SolverEngine> {
             ParConfig {
                 seed: SEED,
                 threads: 4,
-                tally: TallyMode::Deterministic,
                 ..Default::default()
             },
         )),

@@ -12,7 +12,7 @@
 
 use photon_bench::{fmt, heading, md_table, write_trace};
 use photon_core::SpeedTrace;
-use photon_par::{run, LockMode, ParConfig};
+use photon_par::{run, ParConfig};
 use photon_scenes::TestScene;
 
 fn main() {
@@ -29,7 +29,9 @@ fn main() {
                 seed: 56,
                 threads,
                 batch_size: 6_000,
-                lock: LockMode::PerTree,
+                // The experiment measures real thread scaling — spawn the
+                // full count even past this host's cores.
+                oversubscribe: true,
                 ..Default::default()
             };
             let r = run(&scene, &config, photons);

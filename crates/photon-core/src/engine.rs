@@ -51,6 +51,14 @@ pub struct BatchReport {
     /// Time this step took, seconds. Wall clock for the serial and
     /// shared-memory engines; *virtual* time for the distributed engine.
     pub batch_seconds: f64,
+    /// Portion of [`BatchReport::batch_seconds`] spent tracing photons.
+    /// Backends that tally inline while tracing (serial, distributed) report
+    /// the whole step here.
+    pub trace_seconds: f64,
+    /// Portion of [`BatchReport::batch_seconds`] spent partitioning and
+    /// applying tally records (the batched pipeline's partition + apply
+    /// phases; see `photon-core::batch`). Zero for inline-tally backends.
+    pub apply_seconds: f64,
     /// Time since the engine started, on the same clock as
     /// [`BatchReport::batch_seconds`].
     pub elapsed_seconds: f64,

@@ -1,5 +1,6 @@
 //! The bin forest: one 4-D adaptive histogram per scene patch (Fig 4.6).
 
+use crate::batch::TallyRecord;
 use photon_hist::{BinPoint, BinRange, BinTree, LeafStats, SplitConfig};
 use photon_math::Rgb;
 
@@ -30,29 +31,90 @@ impl BinForest {
         self.trees.is_empty()
     }
 
+    /// Validates a patch id, turning the raw slice-index panic into a
+    /// diagnosable one. An out-of-range id here almost always means a
+    /// corrupt record crossed a process boundary (distributed exchange,
+    /// checkpoint, answer file) — say so instead of `index out of bounds`.
+    #[inline]
+    #[track_caller]
+    fn tree_slot(&self, patch_id: u32) -> usize {
+        let idx = patch_id as usize;
+        debug_assert!(
+            idx < self.trees.len(),
+            "patch_id {patch_id} out of range: forest has {} patches",
+            self.trees.len()
+        );
+        if idx >= self.trees.len() {
+            panic!(
+                "BinForest: patch_id {patch_id} out of range (forest has {} patches) — \
+                 corrupt tally record or wrong scene?",
+                self.trees.len()
+            );
+        }
+        idx
+    }
+
     /// Tallies a photon interaction on `patch_id`; returns `true` when the
     /// bin split (`UpdateBinCount` + `NeedsSplit`/`Split` of Fig 4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `patch_id` is outside the
+    /// forest (a corrupt record or a forest built for a different scene).
     #[inline]
     pub fn tally(&mut self, patch_id: u32, point: &BinPoint, energy: Rgb) -> bool {
-        self.trees[patch_id as usize].tally(point, energy)
+        let idx = self.tree_slot(patch_id);
+        self.trees[idx].tally(point, energy)
+    }
+
+    /// Applies one patch's batch of records as a single uninterrupted run
+    /// (the apply phase of [`crate::batch`]), reusing the leaf descent for
+    /// consecutive same-leaf records. Records must already be in serial
+    /// `(photon, bounce)` order — [`crate::batch::PartitionScratch`]
+    /// guarantees this — and the result is bit-identical to tallying them
+    /// one at a time. Returns the number of leaf splits triggered.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `patch_id` is outside the
+    /// forest.
+    pub fn tally_run(&mut self, patch_id: u32, records: &[TallyRecord]) -> u64 {
+        let idx = self.tree_slot(patch_id);
+        self.trees[idx].tally_run(records.iter().map(|r| (&r.point, r.energy)))
     }
 
     /// Read-only leaf lookup (`DetermineBin` for the viewer).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `patch_id` is outside the
+    /// forest.
     #[inline]
     pub fn lookup(&self, patch_id: u32, point: &BinPoint) -> (&LeafStats, BinRange) {
-        self.trees[patch_id as usize].lookup(point)
+        self.trees[self.tree_slot(patch_id)].lookup(point)
     }
 
     /// The tree of one patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `patch_id` is outside the
+    /// forest.
     #[inline]
     pub fn tree(&self, patch_id: u32) -> &BinTree {
-        &self.trees[patch_id as usize]
+        &self.trees[self.tree_slot(patch_id)]
     }
 
     /// Mutable tree access (used by the distributed receiver path).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `patch_id` is outside the
+    /// forest.
     #[inline]
     pub fn tree_mut(&mut self, patch_id: u32) -> &mut BinTree {
-        &mut self.trees[patch_id as usize]
+        let idx = self.tree_slot(patch_id);
+        &mut self.trees[idx]
     }
 
     /// Iterates over `(patch_id, tree)`.
@@ -129,6 +191,24 @@ mod tests {
         assert!(f.tree(0).leaf_count() > 1);
         assert_eq!(f.tree(1).leaf_count(), 1);
         assert!(f.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn out_of_range_patch_id_panics_descriptively() {
+        let mut f = BinForest::new(2, SplitConfig::default());
+        let p = BinPoint::new(0.5, 0.5, 1.0, 0.5);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.tally(7, &p, Rgb::WHITE);
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("patch_id 7") && msg.contains("2 patches"),
+            "panic message not descriptive: {msg:?}"
+        );
     }
 
     #[test]

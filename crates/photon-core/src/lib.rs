@@ -16,6 +16,7 @@
 //! | `DetermineIntersection` | `photon_geom::Octree`, driven from [`trace`] |
 //! | `Reflect` | [`reflect`] |
 //! | `DetermineBin` / `UpdateBinCount` / `Split` | [`forest`] (over `photon_hist`) |
+//! | batched trace→partition→apply kernel | [`batch`] |
 //! | simulation driver | [`sim`] |
 //! | incremental solve loop (all backends) | [`engine`] |
 //! | answer files | [`answer`] |
@@ -28,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub mod answer;
+pub mod batch;
 pub mod checkpoint;
 pub mod engine;
 pub mod forest;
@@ -42,6 +44,7 @@ pub mod trace;
 pub mod view;
 
 pub use answer::Answer;
+pub use batch::{trace_strided, PartitionScratch, PatchRun, RecordSink, TallyRecord};
 pub use checkpoint::{EngineCheckpoint, RestoreError};
 pub use engine::{photon_stream, BatchReport, SolverEngine, PHOTON_DRAW_STRIDE};
 pub use forest::BinForest;

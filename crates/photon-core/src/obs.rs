@@ -209,6 +209,13 @@ pub enum Stage {
     Reply,
     /// One scheduler slice: a single `engine.step` call.
     SolveSlice,
+    /// The trace phase of a solve slice: photons traced into tally records
+    /// (the whole slice for backends that tally inline while tracing).
+    SolveTrace,
+    /// The tally-apply phase of a solve slice: partitioning buffered records
+    /// by patch and folding them into the bin forest (zero for inline-tally
+    /// backends).
+    TallyApply,
     /// Freezing an engine into an `EngineCheckpoint`.
     CheckpointFreeze,
     /// Encoding a checkpoint to `PHOTCK1` bytes.
@@ -218,12 +225,14 @@ pub enum Stage {
 }
 
 /// Every stage, in display order.
-pub const STAGES: [Stage; 8] = [
+pub const STAGES: [Stage; 10] = [
     Stage::CacheProbe,
     Stage::Render,
     Stage::Diff,
     Stage::Reply,
     Stage::SolveSlice,
+    Stage::SolveTrace,
+    Stage::TallyApply,
     Stage::CheckpointFreeze,
     Stage::CheckpointEncode,
     Stage::CheckpointRestore,
@@ -238,6 +247,8 @@ impl Stage {
             Stage::Diff => "diff",
             Stage::Reply => "reply",
             Stage::SolveSlice => "solve-slice",
+            Stage::SolveTrace => "trace",
+            Stage::TallyApply => "tally-apply",
             Stage::CheckpointFreeze => "checkpoint-freeze",
             Stage::CheckpointEncode => "checkpoint-encode",
             Stage::CheckpointRestore => "checkpoint-restore",
@@ -252,7 +263,7 @@ impl Stage {
 /// One duration [`Histogram`] per [`Stage`].
 #[derive(Debug, Default)]
 pub struct StageTimings {
-    stages: [Histogram; 8],
+    stages: [Histogram; 10],
 }
 
 impl StageTimings {
@@ -273,7 +284,7 @@ impl StageTimings {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageTimingsSnapshot {
     /// One snapshot per [`STAGES`] entry, same order.
-    pub stages: [HistogramSnapshot; 8],
+    pub stages: [HistogramSnapshot; 10],
 }
 
 impl StageTimingsSnapshot {

@@ -183,6 +183,8 @@ impl SolverEngine for Simulator {
             emitted_total: self.stats.emitted,
             leaf_bins: self.forest.total_leaf_bins(),
             batch_seconds,
+            trace_seconds: batch_seconds,
+            apply_seconds: 0.0,
             elapsed_seconds,
             stats: self.stats,
         }

@@ -273,6 +273,10 @@ impl DistEngine {
             emitted_total: self.stats.emitted,
             leaf_bins,
             batch_seconds,
+            // Ranks tally inline while tracing (locally or via the
+            // exchange), so the whole round counts as trace time.
+            trace_seconds: batch_seconds,
+            apply_seconds: 0.0,
             elapsed_seconds: self.clock,
             stats: self.stats,
         }

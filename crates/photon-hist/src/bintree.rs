@@ -278,12 +278,89 @@ impl BinTree {
         }
     }
 
+    /// Descend-equivalent containment: the set of points `descend` routes to
+    /// a leaf with box `range` is half-open on every axis (`lo <= x < hi`)
+    /// except at the global upper boundary, which is closed because
+    /// [`BinPoint::new`] clamps onto it and `descend` compares with `<`.
+    ///
+    /// [`BinRange::contains`] is closed on *both* ends and must not be used
+    /// here: a coordinate exactly on a cached leaf's upper edge belongs to
+    /// the sibling, and treating it as a hit would diverge from `descend`
+    /// (and therefore from the serial tally order).
+    #[inline]
+    fn leaf_admits(range: &BinRange, p: &BinPoint) -> bool {
+        const FULL_HI: [f64; 4] = [1.0, 1.0, TAU, 1.0];
+        Axis::ALL.iter().all(|&a| {
+            let i = a as usize;
+            let x = p.coord(a);
+            x >= range.lo[i] && (x < range.hi[i] || range.hi[i] >= FULL_HI[i])
+        })
+    }
+
     /// Records a photon interaction with energy `rgb`. Returns `true` when
     /// the containing bin split as a result (the `NeedsSplit`/`Split` path of
     /// the paper's Fig 4.1 algorithm).
     pub fn tally(&mut self, p: &BinPoint, rgb: Rgb) -> bool {
-        self.tallies += 1;
         let (idx, range, depth) = self.descend(p);
+        self.tally_at(idx, range, depth, p, rgb)
+    }
+
+    /// Records a photon interaction through a [`LeafCursor`], skipping the
+    /// root descent when `p` lands in the same leaf as the cursor's previous
+    /// tally. Behaviour (including split decisions and floating-point
+    /// accumulation order) is bit-identical to [`BinTree::tally`]: a cache
+    /// hit requires the cached node to still be a leaf *and* the point to
+    /// pass a descend-equivalent containment test (`leaf_admits`), so the
+    /// leaf reached is exactly the leaf `descend` would reach.
+    pub fn tally_with(&mut self, p: &BinPoint, rgb: Rgb, cursor: &mut LeafCursor) -> bool {
+        let (idx, range, depth) = match cursor.cached {
+            Some((idx, range, depth))
+                if matches!(self.nodes[idx as usize], Node::Leaf(_))
+                    && Self::leaf_admits(&range, p) =>
+            {
+                (idx as usize, range, depth)
+            }
+            _ => self.descend(p),
+        };
+        let split = self.tally_at(idx, range, depth, p, rgb);
+        // After a split the node at `idx` is internal; drop the cache so the
+        // next tally re-descends into the fresh daughters.
+        cursor.cached = if split {
+            None
+        } else {
+            Some((idx as u32, range, depth))
+        };
+        split
+    }
+
+    /// Applies a run of tallies in order through one shared [`LeafCursor`].
+    /// Equivalent to calling [`BinTree::tally`] per record, but consecutive
+    /// records landing in the same leaf skip the root descent. Returns the
+    /// number of splits triggered.
+    pub fn tally_run<'a, I>(&mut self, records: I) -> u64
+    where
+        I: IntoIterator<Item = (&'a BinPoint, Rgb)>,
+    {
+        let mut cursor = LeafCursor::new();
+        let mut splits = 0u64;
+        for (p, rgb) in records {
+            splits += u64::from(self.tally_with(p, rgb, &mut cursor));
+        }
+        splits
+    }
+
+    /// Tally into the leaf at `idx` (with box `range` at `depth`), then run
+    /// the split check. Callers must pass exactly what `descend(p)` returns
+    /// (or a [`LeafCursor`]-validated equivalent).
+    fn tally_at(
+        &mut self,
+        idx: usize,
+        range: BinRange,
+        depth: u16,
+        p: &BinPoint,
+        rgb: Rgb,
+    ) -> bool {
+        self.tallies += 1;
         let Node::Leaf(stats) = &mut self.nodes[idx] else {
             unreachable!()
         };
@@ -448,6 +525,25 @@ impl BinTree {
             tallies,
             leaves,
         })
+    }
+}
+
+/// Cache of the last leaf a run of tallies landed in, used by
+/// [`BinTree::tally_with`]/[`BinTree::tally_run`] to skip the root descent
+/// for coherent runs. A cursor is only meaningful against the tree that
+/// populated it; feeding it to another tree is safe (the leaf check and
+/// containment test reject stale entries) but useless.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeafCursor {
+    /// `(arena index, leaf box, depth)` of the previous tally's leaf, or
+    /// `None` right after that leaf split.
+    cached: Option<(u32, BinRange, u16)>,
+}
+
+impl LeafCursor {
+    /// A cursor with no cached leaf: the first tally descends from the root.
+    pub fn new() -> Self {
+        LeafCursor::default()
     }
 }
 
@@ -660,6 +756,61 @@ mod tests {
         }];
         assert!(BinTree::from_export(bad, SplitConfig::default()).is_none());
         assert!(BinTree::from_export(vec![], SplitConfig::default()).is_none());
+    }
+
+    #[test]
+    fn cursor_tallies_match_plain_tallies_bit_for_bit() {
+        // Same stream through tally() and tally_with() must build identical
+        // trees — including on adversarial streams with long same-leaf runs
+        // and points exactly on bin boundaries.
+        let mut rng = Lcg48::new(29);
+        let mut points = Vec::new();
+        for i in 0..30_000u32 {
+            let p = match i % 5 {
+                // Clustered: long same-leaf runs exercise the cache-hit path.
+                0 | 1 => BinPoint::new(
+                    0.01 * rng.next_f64(),
+                    0.01 * rng.next_f64(),
+                    rng.next_f64(),
+                    rng.next_f64(),
+                ),
+                // Exact mid/edge coordinates exercise the half-open test.
+                2 => BinPoint::new(0.5, 0.25, 0.0, 1.0),
+                _ => uniform_point(&mut rng),
+            };
+            points.push(p);
+        }
+        let mut plain = BinTree::new(SplitConfig::default());
+        let mut cursed = BinTree::new(SplitConfig::default());
+        let mut cursor = LeafCursor::new();
+        for p in &points {
+            let a = plain.tally(p, Rgb::new(0.9, 0.5, 0.1));
+            let b = cursed.tally_with(p, Rgb::new(0.9, 0.5, 0.1), &mut cursor);
+            assert_eq!(a, b, "split decisions diverged");
+        }
+        assert_eq!(plain.export_nodes(), cursed.export_nodes());
+    }
+
+    #[test]
+    fn tally_run_matches_sequential_tallies() {
+        let mut rng = Lcg48::new(30);
+        let recs: Vec<(BinPoint, Rgb)> = (0..20_000)
+            .map(|_| {
+                let mut p = uniform_point(&mut rng);
+                p.s = p.s.powi(3);
+                (p, Rgb::new(rng.next_f64(), 0.5, 0.25))
+            })
+            .collect();
+        let mut one_by_one = BinTree::new(SplitConfig::default());
+        let mut splits_seq = 0u64;
+        for (p, rgb) in &recs {
+            splits_seq += u64::from(one_by_one.tally(p, *rgb));
+        }
+        let mut run = BinTree::new(SplitConfig::default());
+        let splits_run = run.tally_run(recs.iter().map(|(p, rgb)| (p, *rgb)));
+        assert_eq!(splits_seq, splits_run);
+        assert_eq!(one_by_one.export_nodes(), run.export_nodes());
+        assert_eq!(one_by_one.tallies(), run.tallies());
     }
 
     #[test]

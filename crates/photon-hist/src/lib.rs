@@ -25,5 +25,7 @@ pub mod bintree;
 pub mod stats;
 
 pub use adaptive1d::{AdaptiveHistogram1D, FixedHistogram1D};
-pub use bintree::{Axis, BinPoint, BinRange, BinTree, ExportNode, LeafStats, SplitConfig};
+pub use bintree::{
+    Axis, BinPoint, BinRange, BinTree, ExportNode, LeafCursor, LeafStats, SplitConfig,
+};
 pub use stats::{split_excess, SplitRule};

@@ -7,22 +7,41 @@
 //! and exiting. `photon_par::run` is now a thin driver over this engine.
 //!
 //! **Photon assignment.** Step `k` covers global photon indices
-//! `[emitted, emitted + batch)`; worker `t` of `T` leapfrogs through them,
+//! `[cursor, cursor + batch)`; worker `t` of `T` leapfrogs through them,
 //! taking every `T`-th index. Each photon draws from its own block
 //! substream ([`photon_core::photon_stream`]), so the photon *set* is
 //! independent of the worker count.
 //!
-//! **Tally modes.** In [`TallyMode::Concurrent`] (the paper's Fig 5.2)
-//! workers tally straight into the locked forest as they trace; final bin
-//! boundaries then depend on tally interleaving. In
-//! [`TallyMode::Deterministic`] workers buffer `(photon, patch, point,
-//! energy)` records during the trace and a second pool pass replays them in
-//! global photon order — each worker owning a disjoint slice of trees — so
-//! every tree sees exactly the tally sequence of the serial simulator and
-//! the resulting [`Answer`] is **bit-identical** to `Simulator`'s for the
-//! same seed and photon count, at any thread count.
+//! **The step pipeline** (the trace→partition→apply kernel of
+//! [`photon_core::batch`]):
+//!
+//! 1. *Trace* — every worker traces its stride lock-free, appending
+//!    [`TallyRecord`]s to its own scratch buffer (reused across steps) and
+//!    replying with its photon counters only.
+//! 2. *Partition* — the engine thread counting-sorts all records by patch,
+//!    scattering in global `(photon, bounce)` order into one reused buffer:
+//!    each patch's run is exactly the serial tally subsequence for that
+//!    tree.
+//! 3. *Apply* — workers claim whole patch runs from an atomic cursor and
+//!    fold each into its tree under a single write-lock acquisition, with
+//!    the leaf-descent cache skipping root re-descents inside a run.
+//!
+//! Because every tree sees exactly the serial tally order and each run is
+//! applied by exactly one worker, the resulting [`Answer`] is
+//! **bit-identical** to `Simulator`'s for the same seed and photon count,
+//! at any thread count — while runs on distinct trees apply concurrently.
+//! Steady-state steps allocate nothing: trace buffers, the sorted buffer,
+//! the run list, and the per-patch counters are all reused.
+//!
+//! **Single-worker fusion.** With one worker (a one-core host under the
+//! default clamp, or `threads: 1`), trace order already *is* serial order,
+//! so the worker applies each tally inline through persistent per-tree
+//! leaf cursors and the partition/apply phases vanish — same bytes, none
+//! of the record traffic.
 
-use crate::{ParConfig, SharedForest, SharedSink, TallyMode};
+use crate::{ParConfig, PipelineMode, SharedForest, SharedSink};
+use parking_lot::{Mutex, RwLock};
+use photon_core::batch::{trace_strided, PartitionScratch, TallyRecord};
 use photon_core::generate::PhotonGenerator;
 use photon_core::sim::SimStats;
 use photon_core::trace::{trace_photon, TallySink};
@@ -30,147 +49,172 @@ use photon_core::{
     photon_stream, Answer, BatchReport, EngineCheckpoint, RestoreError, SolverEngine, SpeedTrace,
 };
 use photon_geom::Scene;
-use photon_hist::BinPoint;
+use photon_hist::{BinPoint, LeafCursor};
 use photon_math::Rgb;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// One buffered interaction, tagged with its global photon index so the
-/// replay pass can restore serial order.
-#[derive(Clone, Copy, Debug)]
-struct TallyRecord {
-    photon: u64,
-    patch_id: u32,
-    point: BinPoint,
-    energy: Rgb,
-}
-
-/// Sink that buffers records instead of touching the forest, bucketed by
-/// the replay worker that will own each record's tree (`patch_id % T`) so
-/// the replay pass visits every record exactly once overall.
-struct RecordSink {
-    photon: u64,
-    threads: usize,
-    buckets: Vec<Vec<TallyRecord>>,
-}
-
-impl TallySink for RecordSink {
-    #[inline]
-    fn tally(&mut self, patch_id: u32, point: &BinPoint, energy: Rgb) {
-        self.buckets[patch_id as usize % self.threads].push(TallyRecord {
-            photon: self.photon,
-            patch_id,
-            point: *point,
-            energy,
-        });
-    }
+/// Buffers shared between the engine thread and the workers, reused across
+/// steps. The phases alternate strict ownership: workers write `traces`
+/// (each its own slot) while tracing and the engine reads them all during
+/// the partition; the engine writes `partition` during the partition and
+/// workers read it during the apply. The locks are therefore uncontended —
+/// they exist to prove the handoff to the compiler, not to arbitrate races.
+struct StepShared {
+    /// Per-worker trace records; slot `t` belongs to worker `t`.
+    traces: Vec<Mutex<Vec<TallyRecord>>>,
+    /// The partition output the apply phase consumes.
+    partition: RwLock<PartitionScratch>,
+    /// Next un-claimed index into `partition.runs` during the apply phase.
+    next_run: AtomicUsize,
 }
 
 enum Cmd {
     /// Trace this worker's leapfrogged share of photons
-    /// `[start, start + count)`.
+    /// `[start, start + count)` into its scratch buffer.
     Trace { start: u64, count: u64 },
-    /// Replay the step's records onto this worker's slice of trees, in
-    /// global photon order. `records[src][dst]` holds the records traced
-    /// by worker `src` whose trees belong to replay worker `dst`, sorted
-    /// by photon index.
-    Replay {
-        start: u64,
-        count: u64,
-        records: Arc<Vec<Vec<Vec<TallyRecord>>>>,
-    },
+    /// Trace the same share, tallying inline through the forest locks
+    /// (the [`PipelineMode::InlineTally`] oracle).
+    TraceInline { start: u64, count: u64 },
+    /// Claim patch runs from the shared partition and apply them.
+    Apply,
 }
 
 enum Reply {
-    Traced {
-        tid: usize,
-        stats: SimStats,
-        records: Vec<Vec<TallyRecord>>,
-    },
-    Replayed,
+    Traced(SimStats),
+    Applied,
 }
 
 struct WorkerCtx {
     tid: usize,
     threads: usize,
     seed: u64,
-    mode: TallyMode,
+    pipeline: PipelineMode,
     scene: Arc<Scene>,
     generator: Arc<PhotonGenerator>,
     forest: Arc<SharedForest>,
+    shared: Arc<StepShared>,
+}
+
+/// Sink of the fused single-worker path: tallies land in the forest as
+/// they are traced (serial order for free), each through its tree's leaf
+/// cursor. The worker holds every tree's write guard for the whole batch
+/// and counts tallies locally, so the per-tally cost is an index and a
+/// cursor-cached leaf update — no lock, no atomic.
+struct FusedSink<'a, 'f> {
+    trees: &'a mut [parking_lot::RwLockWriteGuard<'f, photon_hist::BinTree>],
+    cursors: &'a mut [LeafCursor],
+    tallies: u64,
+}
+
+impl TallySink for FusedSink<'_, '_> {
+    #[inline]
+    fn tally(&mut self, patch_id: u32, point: &BinPoint, energy: Rgb) {
+        self.tallies += 1;
+        self.trees[patch_id as usize].tally_with(
+            point,
+            energy,
+            &mut self.cursors[patch_id as usize],
+        );
+    }
 }
 
 fn worker_loop(ctx: WorkerCtx, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+    // Fused-path leaf cursors, one per tree, allocated once per worker.
+    let mut cursors: Vec<LeafCursor> = (0..ctx.forest.patch_count())
+        .map(|_| LeafCursor::new())
+        .collect();
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Trace { start, count } => {
                 let mut stats = SimStats::default();
-                let mut recorder = RecordSink {
-                    photon: 0,
-                    threads: ctx.threads,
-                    buckets: (0..ctx.threads).map(|_| Vec::new()).collect(),
-                };
-                let mut shared = SharedSink {
+                if ctx.threads == 1 && ctx.pipeline == PipelineMode::Batched {
+                    // A lone worker's trace order is serial order, so the
+                    // partition buys nothing: apply inline with the leaf
+                    // cursors, holding the whole forest for the batch.
+                    // Reset the cursors first — a checkpoint restore
+                    // between steps replaces the trees wholesale, and a
+                    // stale cursor must never descend into a new tree.
+                    for cursor in &mut cursors {
+                        *cursor = LeafCursor::new();
+                    }
+                    let mut guards = ctx.forest.write_all();
+                    let mut sink = FusedSink {
+                        trees: &mut guards,
+                        cursors: &mut cursors,
+                        tallies: 0,
+                    };
+                    for j in start..start + count {
+                        let mut rng = photon_stream(ctx.seed, j);
+                        let out = trace_photon(&ctx.scene, &ctx.generator, &mut rng, &mut sink);
+                        stats.record(&out);
+                    }
+                    let tallies = sink.tallies;
+                    drop(guards);
+                    ctx.forest.add_tallies(tallies);
+                } else {
+                    let mut out = ctx.shared.traces[ctx.tid].lock();
+                    out.clear(); // keep capacity: steady state reallocates nothing
+                    trace_strided(
+                        &ctx.scene,
+                        &ctx.generator,
+                        ctx.seed,
+                        start,
+                        count,
+                        ctx.tid as u64,
+                        ctx.threads as u64,
+                        &mut out,
+                        &mut stats,
+                    );
+                }
+                let _ = tx.send(Reply::Traced(stats));
+            }
+            Cmd::TraceInline { start, count } => {
+                let mut stats = SimStats::default();
+                let mut sink = SharedSink {
                     forest: &ctx.forest,
                 };
                 let mut j = start + ctx.tid as u64;
                 while j < start + count {
                     let mut rng = photon_stream(ctx.seed, j);
-                    let out = match ctx.mode {
-                        TallyMode::Concurrent => {
-                            trace_photon(&ctx.scene, &ctx.generator, &mut rng, &mut shared)
-                        }
-                        TallyMode::Deterministic => {
-                            recorder.photon = j;
-                            trace_photon(&ctx.scene, &ctx.generator, &mut rng, &mut recorder)
-                        }
-                    };
+                    let out = trace_photon(&ctx.scene, &ctx.generator, &mut rng, &mut sink);
                     stats.record(&out);
                     j += ctx.threads as u64;
                 }
-                let _ = tx.send(Reply::Traced {
-                    tid: ctx.tid,
-                    stats,
-                    records: recorder.buckets,
-                });
+                let _ = tx.send(Reply::Traced(stats));
             }
-            Cmd::Replay {
-                start,
-                count,
-                records,
-            } => {
-                // This worker's records, one sorted-by-photon list per
-                // tracing worker. Walk photons in global order; photon j's
-                // records live only in the list of the worker that traced
-                // it, contiguously — so each record is visited once, by its
-                // owner (disjoint tree ownership: no contention, pure
-                // order).
-                let lists: Vec<&[TallyRecord]> =
-                    records.iter().map(|src| src[ctx.tid].as_slice()).collect();
-                let mut cursors = vec![0usize; lists.len()];
-                for j in start..start + count {
-                    let src = ((j - start) % ctx.threads as u64) as usize;
-                    let list = lists[src];
-                    let cur = &mut cursors[src];
-                    while *cur < list.len() && list[*cur].photon == j {
-                        let rec = &list[*cur];
-                        ctx.forest.tally(rec.patch_id, &rec.point, rec.energy);
-                        *cur += 1;
-                    }
+            Cmd::Apply => {
+                let leaf_cache = ctx.pipeline == PipelineMode::Batched;
+                let partition = ctx.shared.partition.read();
+                loop {
+                    let i = ctx.shared.next_run.fetch_add(1, Ordering::Relaxed);
+                    let Some(run) = partition.runs.get(i) else {
+                        break;
+                    };
+                    ctx.forest
+                        .tally_run(run.patch_id, partition.run_records(run), leaf_cache);
                 }
-                let _ = tx.send(Reply::Replayed);
+                drop(partition);
+                let _ = tx.send(Reply::Applied);
             }
         }
     }
 }
 
 /// The resumable shared-memory engine: a worker pool over a shared,
-/// reader/writer-locked bin forest, stepped batch by batch.
+/// reader/writer-locked bin forest, stepped batch by batch through the
+/// trace→partition→apply pipeline.
 pub struct ParEngine {
     config: ParConfig,
+    /// Spawned workers (`config.worker_count()`): `threads` clamped to the
+    /// host unless oversubscription was requested. The answer does not
+    /// depend on it — only the wall clock does.
+    workers: usize,
     forest: Arc<SharedForest>,
+    shared: Arc<StepShared>,
     cmd_txs: Vec<Sender<Cmd>>,
     reply_rx: Receiver<Reply>,
     handles: Vec<JoinHandle<()>>,
@@ -184,30 +228,34 @@ pub struct ParEngine {
 }
 
 impl ParEngine {
-    /// Spawns `config.threads` workers over `scene` and an empty forest.
+    /// Spawns the engine's workers (see [`ParConfig::worker_count`]) over
+    /// `scene` and an empty forest.
     pub fn new(scene: Scene, config: ParConfig) -> Self {
         assert!(config.threads >= 1);
-        let forest = Arc::new(SharedForest::new(
-            scene.polygon_count(),
-            config.split,
-            config.lock,
-        ));
+        let workers = config.worker_count();
+        let forest = Arc::new(SharedForest::new(scene.polygon_count(), config.split));
+        let shared = Arc::new(StepShared {
+            traces: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            partition: RwLock::new(PartitionScratch::new(scene.polygon_count())),
+            next_run: AtomicUsize::new(0),
+        });
         let generator = Arc::new(PhotonGenerator::new(&scene));
         let scene = Arc::new(scene);
         let (reply_tx, reply_rx) = channel();
-        let mut cmd_txs = Vec::with_capacity(config.threads);
-        let mut handles = Vec::with_capacity(config.threads);
-        for tid in 0..config.threads {
+        let mut cmd_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for tid in 0..workers {
             let (tx, rx) = channel();
             cmd_txs.push(tx);
             let ctx = WorkerCtx {
                 tid,
-                threads: config.threads,
+                threads: workers,
                 seed: config.seed,
-                mode: config.tally,
+                pipeline: config.pipeline,
                 scene: Arc::clone(&scene),
                 generator: Arc::clone(&generator),
                 forest: Arc::clone(&forest),
+                shared: Arc::clone(&shared),
             };
             let reply_tx = reply_tx.clone();
             handles.push(
@@ -219,7 +267,9 @@ impl ParEngine {
         }
         ParEngine {
             config,
+            workers,
             forest,
+            shared,
             cmd_txs,
             reply_rx,
             handles,
@@ -251,6 +301,15 @@ impl ParEngine {
         }
     }
 
+    fn collect_traced(&mut self) {
+        for _ in 0..self.workers {
+            match self.reply_rx.recv().expect("worker alive") {
+                Reply::Traced(stats) => self.stats.merge(&stats),
+                Reply::Applied => unreachable!("no apply outstanding"),
+            }
+        }
+    }
+
     fn shutdown(&mut self) {
         self.cmd_txs.clear(); // hang up; workers exit their recv loop
         for h in self.handles.drain(..) {
@@ -263,7 +322,7 @@ impl ParEngine {
     pub fn into_answer(mut self) -> Answer {
         self.shutdown(); // joins workers, dropping their forest handles
         let emitted = self.stats.emitted;
-        let dummy = Arc::new(SharedForest::new(0, self.config.split, self.config.lock));
+        let dummy = Arc::new(SharedForest::new(0, self.config.split));
         let forest = std::mem::replace(&mut self.forest, dummy);
         let forest = match Arc::try_unwrap(forest) {
             Ok(owned) => owned.into_forest(),
@@ -286,40 +345,50 @@ impl SolverEngine for ParEngine {
         let batch_start = Instant::now();
         let start = self.cursor;
         self.cursor += batch;
-        self.broadcast(|| Cmd::Trace {
-            start,
-            count: batch,
-        });
-        let mut lists: Vec<Vec<Vec<TallyRecord>>> =
-            (0..self.config.threads).map(|_| Vec::new()).collect();
-        for _ in 0..self.config.threads {
-            match self.reply_rx.recv().expect("worker alive") {
-                Reply::Traced {
-                    tid,
-                    stats,
-                    records,
-                } => {
-                    self.stats.merge(&stats);
-                    lists[tid] = records;
-                }
-                Reply::Replayed => unreachable!("no replay outstanding"),
-            }
-        }
-        if self.config.tally == TallyMode::Deterministic {
-            let records = Arc::new(lists);
-            self.broadcast(|| Cmd::Replay {
+        let inline = self.config.pipeline == PipelineMode::InlineTally;
+
+        // Phase 1: trace (lock-free into per-worker scratch, or inline
+        // through the locks for the oracle mode).
+        if inline {
+            self.broadcast(|| Cmd::TraceInline {
                 start,
                 count: batch,
-                records: Arc::clone(&records),
             });
-            for _ in 0..self.config.threads {
+        } else {
+            self.broadcast(|| Cmd::Trace {
+                start,
+                count: batch,
+            });
+        }
+        self.collect_traced();
+        let trace_seconds = batch_start.elapsed().as_secs_f64();
+
+        // Phases 2+3: partition on the engine thread, then parallel apply.
+        // A lone Batched worker already applied inline while tracing (the
+        // fused path), so like the inline backends it reports the whole
+        // step as trace time.
+        let fused = self.workers == 1 && self.config.pipeline == PipelineMode::Batched;
+        if !inline && !fused {
+            {
+                let guards: Vec<_> = self.shared.traces.iter().map(|m| m.lock()).collect();
+                let lists: Vec<&[TallyRecord]> = guards.iter().map(|g| g.as_slice()).collect();
+                self.shared
+                    .partition
+                    .write()
+                    .partition(&lists, start, batch);
+            }
+            self.shared.next_run.store(0, Ordering::Release);
+            self.broadcast(|| Cmd::Apply);
+            for _ in 0..self.workers {
                 match self.reply_rx.recv().expect("worker alive") {
-                    Reply::Replayed => {}
-                    Reply::Traced { .. } => unreachable!("no trace outstanding"),
+                    Reply::Applied => {}
+                    Reply::Traced(_) => unreachable!("no trace outstanding"),
                 }
             }
         }
+
         let batch_seconds = batch_start.elapsed().as_secs_f64();
+        let apply_seconds = batch_seconds - trace_seconds;
         let elapsed_seconds = t0.elapsed().as_secs_f64();
         self.speed.push_batch(elapsed_seconds, batch, batch_seconds);
         BatchReport {
@@ -327,6 +396,8 @@ impl SolverEngine for ParEngine {
             emitted_total: self.stats.emitted,
             leaf_bins: self.forest.total_leaf_bins(),
             batch_seconds,
+            trace_seconds,
+            apply_seconds,
             elapsed_seconds,
             stats: self.stats,
         }
@@ -378,13 +449,16 @@ mod tests {
     use photon_core::{SimConfig, Simulator};
     use photon_scenes::cornell_box;
 
-    fn engine(threads: usize, tally: TallyMode) -> ParEngine {
+    fn engine(threads: usize, pipeline: PipelineMode) -> ParEngine {
         ParEngine::new(
             cornell_box(),
             ParConfig {
                 seed: 2024,
                 threads,
-                tally,
+                pipeline,
+                // Real worker counts even on small CI hosts — these tests
+                // exercise the multi-worker pipeline, not its speed.
+                oversubscribe: true,
                 ..Default::default()
             },
         )
@@ -398,7 +472,7 @@ mod tests {
 
     #[test]
     fn engine_is_resumable_across_steps() {
-        let mut e = engine(3, TallyMode::Deterministic);
+        let mut e = engine(3, PipelineMode::Batched);
         let r1 = e.step(1000);
         let r2 = e.step(1000);
         assert_eq!(r1.emitted_total, 1000);
@@ -406,10 +480,13 @@ mod tests {
         assert!(r2.leaf_bins >= r1.leaf_bins, "forest must not coarsen");
         assert_eq!(e.speed_trace().samples().len(), 2);
         assert!(e.stats().is_conserved());
+        // The report splits the step into trace + apply phases.
+        assert!(r2.trace_seconds >= 0.0 && r2.apply_seconds >= 0.0);
+        assert!(r2.trace_seconds + r2.apply_seconds <= r2.batch_seconds + 1e-9);
     }
 
     #[test]
-    fn deterministic_engine_matches_serial_bit_for_bit() {
+    fn batched_engine_matches_serial_bit_for_bit() {
         let mut serial = Simulator::new(
             cornell_box(),
             SimConfig {
@@ -420,7 +497,7 @@ mod tests {
         serial.run_photons(4000);
         let want = answer_bytes(&serial.answer_snapshot());
         for threads in [1, 2, 4, 5] {
-            let mut e = engine(threads, TallyMode::Deterministic);
+            let mut e = engine(threads, PipelineMode::Batched);
             e.step(1500);
             e.step(2500);
             assert_eq!(
@@ -433,9 +510,9 @@ mod tests {
 
     #[test]
     fn batching_does_not_change_the_answer() {
-        let mut a = engine(4, TallyMode::Deterministic);
+        let mut a = engine(4, PipelineMode::Batched);
         a.step(3000);
-        let mut b = engine(4, TallyMode::Deterministic);
+        let mut b = engine(4, PipelineMode::Batched);
         for _ in 0..6 {
             b.step(500);
         }
@@ -443,9 +520,10 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_engine_traces_the_same_photons() {
-        // Tally interleaving may move bin boundaries, but the photon set —
-        // and hence every counter — is identical to the serial stream.
+    fn inline_oracle_traces_the_same_photons() {
+        // Tally interleaving may move bin boundaries in the inline mode,
+        // but the photon set — and hence every counter — is identical to
+        // the serial stream.
         let mut serial = Simulator::new(
             cornell_box(),
             SimConfig {
@@ -459,7 +537,7 @@ mod tests {
             ParConfig {
                 seed: 11,
                 threads: 4,
-                tally: TallyMode::Concurrent,
+                pipeline: PipelineMode::InlineTally,
                 ..Default::default()
             },
         );
@@ -470,15 +548,15 @@ mod tests {
 
     #[test]
     fn checkpoint_resume_matches_an_uninterrupted_run() {
-        let mut straight = engine(3, TallyMode::Deterministic);
+        let mut straight = engine(3, PipelineMode::Batched);
         straight.step(4000);
         let want = answer_bytes(&straight.snapshot());
-        let mut first = engine(2, TallyMode::Deterministic);
+        let mut first = engine(2, PipelineMode::Batched);
         first.step(1700);
         let ck = first.checkpoint();
         assert_eq!(ck.cursor(), 1700);
         drop(first); // the original engine (and its workers) are gone
-        let mut resumed = engine(5, TallyMode::Deterministic);
+        let mut resumed = engine(5, PipelineMode::Batched);
         resumed.restore(&ck).expect("compatible checkpoint");
         resumed.step(2300);
         assert_eq!(resumed.stats(), straight.stats());
@@ -487,7 +565,7 @@ mod tests {
 
     #[test]
     fn restore_rejects_a_mismatched_seed() {
-        let mut a = engine(2, TallyMode::Deterministic);
+        let mut a = engine(2, PipelineMode::Batched);
         a.step(500);
         let ck = a.checkpoint();
         let mut other = ParEngine::new(
@@ -495,7 +573,6 @@ mod tests {
             ParConfig {
                 seed: 1,
                 threads: 2,
-                tally: TallyMode::Deterministic,
                 ..Default::default()
             },
         );
@@ -505,7 +582,7 @@ mod tests {
 
     #[test]
     fn snapshot_does_not_stop_the_engine() {
-        let mut e = engine(2, TallyMode::Deterministic);
+        let mut e = engine(2, PipelineMode::Batched);
         e.step(800);
         let early = e.snapshot();
         e.step(800);

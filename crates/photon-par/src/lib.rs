@@ -12,14 +12,19 @@
 //! through each batch's photon indices (every `T`-th photon), and each
 //! photon draws from its own block substream of the seeded base stream, so
 //! the photon set is exactly the serial simulator's regardless of thread
-//! count. Two tally modes:
+//! count.
 //!
-//! * [`TallyMode::Concurrent`] — tallies go through the per-tree write
-//!   locks as workers trace (the paper's design; [`LockMode::Global`] is
-//!   the single-lock ablation — see the `ablation_locks` bench);
-//! * [`TallyMode::Deterministic`] — tallies are buffered and replayed in
-//!   global photon order, making the answer bit-identical to the serial
-//!   simulator's.
+//! **The batched pipeline.** Each step runs the trace→partition→apply
+//! kernel of [`photon_core::batch`]: workers trace their strides lock-free
+//! into reusable record buffers; the records are counting-sorted by patch
+//! into per-patch runs that preserve global `(photon, bounce)` order; then
+//! workers claim whole runs and fold each into its tree under one write-lock
+//! acquisition. Per-tree tally order equals serial order *by construction*,
+//! so the default mode is simultaneously concurrent **and** bit-identical
+//! to the serial simulator at any thread count — the old
+//! `Concurrent`/`Deterministic` split collapsed into one mode that is both.
+//! [`PipelineMode::InlineTally`] keeps the historical tally-through-locks
+//! path as a test oracle and ablation baseline.
 //!
 //! [`run`] drives the engine for a fixed photon budget, recording a speed
 //! sample per batch — the traces of Figs 5.6–5.8.
@@ -32,7 +37,8 @@ pub mod pool;
 pub use engine::ParEngine;
 pub use pool::parallel_map;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
+use photon_core::batch::TallyRecord;
 use photon_core::sim::SimStats;
 use photon_core::trace::TallySink;
 use photon_core::{Answer, SolverEngine, SpeedTrace};
@@ -41,24 +47,23 @@ use photon_hist::{BinPoint, BinTree, SplitConfig};
 use photon_math::Rgb;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Locking granularity for the shared bin forest.
+/// How a step moves tallies from the trace into the shared forest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum LockMode {
-    /// One reader/writer lock per patch tree (the production mode).
-    PerTree,
-    /// A single lock around the whole forest (ablation baseline).
-    Global,
-}
-
-/// When tallies reach the shared forest.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TallyMode {
-    /// Tally through the forest locks while tracing (the paper's Fig 5.2).
-    /// Fastest; bin boundaries depend on tally interleaving.
-    Concurrent,
-    /// Buffer tallies during the trace, then replay them in global photon
-    /// order — the answer is bit-identical to the serial simulator's.
-    Deterministic,
+pub enum PipelineMode {
+    /// Trace → partition → apply with the leaf-descent cache (the
+    /// production mode): lock-free tracing into record buffers, counting-
+    /// sort by patch, one write-lock per patch run. Bit-identical to the
+    /// serial simulator at any thread count.
+    Batched,
+    /// The batched pipeline with the [`photon_hist::LeafCursor`] fast path
+    /// disabled (every record re-descends from the root). Same answers as
+    /// [`PipelineMode::Batched`]; exists for the `ablation_pipeline` bench.
+    BatchedNoCache,
+    /// Tally through the per-tree write locks while tracing (the paper's
+    /// original Fig 5.2 loop). Bin boundaries depend on tally interleaving,
+    /// so answers are *not* reproducible across thread counts — kept as the
+    /// test oracle for photon-set invariants and as the ablation baseline.
+    InlineTally,
 }
 
 /// Configuration of a shared-memory run.
@@ -72,10 +77,17 @@ pub struct ParConfig {
     pub threads: usize,
     /// Photons per batch (across all threads).
     pub batch_size: u64,
-    /// Locking granularity.
-    pub lock: LockMode,
-    /// When tallies reach the forest.
-    pub tally: TallyMode,
+    /// How tallies reach the forest.
+    pub pipeline: PipelineMode,
+    /// Spawn exactly [`threads`](Self::threads) workers even beyond the
+    /// host's available parallelism. Off by default: oversubscribing cores
+    /// is pure scheduling overhead for this compute-bound pipeline, so the
+    /// engine clamps its worker count to the host — which the batched
+    /// pipeline makes safe, because its answer is bit-identical at *any*
+    /// worker count. The thread-scaling experiments (`fig5_6_shared`,
+    /// `ablation_locks`, the equivalence suite) turn this on to measure
+    /// real contention.
+    pub oversubscribe: bool,
 }
 
 impl Default for ParConfig {
@@ -85,45 +97,85 @@ impl Default for ParConfig {
             split: SplitConfig::default(),
             threads: 2,
             batch_size: 2000,
-            lock: LockMode::PerTree,
-            tally: TallyMode::Concurrent,
+            pipeline: PipelineMode::Batched,
+            oversubscribe: false,
         }
     }
 }
 
-/// The shared bin forest: per-tree writer locks plus an optional global
-/// serialization lock for the ablation mode.
+impl ParConfig {
+    /// Workers the engine actually spawns: `threads`, clamped to the
+    /// host's available parallelism unless
+    /// [`oversubscribe`](Self::oversubscribe) is set. Never zero.
+    pub fn worker_count(&self) -> usize {
+        let requested = self.threads.max(1);
+        if self.oversubscribe {
+            requested
+        } else {
+            let host = std::thread::available_parallelism().map_or(requested, |n| n.get());
+            requested.min(host)
+        }
+    }
+}
+
+/// The shared bin forest: one reader/writer lock per patch tree.
 pub struct SharedForest {
     trees: Vec<RwLock<BinTree>>,
-    global: Mutex<()>,
-    mode: LockMode,
     tallies: AtomicU64,
 }
 
 impl SharedForest {
     /// One tree per patch.
-    pub fn new(patch_count: usize, split: SplitConfig, mode: LockMode) -> Self {
+    pub fn new(patch_count: usize, split: SplitConfig) -> Self {
         SharedForest {
             trees: (0..patch_count)
                 .map(|_| RwLock::new(BinTree::new(split)))
                 .collect(),
-            global: Mutex::new(()),
-            mode,
             tallies: AtomicU64::new(0),
         }
     }
 
-    /// Records one interaction (thread-safe).
+    /// Records one interaction (thread-safe): one write-lock acquisition
+    /// per tally. The batched pipeline amortizes this via
+    /// [`SharedForest::tally_run`]; this per-tally path serves
+    /// [`PipelineMode::InlineTally`].
     #[inline]
     pub fn tally(&self, patch_id: u32, point: &BinPoint, energy: Rgb) {
         self.tallies.fetch_add(1, Ordering::Relaxed);
-        match self.mode {
-            LockMode::PerTree => {
-                self.trees[patch_id as usize].write().tally(point, energy);
-            }
-            LockMode::Global => {
-                let _g = self.global.lock();
-                self.trees[patch_id as usize].write().tally(point, energy);
+        self.trees[patch_id as usize].write().tally(point, energy);
+    }
+
+    /// Write-locks every tree for the fused single-worker batch: with one
+    /// writer, per-tally locking is pure overhead, so the worker holds the
+    /// whole forest for the batch and concurrent readers (snapshots) wait
+    /// out at most one batch. Guards are returned in patch order.
+    pub(crate) fn write_all(&self) -> Vec<parking_lot::RwLockWriteGuard<'_, BinTree>> {
+        self.trees.iter().map(|t| t.write()).collect()
+    }
+
+    /// Folds a batch-local tally count into the shared total (the fused
+    /// path counts locally instead of one atomic add per tally).
+    pub(crate) fn add_tallies(&self, n: u64) {
+        self.tallies.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Applies one patch's run of records under a single write-lock
+    /// acquisition, in record order. With `leaf_cache` the tree reuses the
+    /// previous record's leaf descent when the next record lands in the
+    /// same leaf ([`photon_hist::LeafCursor`]); either way the result is
+    /// bit-identical to tallying the records one at a time in order.
+    pub fn tally_run(&self, patch_id: u32, records: &[TallyRecord], leaf_cache: bool) {
+        if records.is_empty() {
+            return;
+        }
+        self.tallies
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+        let mut tree = self.trees[patch_id as usize].write();
+        if leaf_cache {
+            tree.tally_run(records.iter().map(|r| (&r.point, r.energy)));
+        } else {
+            for r in records {
+                tree.tally(&r.point, r.energy);
             }
         }
     }
@@ -174,7 +226,7 @@ impl SharedForest {
     }
 }
 
-/// Per-thread sink borrowing the shared forest.
+/// Per-thread sink borrowing the shared forest (the inline-tally oracle).
 pub(crate) struct SharedSink<'a> {
     pub(crate) forest: &'a SharedForest,
 }
@@ -226,13 +278,16 @@ mod tests {
     use super::*;
     use photon_scenes::cornell_box;
 
-    fn small_run(threads: usize, lock: LockMode) -> ParRunResult {
+    fn small_run(threads: usize, pipeline: PipelineMode) -> ParRunResult {
         let scene = cornell_box();
         let config = ParConfig {
             seed: 99,
             threads,
             batch_size: 2000,
-            lock,
+            pipeline,
+            // Real worker counts even on small CI hosts — these tests
+            // exercise the multi-worker pipeline, not its speed.
+            oversubscribe: true,
             ..Default::default()
         };
         run(&scene, &config, 10_000)
@@ -241,7 +296,7 @@ mod tests {
     #[test]
     fn photons_are_conserved_across_threads() {
         for threads in [1, 2, 4] {
-            let r = small_run(threads, LockMode::PerTree);
+            let r = small_run(threads, PipelineMode::Batched);
             assert_eq!(r.stats.emitted, 10_000, "threads={threads}");
             assert!(r.stats.is_conserved(), "threads={threads}: {:?}", r.stats);
         }
@@ -268,24 +323,55 @@ mod tests {
     fn parallel_run_matches_serial_exactly() {
         // Block-split photon streams: 1 thread and 4 threads trace the
         // *same* photons, so every counter agrees exactly.
-        let serial = small_run(1, LockMode::PerTree);
-        let par = small_run(4, LockMode::PerTree);
+        let serial = small_run(1, PipelineMode::Batched);
+        let par = small_run(4, PipelineMode::Batched);
         assert_eq!(serial.stats, par.stats);
     }
 
     #[test]
-    fn lock_modes_agree_on_totals() {
-        let a = small_run(4, LockMode::PerTree);
-        let b = small_run(4, LockMode::Global);
-        assert_eq!(a.stats.emitted, b.stats.emitted);
-        // Identical streams => identical reflection totals, regardless of
-        // lock granularity.
-        assert_eq!(a.stats.reflections, b.stats.reflections);
+    fn pipeline_modes_agree_on_totals() {
+        let batched = small_run(4, PipelineMode::Batched);
+        let nocache = small_run(4, PipelineMode::BatchedNoCache);
+        let inline = small_run(4, PipelineMode::InlineTally);
+        assert_eq!(batched.stats, inline.stats);
+        assert_eq!(batched.stats, nocache.stats);
+        // The leaf cache is a pure traversal shortcut: the two batched
+        // modes build byte-identical answers.
+        let bytes = |r: &ParRunResult| {
+            let mut buf = Vec::new();
+            r.answer.write_to(&mut buf).expect("encode");
+            buf
+        };
+        assert_eq!(bytes(&batched), bytes(&nocache));
+    }
+
+    #[test]
+    fn worker_clamping_is_invisible_in_the_answer() {
+        // The default config clamps workers to the host; determinism makes
+        // that safe — the clamped and fully-oversubscribed runs agree to
+        // the byte.
+        let scene = cornell_box();
+        let with = |oversubscribe| {
+            let config = ParConfig {
+                seed: 99,
+                threads: 4,
+                batch_size: 2000,
+                oversubscribe,
+                ..Default::default()
+            };
+            assert!(config.worker_count() >= 1);
+            assert!(config.worker_count() <= 4);
+            let r = run(&scene, &config, 10_000);
+            let mut buf = Vec::new();
+            r.answer.write_to(&mut buf).expect("encode");
+            (r.stats, buf)
+        };
+        assert_eq!(with(false), with(true));
     }
 
     #[test]
     fn speed_trace_has_one_sample_per_batch() {
-        let r = small_run(2, LockMode::PerTree);
+        let r = small_run(2, PipelineMode::Batched);
         assert_eq!(r.speed.samples().len(), 5);
         assert_eq!(r.speed.total_photons(), 10_000);
         assert!(r.speed.total_elapsed() > 0.0);
@@ -293,7 +379,7 @@ mod tests {
 
     #[test]
     fn forest_refines_in_parallel() {
-        let r = small_run(4, LockMode::PerTree);
+        let r = small_run(4, PipelineMode::Batched);
         assert!(r.leaf_bins > 30, "leaf bins {}", r.leaf_bins);
     }
 }

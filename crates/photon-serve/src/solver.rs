@@ -56,7 +56,7 @@ use photon_core::obs::{ObsCtx, ObsKind, Stage};
 use photon_core::{EngineCheckpoint, ObsHub, SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
 use photon_geom::Scene;
-use photon_par::{ParConfig, ParEngine, TallyMode};
+use photon_par::{ParConfig, ParEngine};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -1006,10 +1006,11 @@ fn build_engine(request: &SolveRequest, obs: &ObsHub, id: SolveJobId) -> Box<dyn
         )),
         BackendChoice::Threaded { threads } => Box::new(ParEngine::new(
             request.scene.clone(),
+            // The default batched pipeline is deterministic: bit-identical
+            // to serial at any thread count.
             ParConfig {
                 seed: request.seed,
                 threads: threads.max(1),
-                tally: TallyMode::Deterministic,
                 split,
                 ..Default::default()
             },
@@ -1258,6 +1259,10 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
             shared
                 .obs
                 .stage(Stage::SolveSlice, step_start.elapsed().as_secs_f64());
+            // Phase split of the slice: where the time went inside the
+            // engine (trace vs partition+apply of the batched pipeline).
+            shared.obs.stage(Stage::SolveTrace, report.trace_seconds);
+            shared.obs.stage(Stage::TallyApply, report.apply_seconds);
             shared.obs.emit(
                 ObsKind::BatchStepped,
                 ObsCtx {

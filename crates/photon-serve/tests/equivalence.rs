@@ -20,7 +20,7 @@
 
 use photon_core::{Answer, EngineCheckpoint, SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
-use photon_par::{ParConfig, ParEngine, TallyMode};
+use photon_par::{ParConfig, ParEngine};
 use photon_scenes::{cornell_box, TestScene};
 use photon_serve::{AnswerStore, BackendChoice, SolveRequest, SolverPool};
 use std::sync::Arc;
@@ -55,7 +55,6 @@ fn threaded_engine_answers_are_bit_identical_to_serial() {
                 ParConfig {
                     seed: 4097,
                     threads,
-                    tally: TallyMode::Deterministic,
                     ..Default::default()
                 },
             );
@@ -129,7 +128,6 @@ fn checkpoint_resume_is_bit_identical_across_serial_and_threaded() {
             ParConfig {
                 seed,
                 threads,
-                tally: TallyMode::Deterministic,
                 ..Default::default()
             },
         )

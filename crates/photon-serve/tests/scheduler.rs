@@ -361,7 +361,15 @@ fn stale_epoch_cache_keys_are_purged() {
         let view = service.render_blocking(req).expect("served");
         assert!(!view.from_cache(), "a fresher epoch must re-render");
     }
-    let m = service.metrics();
+    // The reply is sent before the dispatcher records the batch-end cache
+    // gauge, so the metrics lag the render by one scheduling quantum —
+    // poll briefly instead of racing the dispatcher thread.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut m = service.metrics();
+    while (m.cache_entries != 1 || m.cache_purged < 5) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+        m = service.metrics();
+    }
     assert_eq!(
         m.cache_entries, 1,
         "only the freshest epoch's image may stay cached: {m:?}"

@@ -4,7 +4,7 @@
 use photon_gi::core::{SimConfig, Simulator};
 use photon_gi::dist::{run_distributed, BalanceMode, BatchMode, DistConfig, StopRule};
 use photon_gi::mpi::Platform;
-use photon_gi::par::{run, LockMode, ParConfig};
+use photon_gi::par::{run, ParConfig};
 use photon_gi::scenes::TestScene;
 
 const PHOTONS: u64 = 8_000;
@@ -31,7 +31,6 @@ fn shared_memory_conserves_photons_and_tallies() {
         seed: 11,
         threads: 4,
         batch_size: 2000,
-        lock: LockMode::PerTree,
         ..Default::default()
     };
     let r = run(&scene, &config, PHOTONS);

@@ -8,11 +8,13 @@
 //! matches parking_lot's semantics (parking_lot locks never poison).
 //!
 //! Only the surface the workspace uses is provided: `Mutex` (`new`, `lock`,
-//! `into_inner`) and `RwLock` (`new`, `read`, `write`, `into_inner`).
+//! `into_inner`), `RwLock` (`new`, `read`, `write`, `into_inner`), and the
+//! guard types (std's, re-exported under parking_lot's names).
 
 #![deny(missing_docs)]
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with parking_lot's panic-free API.
 #[derive(Debug, Default)]
