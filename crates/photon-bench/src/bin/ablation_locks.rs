@@ -15,10 +15,109 @@
 //! lock per patch run; the leaf cursor adds on top because a run's records
 //! hit the same tree and mostly the same leaves. All three produce the same
 //! photon statistics; `batched` and `+cache` are bit-identical to serial.
+//!
+//! A second section ablates the **node layout**: descending the same
+//! logical tree stored as the old array-of-structs enum arena (one
+//! [`ExportNode`] per node) versus the current hot/cold SoA arenas (8-byte
+//! packed nodes, leaf stats in a separate cold array). Same trees, same
+//! probe stream, answers asserted equal — only the memory layout differs.
 
 use photon_bench::{fmt, heading, json_mode, md_table, JsonReport};
+use photon_hist::{BinPoint, BinRange, BinTree, ExportNode, SplitConfig};
+use photon_math::Rgb;
 use photon_par::{run, ParConfig, PipelineMode};
+use photon_rng::{Lcg48, PhotonRng};
 use photon_scenes::TestScene;
+use std::f64::consts::TAU;
+use std::time::Instant;
+
+/// Reference descend over the AoS enum arena — the pre-SoA hot loop: each
+/// hop loads a full [`ExportNode`] (leaf stats and all), not 8 bytes.
+fn aos_lookup(nodes: &[ExportNode], p: &BinPoint) -> u64 {
+    let mut idx = 0usize;
+    let mut range = BinRange::full();
+    loop {
+        match &nodes[idx] {
+            ExportNode::Leaf(stats) => return stats.n_total,
+            ExportNode::Internal { axis, children } => {
+                let (lo, hi) = range.split(*axis);
+                if p.coord(*axis) < range.mid(*axis) {
+                    idx = children[0] as usize;
+                    range = lo;
+                } else {
+                    idx = children[1] as usize;
+                    range = hi;
+                }
+            }
+        }
+    }
+}
+
+/// AoS-vs-SoA lookup throughput over identical trees and probes. Returns
+/// `(aos_rate, soa_rate, leaf_bins)` with rates in lookups/second.
+///
+/// Probes round-robin across a forest of refined trees — the serve-time
+/// access pattern, where consecutive lookups land on different patches and
+/// the working set far exceeds one tree.
+fn layout_rates() -> (f64, f64, u32) {
+    const TREES: usize = 64;
+    let mut rng = Lcg48::new(1997);
+    let concentrated = |rng: &mut Lcg48| {
+        BinPoint::new(
+            rng.next_f64().powi(2),
+            rng.next_f64(),
+            rng.next_f64() * TAU,
+            rng.next_f64().powi(2),
+        )
+    };
+    let forest: Vec<BinTree> = (0..TREES)
+        .map(|_| {
+            let mut tree = BinTree::new(SplitConfig::default());
+            for _ in 0..20_000 {
+                tree.tally(&concentrated(&mut rng), Rgb::WHITE);
+            }
+            // Canonical subtree-clustered order, as after a snapshot.
+            tree.compact();
+            tree
+        })
+        .collect();
+    let aos: Vec<Vec<ExportNode>> = forest.iter().map(|t| t.export_nodes()).collect();
+    let leaf_bins = forest.iter().map(|t| t.leaf_count()).sum();
+    let probes: Vec<BinPoint> = (0..1 << 18)
+        .map(|_| {
+            BinPoint::new(
+                rng.next_f64(),
+                rng.next_f64(),
+                rng.next_f64() * TAU,
+                rng.next_f64(),
+            )
+        })
+        .collect();
+    let passes = 4u32;
+    fn time(
+        probes: &[BinPoint],
+        passes: u32,
+        mut lookup: impl FnMut(usize, &BinPoint) -> u64,
+    ) -> (u64, f64) {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..passes {
+            for (i, p) in probes.iter().enumerate() {
+                acc = acc.wrapping_add(lookup(i % TREES, p));
+            }
+        }
+        (acc, t0.elapsed().as_secs_f64())
+    }
+    let (aos_acc, aos_secs) = time(&probes, passes, |t, p| aos_lookup(&aos[t], p));
+    let (soa_acc, soa_secs) = time(&probes, passes, |t, p| forest[t].lookup(p).0.n_total);
+    assert_eq!(aos_acc, soa_acc, "layouts disagree on lookup answers");
+    let lookups = (passes as u64 * probes.len() as u64) as f64;
+    (
+        lookups / aos_secs.max(1e-9),
+        lookups / soa_secs.max(1e-9),
+        leaf_bins,
+    )
+}
 
 fn main() {
     heading("Ablation — inline-tally vs batched-apply vs batched-apply + leaf cache");
@@ -62,8 +161,21 @@ fn main() {
             ]);
         }
     }
+    let (aos_rate, soa_rate, leaf_bins) = layout_rates();
+    let aos_node = std::mem::size_of::<ExportNode>();
     if json_mode() {
         report.int("photons", photons);
+        report.raw(
+            "layout",
+            format!(
+                "{{\"aos_node_bytes\":{aos_node},\"soa_node_bytes\":8,\
+                 \"leaf_bins\":{leaf_bins},\
+                 \"aos_lookups_per_sec\":{aos_rate:.1},\
+                 \"soa_lookups_per_sec\":{soa_rate:.1},\
+                 \"soa_over_aos\":{:.3}}}",
+                soa_rate / aos_rate.max(1e-9)
+            ),
+        );
         report.print();
         return;
     }
@@ -83,4 +195,29 @@ fn main() {
     );
     println!("batching replaces a lock per tally with a lock per patch run;");
     println!("the leaf cursor then skips re-descending the tree for clustered hits.");
+    println!();
+    heading("Ablation — node layout: AoS enum arena vs hot/cold SoA");
+    println!("round-robin probes across a {leaf_bins}-bin forest of 64 trees");
+    println!(
+        "{}",
+        md_table(
+            &["layout", "node bytes", "lookups/s", "vs AoS",],
+            &[
+                vec![
+                    "AoS enum arena".to_string(),
+                    aos_node.to_string(),
+                    fmt(aos_rate),
+                    "1.00x".to_string(),
+                ],
+                vec![
+                    "hot/cold SoA".to_string(),
+                    "8".to_string(),
+                    fmt(soa_rate),
+                    format!("{:.2}x", soa_rate / aos_rate.max(1e-9)),
+                ],
+            ]
+        )
+    );
+    println!("same logical trees and probe stream; the SoA descent touches 8-byte");
+    println!("packed nodes only, deferring leaf statistics to the cold arena.");
 }

@@ -1,15 +1,20 @@
 //! **Bench diff — throughput regression gate against `BENCH_baseline.json`.**
 //!
 //! Runs the machine-readable benches (`progressive_solve`,
-//! `checkpoint_resume`) with `--json`, extracts every per-backend
-//! `photons_per_sec`, and compares each against the committed baseline at
-//! the repo root. Any backend running slower than 90% of its baseline is a
-//! regression: the table marks it and the process exits nonzero, so CI can
-//! surface it (as a non-blocking step — shared runners are noisy).
+//! `checkpoint_resume`) with `--json` `--runs` times each (default 3),
+//! takes the per-backend **median** `photons_per_sec` across the runs, and
+//! compares each median against the committed baseline at the repo root.
+//! The median absorbs the one-off stalls shared runners love to inject —
+//! a single slow run can no longer fail the gate, only a consistent
+//! slowdown can. Any backend whose median runs slower than 90% of its
+//! baseline is a regression: the table marks it and the process exits
+//! nonzero, so CI can surface it (as a non-blocking step — shared runners
+//! are noisy even at the median).
 //!
 //! ```sh
 //! cargo build --release -p photon-bench --bins
-//! cargo run  --release -p photon-bench --bin bench_diff
+//! cargo run  --release -p photon-bench --bin bench_diff            # median of 3
+//! cargo run  --release -p photon-bench --bin bench_diff -- --runs 5
 //! ```
 //!
 //! To refresh the baseline after an intentional performance change:
@@ -151,6 +156,61 @@ fn enclosing_key(json: &str, pos: usize) -> String {
     "root".into()
 }
 
+/// Value of `--runs N` / `--runs=N` (default 3): how many times each rate
+/// bench runs before the per-backend median is taken.
+fn parse_runs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let bad = || -> ! {
+        eprintln!("bench_diff: --runs needs a positive integer");
+        std::process::exit(2);
+    };
+    for (i, a) in args.iter().enumerate() {
+        let val = if a == "--runs" {
+            Some(args.get(i + 1).cloned().unwrap_or_else(|| bad()))
+        } else {
+            a.strip_prefix("--runs=").map(str::to_string)
+        };
+        if let Some(val) = val {
+            match val.parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => bad(),
+            }
+        }
+    }
+    3
+}
+
+/// Median of a non-empty sample (mean of the middle pair when even).
+fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Runs `bench` `runs` times and reduces each backend label to its median
+/// rate, preserving the label order of the first run.
+fn median_rates(bench: &str, runs: usize) -> Vec<(String, f64)> {
+    let mut per_label: Vec<(String, Vec<f64>)> = Vec::new();
+    for run in 0..runs {
+        eprintln!("bench_diff: {bench} run {}/{runs} ...", run + 1);
+        for (label, rate) in rates(&run_bench(bench)) {
+            match per_label.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, samples)) => samples.push(rate),
+                None => per_label.push((label, vec![rate])),
+            }
+        }
+    }
+    per_label
+        .into_iter()
+        .map(|(label, samples)| (label, median(samples)))
+        .collect()
+}
+
 fn record(path: &Path) {
     let mut out = String::from("{\n  \"version\": 1,\n");
     out.push_str(&format!("  \"recorded\": \"{}\",\n", today_utc()));
@@ -194,7 +254,10 @@ fn main() {
         return;
     }
 
-    heading("Bench diff — current photons/s vs BENCH_baseline.json");
+    let runs = parse_runs();
+    heading(&format!(
+        "Bench diff — median-of-{runs} photons/s vs BENCH_baseline.json"
+    ));
     let baseline = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(_) => {
@@ -209,7 +272,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut regressions = 0u32;
     for bench in RATE_BENCHES {
-        let fresh = rates(&run_bench(bench));
+        let fresh = median_rates(bench, runs);
         let base = object_after(&baseline, bench).map_or_else(Vec::new, rates);
         for (label, rate) in fresh {
             let Some(&(_, want)) = base.iter().find(|(l, _)| *l == label) else {
@@ -286,6 +349,15 @@ mod tests {
                 ("threaded x4".to_string(), 90.0)
             ]
         );
+    }
+
+    #[test]
+    fn median_is_order_free_and_splits_even_samples() {
+        assert_eq!(median(vec![3.0]), 3.0);
+        assert_eq!(median(vec![9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+        // One outlier run cannot move a median-of-3.
+        assert_eq!(median(vec![100.0, 101.0, 0.001]), 100.0);
     }
 
     #[test]

@@ -28,14 +28,11 @@ pub struct Answer {
 }
 
 impl Answer {
-    /// Snapshots a forest at `emitted` photons.
+    /// Snapshots a forest at `emitted` photons. The snapshot trees are deep
+    /// copies in the canonical subtree-clustered arena order, so render-time
+    /// lookups against the answer walk memory nearly sequentially.
     pub fn from_forest(forest: &BinForest, emitted: u64) -> Self {
-        let trees = forest
-            .iter()
-            .map(|(_, t)| {
-                BinTree::from_export(t.export_nodes(), *t.config()).expect("valid export")
-            })
-            .collect();
+        let trees = forest.iter().map(|(_, t)| t.compacted_clone()).collect();
         Answer { trees, emitted }
     }
 
@@ -181,11 +178,14 @@ pub(crate) fn tree_encoded_size(tree: &BinTree) -> u64 {
     4 + leaves * 53 + internals * 10
 }
 
-/// Writes one tree as `node count (u32) + nodes in arena order`, the shared
-/// tree block of the `PHOTANS1` and `PHOTCK1` codecs. The encoding captures
-/// the *complete* node state — including each leaf's speculative split
-/// statistics (`stat_n`, per-axis `left` counts) and the arena order — so a
-/// decoded tree continues tallying and splitting exactly like the original.
+/// Writes one tree as `node count (u32) + nodes in canonical order`, the
+/// shared tree block of the `PHOTANS1` and `PHOTCK1` codecs. The encoding
+/// captures the *complete* node state — including each leaf's speculative
+/// split statistics (`stat_n`, per-axis `left` counts) — so a decoded tree
+/// continues tallying and splitting exactly like the original. The node
+/// order is [`BinTree::export_nodes`]'s canonical subtree-clustered order, a
+/// pure function of the logical tree: the same solve state encodes to the
+/// same bytes no matter how its arenas grew or compacted.
 pub(crate) fn write_tree<W: Write>(w: &mut W, tree: &BinTree) -> io::Result<()> {
     let nodes = tree.export_nodes();
     w.write_all(&(nodes.len() as u32).to_le_bytes())?;

@@ -19,6 +19,7 @@
 
 use crate::answer::Answer;
 use crate::checkpoint::{EngineCheckpoint, RestoreError};
+use crate::forest::ForestFootprint;
 use crate::sim::SimStats;
 use photon_rng::Lcg48;
 
@@ -64,6 +65,10 @@ pub struct BatchReport {
     pub elapsed_seconds: f64,
     /// Cumulative photon counters.
     pub stats: SimStats,
+    /// Per-arena resident footprint of the forest after the step (the
+    /// distributed engine reports its owned trees — each patch exactly
+    /// once across ranks).
+    pub footprint: ForestFootprint,
 }
 
 /// An incremental global-illumination solver.

@@ -4,6 +4,37 @@ use crate::batch::TallyRecord;
 use photon_hist::{BinPoint, BinRange, BinTree, LeafStats, SplitConfig};
 use photon_math::Rgb;
 
+/// Resident-memory footprint of a forest, split by arena: hot packed-node
+/// bytes (what a descent strides over), cold leaf-statistics bytes (what a
+/// tally lands in), and the leaf-bin count. Reported per step through
+/// [`crate::BatchReport`] and surfaced as gauges by the serving layer's
+/// metrics and exporters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ForestFootprint {
+    /// Bytes of the hot packed-node arenas across all trees.
+    pub node_bytes: u64,
+    /// Bytes of the cold leaf-statistics arenas across all trees.
+    pub leaf_bytes: u64,
+    /// Leaf bins across all trees (Table 5.1's view-dependent polygons).
+    pub leaf_bins: u64,
+}
+
+impl ForestFootprint {
+    /// Folds another footprint into this one (per-rank/per-tree sums).
+    pub fn merge(&mut self, other: &ForestFootprint) {
+        self.node_bytes += other.node_bytes;
+        self.leaf_bytes += other.leaf_bytes;
+        self.leaf_bins += other.leaf_bins;
+    }
+
+    /// Accounts one tree.
+    pub fn add_tree(&mut self, tree: &BinTree) {
+        self.node_bytes += tree.node_bytes() as u64;
+        self.leaf_bytes += tree.leaf_bytes() as u64;
+        self.leaf_bins += tree.leaf_count() as u64;
+    }
+}
+
 /// A forest of [`BinTree`]s indexed by patch id — the paper's principal data
 /// structure, "capable of recording the answer of a global illumination
 /// model with the color of every patch as a function of the position on the
@@ -138,6 +169,30 @@ impl BinForest {
         self.trees.iter().map(|t| t.memory_bytes()).sum()
     }
 
+    /// Per-arena footprint gauges across all trees.
+    pub fn footprint(&self) -> ForestFootprint {
+        let mut fp = ForestFootprint::default();
+        for t in &self.trees {
+            fp.add_tree(t);
+        }
+        fp
+    }
+
+    /// Total arena nodes across all trees (internals + leaves).
+    pub fn total_nodes(&self) -> u64 {
+        self.trees.iter().map(|t| t.node_count() as u64).sum()
+    }
+
+    /// Rebuilds every tree's arenas into the canonical subtree-clustered
+    /// order (see [`BinTree::compact`]), so steady-state traversal is
+    /// cache-resident. Purely a layout operation — answers, exports, and
+    /// split behaviour are unchanged.
+    pub fn compact(&mut self) {
+        for t in &mut self.trees {
+            t.compact();
+        }
+    }
+
     /// Takes the trees out (used when distributing the forest across ranks).
     pub fn into_trees(self) -> Vec<BinTree> {
         self.trees
@@ -209,6 +264,34 @@ mod tests {
             msg.contains("patch_id 7") && msg.contains("2 patches"),
             "panic message not descriptive: {msg:?}"
         );
+    }
+
+    #[test]
+    fn footprint_tracks_both_arenas_and_compaction_is_invisible() {
+        let mut f = BinForest::new(2, SplitConfig::default());
+        let mut rng = Lcg48::new(7);
+        for _ in 0..30_000 {
+            let p = BinPoint::new(
+                rng.next_f64() * 0.05,
+                rng.next_f64(),
+                rng.next_f64() * TAU,
+                rng.next_f64(),
+            );
+            f.tally(0, &p, Rgb::WHITE);
+        }
+        let fp = f.footprint();
+        assert_eq!(fp.leaf_bins, f.total_leaf_bins());
+        assert!(fp.node_bytes >= f.total_nodes() * 8);
+        assert!(fp.leaf_bytes > 0);
+        // memory_bytes covers both arenas plus headers.
+        assert!(f.memory_bytes() as u64 >= fp.node_bytes + fp.leaf_bytes);
+
+        let before: Vec<_> = f.iter().map(|(_, t)| t.export_nodes()).collect();
+        f.compact();
+        let after: Vec<_> = f.iter().map(|(_, t)| t.export_nodes()).collect();
+        assert_eq!(before, after);
+        // Compaction trims over-allocated capacity, never grows it.
+        assert!(f.footprint().node_bytes <= fp.node_bytes);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use answer::Answer;
 pub use batch::{trace_strided, PartitionScratch, PatchRun, RecordSink, TallyRecord};
 pub use checkpoint::{EngineCheckpoint, RestoreError};
 pub use engine::{photon_stream, BatchReport, SolverEngine, PHOTON_DRAW_STRIDE};
-pub use forest::BinForest;
+pub use forest::{BinForest, ForestFootprint};
 pub use generate::{EmittedPhoton, PhotonGenerator};
 pub use img::Image;
 pub use obs::{

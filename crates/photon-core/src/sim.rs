@@ -95,6 +95,11 @@ pub struct Simulator {
     speed: SpeedTrace,
     memory: MemoryTrace,
     started: Option<Instant>,
+    /// Forest node count at the last arena compaction. `step` re-compacts
+    /// once the arenas have grown ~50% past it, so splits stay cheap
+    /// appends while steady-state traversal converges to the canonical
+    /// cache-resident order. Layout only — never affects answers.
+    compact_watermark: u64,
 }
 
 impl Simulator {
@@ -102,6 +107,7 @@ impl Simulator {
     pub fn new(scene: Scene, config: SimConfig) -> Self {
         let generator = PhotonGenerator::new(&scene);
         let forest = BinForest::new(scene.polygon_count(), config.split);
+        let compact_watermark = forest.total_nodes();
         Simulator {
             generator,
             forest,
@@ -113,6 +119,7 @@ impl Simulator {
             speed: SpeedTrace::new(),
             memory: MemoryTrace::new(),
             started: None,
+            compact_watermark,
         }
     }
 
@@ -173,6 +180,13 @@ impl SolverEngine for Simulator {
         let t0 = *self.started.get_or_insert_with(Instant::now);
         let batch_start = Instant::now();
         self.run_photons(batch);
+        // Batch boundary: no cursors outstanding, so the arenas may be
+        // re-clustered. Gate on ~50% growth to amortize the rebuild.
+        let nodes = self.forest.total_nodes();
+        if nodes > self.compact_watermark + self.compact_watermark / 2 {
+            self.forest.compact();
+            self.compact_watermark = nodes;
+        }
         let batch_seconds = batch_start.elapsed().as_secs_f64();
         let elapsed_seconds = t0.elapsed().as_secs_f64();
         self.speed.push_batch(elapsed_seconds, batch, batch_seconds);
@@ -187,6 +201,7 @@ impl SolverEngine for Simulator {
             apply_seconds: 0.0,
             elapsed_seconds,
             stats: self.stats,
+            footprint: self.forest.footprint(),
         }
     }
 
@@ -213,6 +228,7 @@ impl SolverEngine for Simulator {
         self.forest = checkpoint.forest();
         self.stats = checkpoint.stats();
         self.cursor = checkpoint.cursor();
+        self.compact_watermark = self.forest.total_nodes();
         // The discarded run's perf traces and clock go with it — rates
         // reported after a resume describe the resumed solve only.
         self.speed = SpeedTrace::new();

@@ -24,8 +24,8 @@ use photon_core::generate::PhotonGenerator;
 use photon_core::sim::SimStats;
 use photon_core::trace::trace_photon;
 use photon_core::{
-    photon_stream, Answer, BatchReport, BinForest, EngineCheckpoint, RestoreError, SolverEngine,
-    SpeedTrace,
+    photon_stream, Answer, BatchReport, BinForest, EngineCheckpoint, ForestFootprint, RestoreError,
+    SolverEngine, SpeedTrace,
 };
 use photon_geom::Scene;
 use photon_hist::BinTree;
@@ -80,6 +80,9 @@ enum RankReply {
         bytes: u64,
         /// Leaf bins across this rank's owned trees, absolute.
         leaf_bins_owned: u64,
+        /// Arena footprint of this rank's owned trees (each patch counted
+        /// on exactly one rank, so the engine's sum covers the answer).
+        footprint_owned: ForestFootprint,
     },
     /// Snapshot payload: the rank's owned trees.
     Trees(Vec<(u32, BinTree)>),
@@ -241,6 +244,7 @@ impl DistEngine {
         let mut batch_photons = 0;
         let mut batch_seconds = 0.0f64;
         let mut leaf_bins = 0;
+        let mut footprint = ForestFootprint::default();
         for _ in 0..self.nranks {
             match self.reply_rx.recv().expect("world alive") {
                 (
@@ -251,6 +255,7 @@ impl DistEngine {
                         batch_seconds: secs,
                         bytes,
                         leaf_bins_owned,
+                        footprint_owned,
                     },
                 ) => {
                     self.stats.merge(&stats);
@@ -258,6 +263,7 @@ impl DistEngine {
                     self.clock = self.clock.max(clock);
                     self.bytes_forwarded += bytes;
                     leaf_bins += leaf_bins_owned;
+                    footprint.merge(&footprint_owned);
                     if rank == 0 {
                         batch_seconds = secs;
                     }
@@ -279,6 +285,7 @@ impl DistEngine {
             apply_seconds: 0.0,
             elapsed_seconds: self.clock,
             stats: self.stats,
+            footprint,
         }
     }
 
@@ -417,6 +424,13 @@ fn rank_loop(
             .map(|&p| forest.tree(p).leaf_count() as u64)
             .sum()
     };
+    let owned_footprint = |forest: &BinForest| -> ForestFootprint {
+        let mut fp = ForestFootprint::default();
+        for &p in &owned_patches {
+            fp.add_tree(forest.tree(p));
+        }
+        fp
+    };
     let _ = reply_tx.send((
         my_rank,
         RankReply::Ready {
@@ -505,10 +519,18 @@ fn rank_loop(
                         batch_seconds,
                         bytes,
                         leaf_bins_owned: owned_leaf_bins(&forest),
+                        footprint_owned: owned_footprint(&forest),
                     },
                 ));
             }
             Ok(RankCmd::Snapshot) => {
+                // A snapshot is a batch boundary for this rank, so compact
+                // the owned arenas first: both the continuing solve and the
+                // shipped clones come out subtree-clustered, and the
+                // canonical export order keeps the bytes identical.
+                for &p in &owned_patches {
+                    forest.tree_mut(p).compact();
+                }
                 let trees: Vec<(u32, BinTree)> = owned_patches
                     .iter()
                     .map(|&p| (p, forest.tree(p).clone()))

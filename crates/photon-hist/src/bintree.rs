@@ -22,8 +22,18 @@
 //! daughters' (exact) totals on the split axis, and the daughters restart
 //! their speculative statistics.
 //!
-//! The tree is stored as an index-linked arena for cache locality and cheap
-//! whole-tree serialization.
+//! **Storage: hot/cold SoA split.** The traversal-hot data — one packed
+//! node word (`PackedNode`) per tree node, 8 bytes — lives in a flat arena the descent
+//! strides over; the tally-cold per-leaf statistics (48-byte [`LeafStats`])
+//! live in a separate arena addressed by leaf slot. An internal node stores
+//! only its split axis and the index of its child *pair* (children are
+//! always allocated adjacently), so a descent touches one cache line per
+//! ~8 levels instead of one per level. When a leaf splits, its cold slot is
+//! reused for the lower daughter and one fresh slot is appended for the
+//! upper, keeping the cold arena exactly leaf-count long. [`BinTree::compact`]
+//! rebuilds both arenas into the canonical subtree-clustered order (the
+//! order [`BinTree::export_nodes`] serializes), so steady-state traversal
+//! after a snapshot or checkpoint walks memory nearly sequentially.
 
 use crate::stats::SplitRule;
 use photon_math::Rgb;
@@ -197,34 +207,78 @@ impl Default for SplitConfig {
     }
 }
 
-/// Arena node: leaf statistics or an internal split.
-#[derive(Clone, Debug)]
-enum Node {
-    Leaf(LeafStats),
-    Internal {
-        axis: Axis,
-        /// Arena indices of the `(lower, upper)` children.
-        children: [u32; 2],
-    },
+/// Hot-arena node, packed into 8 bytes.
+///
+/// Bit layout: bit 63 flags an internal node; bits 33..=32 carry the split
+/// axis (internal only); bits 31..=0 carry the payload — the cold-arena leaf
+/// slot for a leaf, or the arena index of the `(lower, upper)` child *pair*
+/// for an internal node. Children are always allocated adjacently, so one
+/// `u32` names both: the lower daughter at `first_child`, the upper at
+/// `first_child + 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(transparent)]
+struct PackedNode(u64);
+
+// The whole point of the hot/cold split: an internal-node entry must stay
+// within 8 bytes so a descent touches ~8x fewer cache lines than the old
+// enum arena.
+const _: () = assert!(std::mem::size_of::<PackedNode>() <= 8);
+
+impl PackedNode {
+    const INTERNAL: u64 = 1 << 63;
+    const AXIS_SHIFT: u32 = 32;
+
+    #[inline]
+    fn leaf(slot: u32) -> Self {
+        PackedNode(slot as u64)
+    }
+
+    #[inline]
+    fn internal(axis: Axis, first_child: u32) -> Self {
+        PackedNode(Self::INTERNAL | ((axis as u64) << Self::AXIS_SHIFT) | first_child as u64)
+    }
+
+    #[inline]
+    fn is_leaf(self) -> bool {
+        self.0 & Self::INTERNAL == 0
+    }
+
+    /// Leaf slot for leaves, first-child index for internals.
+    #[inline]
+    fn payload(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    fn axis(self) -> Axis {
+        Axis::from_index(((self.0 >> Self::AXIS_SHIFT) & 0b11) as usize)
+    }
 }
 
 /// A four-dimensional adaptive histogram tree for one polygon.
+///
+/// Stored as a hot/cold SoA pair of flat arenas (see the module docs): a
+/// packed node arena the descent strides over, and a leaf-stats arena only
+/// the final tally touches.
 #[derive(Clone, Debug)]
 pub struct BinTree {
-    nodes: Vec<Node>,
+    /// Hot arena: one [`PackedNode`] per tree node, root at index 0.
+    nodes: Vec<PackedNode>,
+    /// Cold arena: leaf statistics addressed by the slot a packed leaf
+    /// names. Slot reuse at split time keeps this exactly leaf-count long.
+    leaves: Vec<LeafStats>,
     config: SplitConfig,
     tallies: u64,
-    leaves: u32,
 }
 
 impl BinTree {
     /// A fresh tree: one leaf covering the full range.
     pub fn new(config: SplitConfig) -> Self {
         BinTree {
-            nodes: vec![Node::Leaf(LeafStats::default())],
+            nodes: vec![PackedNode::leaf(0)],
+            leaves: vec![LeafStats::default()],
             config,
             tallies: 0,
-            leaves: 1,
         }
     }
 
@@ -236,7 +290,7 @@ impl BinTree {
     /// Number of leaf bins. This is the paper's "view-dependent polygon"
     /// count for the owning patch (Table 5.1).
     pub fn leaf_count(&self) -> u32 {
-        self.leaves
+        self.leaves.len() as u32
     }
 
     /// Number of arena nodes (leaves + internals).
@@ -244,9 +298,20 @@ impl BinTree {
         self.nodes.len()
     }
 
-    /// Approximate resident bytes of this tree.
+    /// Resident bytes of the hot (packed node) arena.
+    pub fn node_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<PackedNode>()
+    }
+
+    /// Resident bytes of the cold (leaf statistics) arena.
+    pub fn leaf_bytes(&self) -> usize {
+        self.leaves.capacity() * std::mem::size_of::<LeafStats>()
+    }
+
+    /// Approximate resident bytes of this tree: both arenas plus the
+    /// header.
     pub fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node>() + std::mem::size_of::<Self>()
+        self.node_bytes() + self.leaf_bytes() + std::mem::size_of::<Self>()
     }
 
     /// The split policy in force.
@@ -261,20 +326,20 @@ impl BinTree {
         let mut range = BinRange::full();
         let mut depth = 0u16;
         loop {
-            match &self.nodes[idx] {
-                Node::Leaf(_) => return (idx, range, depth),
-                Node::Internal { axis, children } => {
-                    let (lo_half, hi_half) = range.split(*axis);
-                    if p.coord(*axis) < range.mid(*axis) {
-                        idx = children[0] as usize;
-                        range = lo_half;
-                    } else {
-                        idx = children[1] as usize;
-                        range = hi_half;
-                    }
-                    depth += 1;
-                }
+            let node = self.nodes[idx];
+            if node.is_leaf() {
+                return (idx, range, depth);
             }
+            let axis = node.axis();
+            let (lo_half, hi_half) = range.split(axis);
+            if p.coord(axis) < range.mid(axis) {
+                idx = node.payload() as usize;
+                range = lo_half;
+            } else {
+                idx = node.payload() as usize + 1;
+                range = hi_half;
+            }
+            depth += 1;
         }
     }
 
@@ -315,8 +380,7 @@ impl BinTree {
     pub fn tally_with(&mut self, p: &BinPoint, rgb: Rgb, cursor: &mut LeafCursor) -> bool {
         let (idx, range, depth) = match cursor.cached {
             Some((idx, range, depth))
-                if matches!(self.nodes[idx as usize], Node::Leaf(_))
-                    && Self::leaf_admits(&range, p) =>
+                if self.nodes[idx as usize].is_leaf() && Self::leaf_admits(&range, p) =>
             {
                 (idx as usize, range, depth)
             }
@@ -361,9 +425,9 @@ impl BinTree {
         rgb: Rgb,
     ) -> bool {
         self.tallies += 1;
-        let Node::Leaf(stats) = &mut self.nodes[idx] else {
-            unreachable!()
-        };
+        let node = self.nodes[idx];
+        debug_assert!(node.is_leaf(), "tally_at on internal node");
+        let stats = &mut self.leaves[node.payload() as usize];
         stats.n_total += 1;
         stats.rgb += rgb;
         stats.stat_n += 1;
@@ -393,11 +457,14 @@ impl BinTree {
     }
 
     /// Splits leaf `idx` along `axis`, distributing its tallies exactly on
-    /// the split axis and proportionally in energy.
+    /// the split axis and proportionally in energy. The split leaf's cold
+    /// slot is reused for the lower daughter; the upper daughter takes a
+    /// fresh slot, so the cold arena never develops orphan entries.
     fn split_leaf(&mut self, idx: usize, axis: Axis) {
-        let Node::Leaf(stats) = self.nodes[idx].clone() else {
-            panic!("split_leaf on internal node")
-        };
+        let node = self.nodes[idx];
+        assert!(node.is_leaf(), "split_leaf on internal node");
+        let slot = node.payload() as usize;
+        let stats = self.leaves[slot];
         let ai = axis as usize;
         let l = stats.left[ai] as u64;
         let r = stats.stat_n as u64 - l;
@@ -415,37 +482,36 @@ impl BinTree {
         let n_hi = r + (inherited - inh_l.min(inherited));
         let rgb_lo = stats.rgb * frac_l;
         let rgb_hi = stats.rgb * (1.0 - frac_l);
-        let lo = Node::Leaf(LeafStats {
+        self.leaves[slot] = LeafStats {
             n_total: n_lo,
             rgb: rgb_lo,
             stat_n: 0,
             left: [0; 4],
-        });
-        let hi = Node::Leaf(LeafStats {
+        };
+        let hi_slot = self.leaves.len() as u32;
+        self.leaves.push(LeafStats {
             n_total: n_hi,
             rgb: rgb_hi,
             stat_n: 0,
             left: [0; 4],
         });
-        let lo_idx = self.nodes.len() as u32;
-        self.nodes.push(lo);
-        let hi_idx = self.nodes.len() as u32;
-        self.nodes.push(hi);
-        self.nodes[idx] = Node::Internal {
-            axis,
-            children: [lo_idx, hi_idx],
-        };
-        self.leaves += 1;
+        let first = self.nodes.len() as u32;
+        self.nodes.push(PackedNode::leaf(slot as u32));
+        self.nodes.push(PackedNode::leaf(hi_slot));
+        self.nodes[idx] = PackedNode::internal(axis, first);
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.validate() {
+            panic!("BinTree invariant violated after split: {e}");
+        }
     }
 
     /// Looks up the leaf containing `p` without modifying anything.
     /// Returns the leaf statistics and its range (for measure computations).
     pub fn lookup(&self, p: &BinPoint) -> (&LeafStats, BinRange) {
         let (idx, range, _) = self.descend(p);
-        let Node::Leaf(stats) = &self.nodes[idx] else {
-            unreachable!()
-        };
-        (stats, range)
+        let node = self.nodes[idx];
+        debug_assert!(node.is_leaf(), "descend ended on internal node");
+        (&self.leaves[node.payload() as usize], range)
     }
 
     /// Visits every leaf with its range, in depth-first order.
@@ -454,76 +520,222 @@ impl BinTree {
     }
 
     fn walk<F: FnMut(&BinRange, &LeafStats)>(&self, idx: usize, range: BinRange, f: &mut F) {
-        match &self.nodes[idx] {
-            Node::Leaf(stats) => f(&range, stats),
-            Node::Internal { axis, children } => {
-                let (lo, hi) = range.split(*axis);
-                self.walk(children[0] as usize, lo, f);
-                self.walk(children[1] as usize, hi, f);
-            }
+        let node = self.nodes[idx];
+        if node.is_leaf() {
+            f(&range, &self.leaves[node.payload() as usize]);
+        } else {
+            let (lo, hi) = range.split(node.axis());
+            let first = node.payload() as usize;
+            self.walk(first, lo, f);
+            self.walk(first + 1, hi, f);
         }
     }
 
     /// Maximum leaf depth.
     pub fn max_depth(&self) -> u16 {
-        fn depth_of(nodes: &[Node], idx: usize, d: u16) -> u16 {
-            match &nodes[idx] {
-                Node::Leaf(_) => d,
-                Node::Internal { children, .. } => depth_of(nodes, children[0] as usize, d + 1)
-                    .max(depth_of(nodes, children[1] as usize, d + 1)),
+        fn depth_of(nodes: &[PackedNode], idx: usize, d: u16) -> u16 {
+            let node = nodes[idx];
+            if node.is_leaf() {
+                d
+            } else {
+                let first = node.payload() as usize;
+                depth_of(nodes, first, d + 1).max(depth_of(nodes, first + 1, d + 1))
             }
         }
         depth_of(&self.nodes, 0, 0)
     }
 
-    /// Flat snapshot of the tree for the answer-file codec:
-    /// internal nodes as `(axis, child_lo, child_hi)`, leaves as stats,
-    /// in arena order. See `photon-core::answer` for the byte format.
-    pub fn export_nodes(&self) -> Vec<ExportNode> {
-        self.nodes
-            .iter()
-            .map(|n| match n {
-                Node::Leaf(s) => ExportNode::Leaf(*s),
-                Node::Internal { axis, children } => ExportNode::Internal {
-                    axis: *axis,
-                    children: *children,
-                },
-            })
-            .collect()
+    /// Checks the arena invariants the SoA layout relies on: the nodes form
+    /// one binary tree rooted at index 0 (every node reachable exactly
+    /// once), every internal child pair is adjacent (structural — the
+    /// encoding names only the first child), the cold arena has no orphan
+    /// or doubly-referenced slots, leaf counts agree, and the per-leaf
+    /// photon totals conserve the tally count (up to one photon of
+    /// proportional-rounding slack per split).
+    ///
+    /// Debug builds run this after every split; release builds only pay for
+    /// it when a test or tool calls it explicitly.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Err("empty node arena".into());
+        }
+        let mut seen_node = vec![false; n];
+        let mut seen_slot = vec![false; self.leaves.len()];
+        let mut internals = 0u64;
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            if idx >= n {
+                return Err(format!("child index {idx} out of range ({n} nodes)"));
+            }
+            if seen_node[idx] {
+                return Err(format!("node {idx} reached twice (shared child or cycle)"));
+            }
+            seen_node[idx] = true;
+            let node = self.nodes[idx];
+            if node.is_leaf() {
+                let slot = node.payload() as usize;
+                if slot >= self.leaves.len() {
+                    return Err(format!(
+                        "leaf slot {slot} out of range ({} slots)",
+                        self.leaves.len()
+                    ));
+                }
+                if seen_slot[slot] {
+                    return Err(format!("leaf slot {slot} referenced twice"));
+                }
+                seen_slot[slot] = true;
+            } else {
+                internals += 1;
+                let first = node.payload() as usize;
+                stack.push(first + 1);
+                stack.push(first);
+            }
+        }
+        if let Some(orphan) = seen_node.iter().position(|&v| !v) {
+            return Err(format!("node {orphan} unreachable from the root"));
+        }
+        if let Some(orphan) = seen_slot.iter().position(|&v| !v) {
+            return Err(format!("leaf slot {orphan} is an orphan"));
+        }
+        let leaf_nodes = n as u64 - internals;
+        if leaf_nodes != internals + 1 {
+            return Err(format!(
+                "not a binary tree: {leaf_nodes} leaves vs {internals} internals"
+            ));
+        }
+        let sum: u64 = self.leaves.iter().map(|s| s.n_total).sum();
+        if sum.abs_diff(self.tallies) > internals {
+            return Err(format!(
+                "tally conservation violated: leaves sum to {sum}, tree recorded {} \
+                 ({internals} splits of rounding slack allowed)",
+                self.tallies
+            ));
+        }
+        Ok(())
     }
 
-    /// Rebuilds a tree from an export produced by [`BinTree::export_nodes`].
-    /// Returns `None` if the node graph is malformed.
+    /// A deep copy with both arenas rebuilt in the canonical
+    /// subtree-clustered order (see [`BinTree::compact`]).
+    pub fn compacted_clone(&self) -> BinTree {
+        let mut nodes = vec![PackedNode::leaf(0); self.nodes.len()];
+        let mut leaves = Vec::with_capacity(self.leaves.len());
+        let mut next = 1usize;
+        let mut stack = vec![(0u32, 0usize)];
+        while let Some((src, dst)) = stack.pop() {
+            let node = self.nodes[src as usize];
+            if node.is_leaf() {
+                nodes[dst] = PackedNode::leaf(leaves.len() as u32);
+                leaves.push(self.leaves[node.payload() as usize]);
+            } else {
+                let first = node.payload();
+                let pair = next;
+                next += 2;
+                nodes[dst] = PackedNode::internal(node.axis(), pair as u32);
+                stack.push((first + 1, pair + 1));
+                stack.push((first, pair));
+            }
+        }
+        BinTree {
+            nodes,
+            leaves,
+            config: self.config,
+            tallies: self.tallies,
+        }
+    }
+
+    /// Rebuilds both arenas in the canonical subtree-clustered order: child
+    /// pairs are laid out in depth-first discovery order, so every subtree
+    /// occupies a contiguous arena span and a coherent run of lookups walks
+    /// memory nearly sequentially. Cold slots are re-numbered into the same
+    /// traversal order.
+    ///
+    /// Purely a layout operation: lookups, tallies, splits and exports are
+    /// unaffected ([`BinTree::export_nodes`] already serializes in this
+    /// canonical order regardless of arena history). Any outstanding
+    /// [`LeafCursor`] into this tree is invalidated — engines only compact
+    /// at batch boundaries, where cursors are reset anyway.
+    pub fn compact(&mut self) {
+        *self = self.compacted_clone();
+    }
+
+    /// Flat snapshot of the tree for the answer-file codec: internal nodes
+    /// as `(axis, child_lo, child_hi)`, leaves as stats, in the *canonical*
+    /// subtree-clustered order — a pure function of the logical tree, so two
+    /// trees with the same tally history export identically regardless of
+    /// their arena histories (in-place growth, decode, or compaction). That
+    /// purity is what keeps resumed solves byte-identical to uninterrupted
+    /// ones. See `photon-core::answer` for the byte format.
+    pub fn export_nodes(&self) -> Vec<ExportNode> {
+        let mut out = vec![ExportNode::Leaf(LeafStats::default()); self.nodes.len()];
+        let mut next = 1usize;
+        let mut stack = vec![(0u32, 0usize)];
+        while let Some((src, dst)) = stack.pop() {
+            let node = self.nodes[src as usize];
+            if node.is_leaf() {
+                out[dst] = ExportNode::Leaf(self.leaves[node.payload() as usize]);
+            } else {
+                let first = node.payload();
+                let pair = next;
+                next += 2;
+                out[dst] = ExportNode::Internal {
+                    axis: node.axis(),
+                    children: [pair as u32, pair as u32 + 1],
+                };
+                stack.push((first + 1, pair + 1));
+                stack.push((first, pair));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a tree from an export produced by [`BinTree::export_nodes`]
+    /// (the nodes are re-numbered into the canonical arena order, whatever
+    /// order they arrive in). Returns `None` if the node graph is malformed:
+    /// a child index out of range, a node referenced twice (shared child or
+    /// cycle), or a node unreachable from the root.
     pub fn from_export(nodes: Vec<ExportNode>, config: SplitConfig) -> Option<BinTree> {
         if nodes.is_empty() {
             return None;
         }
-        let mut arena = Vec::with_capacity(nodes.len());
-        let mut leaves = 0u32;
+        let n = nodes.len();
+        let mut packed = vec![PackedNode::leaf(0); n];
+        let mut leaves = Vec::with_capacity(n / 2 + 1);
         let mut tallies = 0u64;
-        for n in &nodes {
-            match n {
+        let mut visited = vec![false; n];
+        let mut next = 1usize;
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((src, dst)) = stack.pop() {
+            if visited[src] {
+                return None;
+            }
+            visited[src] = true;
+            match nodes[src] {
                 ExportNode::Leaf(s) => {
-                    leaves += 1;
+                    packed[dst] = PackedNode::leaf(leaves.len() as u32);
                     tallies += s.n_total;
-                    arena.push(Node::Leaf(*s));
+                    leaves.push(s);
                 }
                 ExportNode::Internal { axis, children } => {
-                    if children[0] as usize >= nodes.len() || children[1] as usize >= nodes.len() {
+                    if children[0] as usize >= n || children[1] as usize >= n {
                         return None;
                     }
-                    arena.push(Node::Internal {
-                        axis: *axis,
-                        children: *children,
-                    });
+                    let pair = next;
+                    next += 2;
+                    packed[dst] = PackedNode::internal(axis, pair as u32);
+                    stack.push((children[1] as usize, pair + 1));
+                    stack.push((children[0] as usize, pair));
                 }
             }
         }
+        if visited.iter().any(|&v| !v) {
+            return None;
+        }
         Some(BinTree {
-            nodes: arena,
+            nodes: packed,
+            leaves,
             config,
             tallies,
-            leaves,
         })
     }
 }
@@ -531,8 +743,9 @@ impl BinTree {
 /// Cache of the last leaf a run of tallies landed in, used by
 /// [`BinTree::tally_with`]/[`BinTree::tally_run`] to skip the root descent
 /// for coherent runs. A cursor is only meaningful against the tree that
-/// populated it; feeding it to another tree is safe (the leaf check and
-/// containment test reject stale entries) but useless.
+/// populated it, *in the arena layout that populated it*: a split or a
+/// [`BinTree::compact`] invalidates it, which is why engines reset cursors
+/// at batch boundaries and only compact there.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LeafCursor {
     /// `(arena index, leaf box, depth)` of the previous tally's leaf, or
@@ -573,6 +786,20 @@ mod tests {
             rng.next_f64() * TAU,
             rng.next_f64(),
         )
+    }
+
+    #[test]
+    fn packed_node_is_at_most_eight_bytes() {
+        // The compile-time assert above enforces this too; keep a runtime
+        // witness so the constraint shows up in test listings.
+        assert!(std::mem::size_of::<PackedNode>() <= 8);
+        let internal = PackedNode::internal(Axis::RSq, 0xDEAD_BEEF);
+        assert!(!internal.is_leaf());
+        assert_eq!(internal.axis(), Axis::RSq);
+        assert_eq!(internal.payload(), 0xDEAD_BEEF);
+        let leaf = PackedNode::leaf(u32::MAX);
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.payload(), u32::MAX);
     }
 
     #[test]
@@ -749,6 +976,147 @@ mod tests {
     }
 
     #[test]
+    fn export_is_a_pure_function_of_the_logical_tree() {
+        // The canonical export order must not depend on arena history:
+        // a rebuilt tree (canonical layout) and the original (in-place
+        // growth layout) export the identical vector — the property that
+        // keeps resumed solves byte-identical to uninterrupted ones.
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(31);
+        for _ in 0..20_000 {
+            let mut p = uniform_point(&mut rng);
+            p.s = p.s.powi(2);
+            tree.tally(&p, Rgb::new(0.3, 0.6, 0.9));
+        }
+        let export = tree.export_nodes();
+        let rebuilt = BinTree::from_export(export.clone(), SplitConfig::default()).unwrap();
+        assert_eq!(rebuilt.export_nodes(), export);
+    }
+
+    #[test]
+    fn compact_is_invisible_to_exports_and_lookups() {
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(32);
+        for _ in 0..20_000 {
+            let mut p = uniform_point(&mut rng);
+            p.t = p.t.powi(3);
+            tree.tally(&p, Rgb::new(0.7, 0.2, 0.4));
+        }
+        let export_before = tree.export_nodes();
+        let mut compacted = tree.clone();
+        compacted.compact();
+        compacted.validate().unwrap();
+        assert_eq!(compacted.export_nodes(), export_before);
+        assert_eq!(compacted.leaf_count(), tree.leaf_count());
+        assert_eq!(compacted.tallies(), tree.tallies());
+        assert_eq!(compacted.max_depth(), tree.max_depth());
+        for _ in 0..200 {
+            let p = uniform_point(&mut rng);
+            let (a, ra) = tree.lookup(&p);
+            let (b, rb) = compacted.lookup(&p);
+            assert_eq!(a, b);
+            assert_eq!(ra, rb);
+        }
+        // Tallying after a compaction continues bit-identically.
+        for _ in 0..5_000 {
+            let mut p = uniform_point(&mut rng);
+            p.t = p.t.powi(3);
+            let rgb = Rgb::new(rng.next_f64(), 0.5, 0.25);
+            assert_eq!(tree.tally(&p, rgb), compacted.tally(&p, rgb));
+        }
+        assert_eq!(tree.export_nodes(), compacted.export_nodes());
+    }
+
+    #[test]
+    fn compact_clusters_subtrees_contiguously() {
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(33);
+        for _ in 0..30_000 {
+            let mut p = uniform_point(&mut rng);
+            p.s = p.s.powi(3);
+            p.r_sq = p.r_sq.powi(2);
+            tree.tally(&p, Rgb::WHITE);
+        }
+        tree.compact();
+        // After compaction the arena equals the canonical export order, in
+        // which every internal's two child subtrees together occupy one
+        // contiguous index span starting at the (adjacent) child pair.
+        let export = tree.export_nodes();
+        fn span(export: &[ExportNode], idx: usize) -> (usize, usize, usize) {
+            match export[idx] {
+                ExportNode::Leaf(_) => (idx, idx, 1),
+                ExportNode::Internal { children, .. } => {
+                    assert_eq!(children[1], children[0] + 1, "pair not adjacent");
+                    let a = span(export, children[0] as usize);
+                    let b = span(export, children[1] as usize);
+                    let (min, max, count) = (a.0.min(b.0), a.1.max(b.1), a.2 + b.2);
+                    assert_eq!(min, children[0] as usize, "pair region starts late");
+                    assert_eq!(max - min + 1, count, "pair region not contiguous");
+                    // The full subtree adds this node's own (earlier) slot.
+                    (idx.min(min), max, count + 1)
+                }
+            }
+        }
+        let (min, max, count) = span(&export, 0);
+        assert_eq!((min, max, count), (0, export.len() - 1, export.len()));
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_arenas() {
+        // Hand-build broken trees (test-only: the module can reach the
+        // private arenas) and check each invariant trips.
+        let good = BinTree::new(SplitConfig::default());
+        good.validate().unwrap();
+
+        // Two packed leaves naming the same cold slot.
+        let mut shared_slot = BinTree::new(SplitConfig::default());
+        shared_slot.nodes = vec![
+            PackedNode::internal(Axis::S, 1),
+            PackedNode::leaf(0),
+            PackedNode::leaf(0),
+        ];
+        shared_slot.leaves = vec![LeafStats::default()];
+        let err = shared_slot.validate().unwrap_err();
+        assert!(err.contains("referenced twice") || err.contains("not a binary tree"));
+
+        // An orphan cold slot nothing references.
+        let mut orphan = BinTree::new(SplitConfig::default());
+        orphan.leaves.push(LeafStats::default());
+        assert!(orphan.validate().unwrap_err().contains("orphan"));
+
+        // A child pair pointing past the arena.
+        let mut oob = BinTree::new(SplitConfig::default());
+        oob.nodes = vec![PackedNode::internal(Axis::T, 7)];
+        oob.leaves = vec![];
+        assert!(oob.validate().unwrap_err().contains("out of range"));
+
+        // Tally conservation: counter disagrees with the leaf totals.
+        let mut skewed = BinTree::new(SplitConfig::default());
+        skewed.tallies = 100;
+        assert!(skewed.validate().unwrap_err().contains("conservation"));
+    }
+
+    #[test]
+    fn memory_bytes_counts_both_arenas() {
+        let mut tree = BinTree::new(SplitConfig::default());
+        let mut rng = Lcg48::new(34);
+        for _ in 0..20_000 {
+            let mut p = uniform_point(&mut rng);
+            p.s *= 0.05;
+            tree.tally(&p, Rgb::WHITE);
+        }
+        assert!(tree.leaf_count() > 1, "need a refined tree");
+        let nodes = tree.node_bytes();
+        let leaves = tree.leaf_bytes();
+        assert!(nodes >= tree.node_count() * 8);
+        assert!(leaves >= tree.leaf_count() as usize * std::mem::size_of::<LeafStats>());
+        assert_eq!(
+            tree.memory_bytes(),
+            nodes + leaves + std::mem::size_of::<BinTree>()
+        );
+    }
+
+    #[test]
     fn from_export_rejects_bad_children() {
         let bad = vec![ExportNode::Internal {
             axis: Axis::S,
@@ -756,6 +1124,22 @@ mod tests {
         }];
         assert!(BinTree::from_export(bad, SplitConfig::default()).is_none());
         assert!(BinTree::from_export(vec![], SplitConfig::default()).is_none());
+        // A shared child (diamond) is not a tree.
+        let diamond = vec![
+            ExportNode::Internal {
+                axis: Axis::S,
+                children: [1, 1],
+            },
+            ExportNode::Leaf(LeafStats::default()),
+        ];
+        assert!(BinTree::from_export(diamond, SplitConfig::default()).is_none());
+        // An unreachable node is rejected rather than silently dropped (it
+        // would change the re-encoded byte stream).
+        let unreachable = vec![
+            ExportNode::Leaf(LeafStats::default()),
+            ExportNode::Leaf(LeafStats::default()),
+        ];
+        assert!(BinTree::from_export(unreachable, SplitConfig::default()).is_none());
     }
 
     #[test]

@@ -1,13 +1,115 @@
 //! Property tests on the 4-D bin tree invariants.
 
-use photon_hist::{BinPoint, BinRange, BinTree, SplitConfig};
+use photon_hist::{Axis, BinPoint, BinRange, BinTree, ExportNode, LeafStats, SplitConfig};
 use photon_math::Rgb;
 use proptest::prelude::*;
+use std::collections::VecDeque;
 use std::f64::consts::TAU;
 
 fn arb_point() -> impl Strategy<Value = BinPoint> {
     (0.0f64..1.0, 0.0f64..1.0, 0.0f64..TAU, 0.0f64..1.0)
         .prop_map(|(s, t, th, r)| BinPoint::new(s, t, th, r))
+}
+
+/// An arbitrary logical tree shape with a distinguishing marker per leaf.
+#[derive(Clone, Debug)]
+enum Shape {
+    Leaf(u32),
+    Split(usize, Box<Shape>, Box<Shape>),
+}
+
+/// Builds a shape by consuming one `(axis, marker, coin)` token per node:
+/// the coin decides split-vs-leaf (biased to split, capped at depth 6), and
+/// an exhausted stream forces a leaf — so the token count bounds the tree.
+fn build_shape<I: Iterator<Item = (usize, u32, u32)>>(tokens: &mut I, depth: u32) -> Shape {
+    match tokens.next() {
+        None => Shape::Leaf(depth),
+        Some((axis, marker, coin)) => {
+            if depth < 6 && coin % 100 < 60 {
+                let lo = build_shape(tokens, depth + 1);
+                let hi = build_shape(tokens, depth + 1);
+                Shape::Split(axis, Box::new(lo), Box::new(hi))
+            } else {
+                Shape::Leaf(marker)
+            }
+        }
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    proptest::collection::vec((0usize..4, 0u32..1_000_000, 0u32..100), 1..64)
+        .prop_map(|tokens| build_shape(&mut tokens.into_iter(), 0))
+}
+
+/// Recognizable, per-marker-unique leaf statistics.
+fn marked_stats(marker: u32) -> LeafStats {
+    LeafStats {
+        n_total: marker as u64,
+        rgb: Rgb::new(marker as f64, (marker / 3) as f64, 0.25),
+        stat_n: marker % 97,
+        left: [marker % 7, marker % 11, marker % 13, marker % 17],
+    }
+}
+
+/// Serializes a shape in *breadth-first* arena order — a valid layout that
+/// (past depth one) differs from the canonical DFS-pair order, so importing
+/// it exercises the renumbering path, not the identity.
+fn bfs_layout(shape: &Shape) -> Vec<ExportNode> {
+    let placeholder = ExportNode::Leaf(LeafStats::default());
+    let mut nodes = vec![placeholder];
+    let mut queue: VecDeque<(&Shape, usize)> = VecDeque::from([(shape, 0)]);
+    while let Some((s, at)) = queue.pop_front() {
+        match s {
+            Shape::Leaf(marker) => nodes[at] = ExportNode::Leaf(marked_stats(*marker)),
+            Shape::Split(axis, lo, hi) => {
+                let lo_at = nodes.len();
+                nodes.push(placeholder);
+                let hi_at = nodes.len();
+                nodes.push(placeholder);
+                nodes[at] = ExportNode::Internal {
+                    axis: Axis::from_index(*axis),
+                    children: [lo_at as u32, hi_at as u32],
+                };
+                queue.push_back((lo, lo_at));
+                queue.push_back((hi, hi_at));
+            }
+        }
+    }
+    nodes
+}
+
+/// Leaf markers in depth-first (lower-child-first) order — the order
+/// [`BinTree::for_each_leaf`] visits.
+fn dfs_leaves(shape: &Shape, out: &mut Vec<u32>) {
+    match shape {
+        Shape::Leaf(marker) => out.push(*marker),
+        Shape::Split(_, lo, hi) => {
+            dfs_leaves(lo, out);
+            dfs_leaves(hi, out);
+        }
+    }
+}
+
+/// Reference lookup: descend the raw [`ExportNode`] vec with the same
+/// midpoint rule the tree documents, independent of the SoA arenas.
+fn naive_lookup(nodes: &[ExportNode], p: &BinPoint) -> (LeafStats, BinRange) {
+    let mut idx = 0usize;
+    let mut range = BinRange::full();
+    loop {
+        match nodes[idx] {
+            ExportNode::Leaf(stats) => return (stats, range),
+            ExportNode::Internal { axis, children } => {
+                let (lo, hi) = range.split(axis);
+                if p.coord(axis) < range.mid(axis) {
+                    idx = children[0] as usize;
+                    range = lo;
+                } else {
+                    idx = children[1] as usize;
+                    range = hi;
+                }
+            }
+        }
+    }
 }
 
 /// Point streams with a random warp so some runs have steep gradients.
@@ -71,6 +173,51 @@ proptest! {
             .expect("valid export");
         prop_assert_eq!(rebuilt.leaf_count(), tree.leaf_count());
         prop_assert_eq!(rebuilt.max_depth(), tree.max_depth());
+    }
+
+    /// Any valid node layout — here breadth-first, which disagrees with the
+    /// canonical arena order past depth one — imports into the SoA arenas
+    /// with the logical tree intact, and re-exporting is idempotent (the
+    /// export is the canonical form).
+    #[test]
+    fn arbitrary_layouts_roundtrip_through_the_soa_arenas(shape in arb_shape()) {
+        let tree = BinTree::from_export(bfs_layout(&shape), SplitConfig::default())
+            .expect("BFS layout is a valid tree");
+        let mut want = Vec::new();
+        dfs_leaves(&shape, &mut want);
+        let mut got = Vec::new();
+        tree.for_each_leaf(|_, stats| got.push(*stats));
+        prop_assert_eq!(got.len(), want.len());
+        for (g, marker) in got.iter().zip(&want) {
+            prop_assert_eq!(*g, marked_stats(*marker));
+        }
+        // Canonical-form idempotence: importing the export reproduces it.
+        let canon = tree.export_nodes();
+        let again = BinTree::from_export(canon.clone(), SplitConfig::default())
+            .expect("canonical export is valid");
+        prop_assert_eq!(again.export_nodes(), canon);
+    }
+
+    /// The packed-arena descent agrees with a naive reference descend over
+    /// the exported nodes — for uniform probes, the tallied points
+    /// themselves, and the closed global upper corner.
+    #[test]
+    fn lookup_matches_a_naive_reference_descend(
+        stream in arb_stream(),
+        probes in proptest::collection::vec(arb_point(), 8..33),
+    ) {
+        let mut tree = BinTree::new(SplitConfig::default());
+        for p in &stream {
+            tree.tally(p, Rgb::new(0.2, 0.4, 0.8));
+        }
+        let nodes = tree.export_nodes();
+        let corner = BinPoint::new(1.0, 1.0, TAU, 1.0);
+        for p in probes.iter().chain(stream.iter().take(16)).chain([&corner]) {
+            let (stats, range) = tree.lookup(p);
+            let (want_stats, want_range) = naive_lookup(&nodes, p);
+            prop_assert_eq!(*stats, want_stats);
+            prop_assert_eq!(range, want_range);
+        }
     }
 
     /// Ranges produced by splitting always nest inside their parent.

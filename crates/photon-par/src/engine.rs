@@ -223,6 +223,9 @@ pub struct ParEngine {
     /// fresh run and diverges only after restoring a checkpoint whose
     /// counters include out-of-stream photons (a distributed pilot phase).
     cursor: u64,
+    /// Forest node count at the last arena compaction; once the forest
+    /// outgrows it by half, the step recompacts at the batch boundary.
+    compact_watermark: u64,
     speed: SpeedTrace,
     started: Option<Instant>,
 }
@@ -275,9 +278,17 @@ impl ParEngine {
             handles,
             stats: SimStats::default(),
             cursor: 0,
+            compact_watermark: scene.polygon_count() as u64,
             speed: SpeedTrace::new(),
             started: None,
         }
+    }
+
+    /// Arena nodes across the forest, derived from the leaf count: the
+    /// packed arenas carry no orphan slots, so every tree holds exactly
+    /// `2·leaves − 1` nodes.
+    fn total_nodes(&self) -> u64 {
+        2 * self.forest.total_leaf_bins() - self.forest.patch_count() as u64
     }
 
     /// The shared forest being refined.
@@ -387,6 +398,15 @@ impl SolverEngine for ParEngine {
             }
         }
 
+        // Batch boundary: no worker holds a cursor or guard between steps,
+        // so this is the one safe place to recompact. Growth-gated like the
+        // serial engine, and invisible in the answer (canonical export).
+        let nodes = self.total_nodes();
+        if nodes > self.compact_watermark + self.compact_watermark / 2 {
+            self.forest.compact_all();
+            self.compact_watermark = nodes;
+        }
+
         let batch_seconds = batch_start.elapsed().as_secs_f64();
         let apply_seconds = batch_seconds - trace_seconds;
         let elapsed_seconds = t0.elapsed().as_secs_f64();
@@ -400,6 +420,7 @@ impl SolverEngine for ParEngine {
             apply_seconds,
             elapsed_seconds,
             stats: self.stats,
+            footprint: self.forest.footprint(),
         }
     }
 
@@ -412,6 +433,9 @@ impl SolverEngine for ParEngine {
     }
 
     fn checkpoint(&self) -> EngineCheckpoint {
+        // A checkpoint is a batch boundary too: compact the live arenas so
+        // both the resumed solve and the cloned trees are subtree-clustered.
+        self.forest.compact_all();
         EngineCheckpoint::new(
             self.config.seed,
             self.cursor,
@@ -432,6 +456,7 @@ impl SolverEngine for ParEngine {
         self.forest.replace(checkpoint.forest());
         self.stats = checkpoint.stats();
         self.cursor = checkpoint.cursor();
+        self.compact_watermark = self.total_nodes();
         // Rates after a resume describe the resumed solve only.
         self.speed = SpeedTrace::new();
         self.started = None;
@@ -478,6 +503,8 @@ mod tests {
         assert_eq!(r1.emitted_total, 1000);
         assert_eq!(r2.emitted_total, 2000);
         assert!(r2.leaf_bins >= r1.leaf_bins, "forest must not coarsen");
+        assert_eq!(r2.footprint.leaf_bins, r2.leaf_bins);
+        assert!(r2.footprint.node_bytes > 0 && r2.footprint.leaf_bytes > 0);
         assert_eq!(e.speed_trace().samples().len(), 2);
         assert!(e.stats().is_conserved());
         // The report splits the step into trace + apply phases.

@@ -41,7 +41,7 @@ use parking_lot::RwLock;
 use photon_core::batch::TallyRecord;
 use photon_core::sim::SimStats;
 use photon_core::trace::TallySink;
-use photon_core::{Answer, SolverEngine, SpeedTrace};
+use photon_core::{Answer, ForestFootprint, SolverEngine, SpeedTrace};
 use photon_geom::Scene;
 use photon_hist::{BinPoint, BinTree, SplitConfig};
 use photon_math::Rgb;
@@ -212,6 +212,28 @@ impl SharedForest {
             .iter()
             .map(|t| t.read().leaf_count() as u64)
             .sum()
+    }
+
+    /// Per-arena footprint gauges summed over the trees, each under a brief
+    /// read lock.
+    pub fn footprint(&self) -> ForestFootprint {
+        let mut fp = ForestFootprint::default();
+        for t in &self.trees {
+            fp.add_tree(&t.read());
+        }
+        fp
+    }
+
+    /// Rebuilds every tree's arenas into the canonical subtree-clustered
+    /// order (see [`BinTree::compact`]). Layout-only: exports, lookups, and
+    /// future splits are unchanged, so any snapshot or checkpoint taken
+    /// around the compaction is byte-identical. Callers must only compact
+    /// at batch boundaries — workers re-derive their leaf cursors each
+    /// batch, and a compaction invalidates outstanding cursors.
+    pub fn compact_all(&self) {
+        for t in &self.trees {
+            t.write().compact();
+        }
     }
 
     /// Clones the current trees into a serial forest — the snapshot behind

@@ -124,6 +124,13 @@ pub struct SolveJobMetrics {
     pub photons_per_sec: f64,
     /// Epochs published per second of granted solve time.
     pub epochs_per_sec: f64,
+    /// Hot packed-node arena bytes of the job's forest after its latest
+    /// slice (zero until the first slice reports).
+    pub forest_node_bytes: u64,
+    /// Cold leaf-statistics arena bytes of the job's forest.
+    pub forest_leaf_bytes: u64,
+    /// Leaf bins in the job's forest.
+    pub forest_leaf_bins: u64,
 }
 
 /// Per-tenant scheduling and quota accounting.
@@ -161,6 +168,13 @@ pub struct SolverMetricsSnapshot {
     /// Total `PHOTCK1`-encoded bytes of those checkpoints — the migration
     /// payload a pool handoff would ship.
     pub checkpoint_bytes: u64,
+    /// Hot packed-node arena bytes summed over every job's forest (the
+    /// solve tier's resident traversal working set).
+    pub forest_node_bytes: u64,
+    /// Cold leaf-statistics arena bytes summed over every job's forest.
+    pub forest_leaf_bytes: u64,
+    /// Leaf bins summed over every job's forest.
+    pub forest_leaf_bins: u64,
     /// Per-job progress and rates, in submission order.
     pub jobs: Vec<SolveJobMetrics>,
     /// Per-tenant slice/quota accounting, sorted by tenant tag.

@@ -180,6 +180,24 @@ impl ObsExporter {
             "Photons emitted across all solve jobs.",
             solve_photons,
         );
+        gauge(
+            &mut out,
+            "photon_forest_node_bytes",
+            "Hot packed-node arena bytes across all solve-job forests.",
+            snap.solver.forest_node_bytes as f64,
+        );
+        gauge(
+            &mut out,
+            "photon_forest_leaf_bytes",
+            "Cold leaf-statistics arena bytes across all solve-job forests.",
+            snap.solver.forest_leaf_bytes as f64,
+        );
+        gauge(
+            &mut out,
+            "photon_forest_leaf_bins",
+            "Leaf bins across all solve-job forests.",
+            snap.solver.forest_leaf_bins as f64,
+        );
         let _ = writeln!(
             out,
             "# HELP photon_tenant_slices_total Scheduler slices granted, per tenant."
@@ -296,7 +314,7 @@ impl ObsExporter {
         }
         out.push_str("},");
         out.push_str(&format!(
-            "\"solver\":{{\"queue_depth\":{},\"running\":{},\"paused\":{},\"quota_blocked\":{},\"done\":{},\"checkpoints_taken\":{},\"checkpoint_bytes\":{},\"jobs\":[",
+            "\"solver\":{{\"queue_depth\":{},\"running\":{},\"paused\":{},\"quota_blocked\":{},\"done\":{},\"checkpoints_taken\":{},\"checkpoint_bytes\":{},\"forest_node_bytes\":{},\"forest_leaf_bytes\":{},\"forest_leaf_bins\":{},\"jobs\":[",
             snap.solver.queue_depth,
             snap.solver.running,
             snap.solver.paused,
@@ -304,13 +322,16 @@ impl ObsExporter {
             snap.solver.done,
             snap.solver.checkpoints_taken,
             snap.solver.checkpoint_bytes,
+            snap.solver.forest_node_bytes,
+            snap.solver.forest_leaf_bytes,
+            snap.solver.forest_leaf_bins,
         ));
         for (i, j) in snap.solver.jobs.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"job\":{},\"tenant\":\"{}\",\"priority\":{},\"state\":\"{}\",\"emitted\":{},\"resumed_photons\":{},\"target_photons\":{},\"slices\":{},\"epochs\":{},\"photons_per_sec\":{:.1},\"epochs_per_sec\":{:.3}}}",
+                "{{\"job\":{},\"tenant\":\"{}\",\"priority\":{},\"state\":\"{}\",\"emitted\":{},\"resumed_photons\":{},\"target_photons\":{},\"slices\":{},\"epochs\":{},\"photons_per_sec\":{:.1},\"epochs_per_sec\":{:.3},\"forest_node_bytes\":{},\"forest_leaf_bytes\":{},\"forest_leaf_bins\":{}}}",
                 j.job,
                 json_escape(&j.tenant),
                 j.priority,
@@ -322,6 +343,9 @@ impl ObsExporter {
                 j.epochs,
                 j.photons_per_sec,
                 j.epochs_per_sec,
+                j.forest_node_bytes,
+                j.forest_leaf_bytes,
+                j.forest_leaf_bins,
             ));
         }
         out.push_str("],\"tenants\":[");
@@ -568,6 +592,8 @@ mod tests {
         assert!(text.contains("photon_stage_duration_us_bucket{stage=\"render\""));
         assert!(text.contains("le=\"+Inf\""));
         assert!(text.contains("photon_events_recorded_total 1"));
+        assert!(text.contains("photon_forest_node_bytes 0"));
+        assert!(text.contains("photon_forest_leaf_bytes 0"));
         // Every non-comment line is `name{labels} value` shaped.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
@@ -587,6 +613,7 @@ mod tests {
         assert!(json.contains("\"kind\":\"epoch-published\""));
         assert!(json.contains("\"stages\":{\"render\":"));
         assert!(json.contains("\"completed\":1"));
+        assert!(json.contains("\"forest_node_bytes\":0"));
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency set.
         let open = json.matches(['{', '[']).count();

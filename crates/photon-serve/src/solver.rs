@@ -53,7 +53,7 @@
 use crate::metrics::{SolveJobMetrics, SolverMetricsSnapshot, SolverStatsSource, TenantMetrics};
 use crate::store::{AnswerStore, SceneId};
 use photon_core::obs::{ObsCtx, ObsKind, Stage};
-use photon_core::{EngineCheckpoint, ObsHub, SimConfig, Simulator, SolverEngine};
+use photon_core::{EngineCheckpoint, ForestFootprint, ObsHub, SimConfig, Simulator, SolverEngine};
 use photon_dist::{BalanceMode, BatchMode, DistConfig, DistEngine};
 use photon_geom::Scene;
 use photon_par::{ParConfig, ParEngine};
@@ -338,6 +338,9 @@ struct JobState {
     epochs: u64,
     /// Wall seconds of granted slice time (what the pool spent on it).
     busy_seconds: f64,
+    /// Forest arena footprint after the job's latest slice (zero until the
+    /// first slice lands).
+    footprint: ForestFootprint,
 }
 
 impl JobState {
@@ -565,6 +568,9 @@ impl Sched {
                     0.0
                 }
             };
+            snap.forest_node_bytes += job.footprint.node_bytes;
+            snap.forest_leaf_bytes += job.footprint.leaf_bytes;
+            snap.forest_leaf_bins += job.footprint.leaf_bins;
             snap.jobs.push(SolveJobMetrics {
                 job: job.id.0,
                 tenant: job.tenant.clone(),
@@ -577,6 +583,9 @@ impl Sched {
                 epochs: job.epochs,
                 photons_per_sec: rate(job.emitted),
                 epochs_per_sec: rate(job.epochs),
+                forest_node_bytes: job.footprint.node_bytes,
+                forest_leaf_bytes: job.footprint.leaf_bytes,
+                forest_leaf_bins: job.footprint.leaf_bins,
             });
         }
         let mut tenants: BTreeMap<&str, TenantMetrics> = BTreeMap::new();
@@ -894,6 +903,7 @@ impl SolverPool {
                     slices: 0,
                     epochs: 0,
                     busy_seconds: 0.0,
+                    footprint: ForestFootprint::default(),
                 },
             );
             st.rr.push_back(id.0);
@@ -1280,6 +1290,7 @@ fn run_slice(store: &AnswerStore, shared: &Shared, lease: Lease) {
                 let job = st.job(id).expect("leased job exists");
                 job.batches += 1;
                 job.emitted = report.emitted_total;
+                job.footprint = report.footprint;
                 job.busy_seconds += slice_start.elapsed().as_secs_f64();
                 let cancel_now = job.cancel_requested;
                 let pause_now = job.pause_requested;

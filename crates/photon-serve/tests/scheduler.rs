@@ -101,7 +101,22 @@ fn light_job_finishes_while_heavy_job_still_runs() {
         );
         assert!(job.epochs_per_sec > 0.0);
         assert!(job.slices >= 1);
+        // Forest footprint gauges ride the same snapshot: a solved job's
+        // arenas are non-empty in both the hot and cold arena.
+        assert!(
+            job.forest_node_bytes > 0 && job.forest_leaf_bytes > 0 && job.forest_leaf_bins > 0,
+            "per-job forest footprint missing: {job:?}"
+        );
     }
+    assert_eq!(
+        m.solver.forest_leaf_bins,
+        m.solver
+            .jobs
+            .iter()
+            .map(|j| j.forest_leaf_bins)
+            .sum::<u64>()
+    );
+    assert!(m.solver.forest_node_bytes >= m.solver.jobs.len() as u64 * 8);
     let tenants: Vec<&str> = m.solver.tenants.iter().map(|t| t.tenant.as_str()).collect();
     assert!(tenants.contains(&"heavy") && tenants.contains(&"light"));
     for t in &m.solver.tenants {
