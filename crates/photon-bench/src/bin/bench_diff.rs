@@ -23,8 +23,9 @@
 //! cargo run --release -p photon-bench --bin bench_diff -- --record
 //! ```
 //!
-//! which re-runs all four `--json` benches (the two throughput benches plus
-//! `multi_tenant` and `streaming_serve`) and rewrites `BENCH_baseline.json`
+//! which re-runs every recorded `--json` bench (the two throughput benches
+//! plus `multi_tenant`, `streaming_serve`, and the wire-level
+//! `streaming_transport`) and rewrites `BENCH_baseline.json`
 //! in place. The JSON scraping is hand-rolled, like the reports themselves:
 //! the workspace carries no serializer dependency.
 
@@ -39,10 +40,11 @@ const FLOOR: f64 = 0.9;
 const RATE_BENCHES: [&str; 2] = ["progressive_solve", "checkpoint_resume"];
 
 /// Everything `--record` snapshots into the baseline file.
-const ALL_BENCHES: [&str; 4] = [
+const ALL_BENCHES: [&str; 5] = [
     "progressive_solve",
     "multi_tenant",
     "streaming_serve",
+    "streaming_transport",
     "checkpoint_resume",
 ];
 

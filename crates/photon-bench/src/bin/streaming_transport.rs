@@ -1,0 +1,225 @@
+//! **Streaming transport bench — `PHOTSTRM1` bytes on the wire.**
+//!
+//! One progressively published Cornell solve, streamed over loopback TCP
+//! to two subscribers sharing a viewpoint: one lossless, one quantized.
+//! Every epoch each client receives one delta frame; the table reports
+//! the bytes each mode actually put on the wire against two yardsticks —
+//! the raw in-process tile payload (what the delta carries before
+//! encoding) and the full-frame cost a frame-per-epoch protocol would
+//! pay. Verifies the lossless stream reassembles the final epoch
+//! bit-identical to the service's own render, and that the quantized
+//! stream stays within the codec's advertised error bound.
+//!
+//! Doubles as the CI smoke test for the off-box transport:
+//!
+//! ```sh
+//! cargo run --release -p photon-bench --bin streaming_transport
+//! ```
+
+use photon_bench::{camera_for, fmt, heading, json_mode, md_table, write_csv, JsonReport};
+use photon_core::{SimConfig, Simulator};
+use photon_scenes::TestScene;
+use photon_serve::{
+    render_parallel, AnswerStore, RenderService, ServeConfig, StreamClient, StreamServer, WireMode,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    heading("Streaming transport — PHOTSTRM1 over TCP, lossless vs quantized");
+    let kind = TestScene::CornellBox;
+    let store = Arc::new(AnswerStore::new());
+    let config = ServeConfig {
+        tile_size: 16,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(RenderService::start(Arc::clone(&store), config));
+    let server = StreamServer::serve(Arc::clone(&service)).expect("bind loopback");
+
+    let mut sim = Simulator::new(
+        kind.build(),
+        SimConfig {
+            seed: 1997,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(5_000);
+    let id = store.insert("cornell-wire", sim.scene().clone(), sim.answer_snapshot());
+    let camera = camera_for(kind.view().orbited(0.07, 1.6), 96, 72);
+
+    let modes = [WireMode::Lossless, WireMode::Quantized];
+    let mut clients: Vec<StreamClient> = modes
+        .iter()
+        .map(|&mode| {
+            let client =
+                StreamClient::connect(server.local_addr(), id, camera, mode).expect("connect");
+            client
+                .set_read_timeout(Some(Duration::from_secs(600)))
+                .expect("timeout");
+            client
+        })
+        .collect();
+
+    // Bootstrap (epoch 1) plus four refining publishes; both clients get
+    // one frame per epoch, their renders coalescing through the view
+    // cache (shared viewpoint).
+    let epochs = 5u64;
+    let t0 = Instant::now();
+    let mut canvases = Vec::new();
+    let mut deltas_per_client = vec![0u64; clients.len()];
+    let mut wire_before = vec![0u64; clients.len()];
+    let mut tile_bytes = 0u64;
+    let mut full_bytes = 0u64;
+    let mut csv = Vec::new();
+    for epoch in 1..=epochs {
+        if epoch > 1 {
+            sim.run_photons(5_000);
+            assert_eq!(store.publish(id, sim.answer_snapshot()), epoch);
+        }
+        let mut row = vec![epoch.to_string()];
+        for (i, client) in clients.iter_mut().enumerate() {
+            let delta = client.recv_delta().expect("delta frame");
+            assert_eq!(delta.epoch, epoch);
+            if canvases.len() <= i {
+                canvases.push(delta.canvas());
+            }
+            delta.apply(&mut canvases[i]);
+            deltas_per_client[i] += 1;
+            let frame_wire = client.wire_bytes() - wire_before[i];
+            wire_before[i] = client.wire_bytes();
+            if i == 0 {
+                // Payload yardsticks are mode-independent; count them once.
+                tile_bytes += delta.tile_bytes() as u64;
+                full_bytes += delta.full_frame_bytes() as u64;
+            }
+            row.push(frame_wire.to_string());
+        }
+        csv.push(row.join(","));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // Lossless reassembly is bit-identical to the service's own render of
+    // the final epoch; quantized stays within the advertised bound.
+    let entry = store.get(id).expect("stored");
+    assert_eq!(entry.epoch, epochs);
+    let reference = render_parallel(
+        &entry.scene,
+        &entry.answer,
+        &camera,
+        entry.exposure,
+        config.render_threads,
+        config.tile_size,
+    );
+    assert_eq!(
+        canvases[0].pixels(),
+        reference.pixels(),
+        "lossless TCP stream diverged from a full render"
+    );
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in reference.pixels() {
+        for v in [p.r, p.g, p.b] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let bound = photon_core::wire::quantization_error_bound(lo, hi);
+    for (got, want) in canvases[1].pixels().iter().zip(reference.pixels()) {
+        for (g, w) in [got.r, got.g, got.b]
+            .into_iter()
+            .zip([want.r, want.g, want.b])
+        {
+            assert!(
+                (g - w).abs() <= bound + 1e-12,
+                "quantized stream beyond the advertised bound"
+            );
+        }
+    }
+
+    let wire = [clients[0].wire_bytes(), clients[1].wire_bytes()];
+    let m = service.metrics();
+    if json_mode() {
+        let mut report = JsonReport::new("streaming_transport");
+        report
+            .int("epochs", epochs)
+            .int("deltas_per_client", deltas_per_client[0])
+            .num("elapsed_s", elapsed)
+            .int("tile_payload_bytes", tile_bytes)
+            .int("full_frame_bytes", full_bytes)
+            .int("lossless_wire_bytes", wire[0])
+            .int("quantized_wire_bytes", wire[1])
+            .num(
+                "lossless_vs_full",
+                wire[0] as f64 / full_bytes.max(1) as f64,
+            )
+            .num(
+                "quantized_vs_full",
+                wire[1] as f64 / full_bytes.max(1) as f64,
+            )
+            .num(
+                "quantized_vs_lossless",
+                wire[1] as f64 / wire[0].max(1) as f64,
+            )
+            .int("stream_wire_deltas", m.stream.wire_deltas)
+            .int("stream_wire_bytes", m.stream.wire_bytes)
+            .int("stream_deltas", m.stream.deltas);
+        report.print();
+    } else {
+        let rows: Vec<Vec<String>> = modes
+            .iter()
+            .zip(wire.iter())
+            .map(|(mode, &bytes)| {
+                vec![
+                    mode.name().to_string(),
+                    deltas_per_client[0].to_string(),
+                    fmt(bytes as f64 / 1024.0),
+                    fmt(tile_bytes as f64 / 1024.0),
+                    fmt(full_bytes as f64 / 1024.0),
+                    format!("{:.1}%", 100.0 * bytes as f64 / full_bytes.max(1) as f64),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            md_table(
+                &[
+                    "mode",
+                    "deltas",
+                    "wire kB",
+                    "tile payload kB",
+                    "full-frame kB",
+                    "wire/full"
+                ],
+                &rows,
+            )
+        );
+        println!(
+            "streamed {} epochs to 2 clients in {:.2}s; quantized wire is {} of lossless",
+            epochs,
+            elapsed,
+            fmt(wire[1] as f64 / wire[0].max(1) as f64),
+        );
+    }
+
+    // The point of the transport: both modes undercut shipping full
+    // frames, and quantized undercuts lossless.
+    assert!(
+        wire[0] < full_bytes,
+        "lossless wire ({}) failed to undercut full frames ({})",
+        wire[0],
+        full_bytes
+    );
+    assert!(
+        wire[1] < wire[0],
+        "quantized wire ({}) failed to undercut lossless ({})",
+        wire[1],
+        wire[0]
+    );
+    let path = write_csv(
+        "streaming_transport.csv",
+        "epoch,lossless_wire_bytes,quantized_wire_bytes",
+        &csv,
+    );
+    if !json_mode() {
+        println!("per-epoch series: {}", path.display());
+    }
+}

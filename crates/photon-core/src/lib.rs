@@ -22,6 +22,7 @@
 //! | answer files | [`answer`] |
 //! | solve checkpoints (freeze/resume) | [`checkpoint`] |
 //! | viewing | [`view`], [`img`] |
+//! | streaming wire format (`PHOTSTRM1`) | [`wire`] |
 //! | performance traces | [`perf`] |
 //! | observability (flight recorder, histograms) | [`obs`] |
 //! | polarization (the paper's in-progress extension) | [`polar`] |
@@ -42,6 +43,7 @@ pub mod reflect;
 pub mod sim;
 pub mod trace;
 pub mod view;
+pub mod wire;
 
 pub use answer::Answer;
 pub use batch::{trace_strided, PartitionScratch, PatchRun, RecordSink, TallyRecord};
@@ -58,4 +60,5 @@ pub use perf::{MemoryTrace, SpeedTrace, SPEED_TRACE_CAP};
 pub use polar::{Polarization, PolarizedBounce};
 pub use sim::{SimConfig, SimStats, Simulator};
 pub use trace::{trace_photon, TallySink, TraceOutcome};
-pub use view::{render, render_tile, tiles, Camera, Tile};
+pub use view::{render, render_tile, squash_tile_runs, tiles, Camera, Tile};
+pub use wire::{SubscribeFrame, WireDelta, WireFrame, WireMode};

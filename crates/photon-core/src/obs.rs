@@ -354,6 +354,12 @@ pub enum ObsKind {
     DispatchPanic,
     /// A frame delta reached a subscriber. Payload: tile payload bytes.
     DeltaPushed,
+    /// A new subscription started receiving deltas. Payload: subscribers
+    /// now attached to the scene.
+    SubscriberConnected,
+    /// A subscriber fell behind its send window; subsequent deltas coalesce
+    /// until it catches up. Payload: undelivered deltas in flight.
+    SubscriberLagged,
     /// A subscription ended (client dropped its handle). Payload: 0.
     SubscriberDropped,
     /// An engine froze into a checkpoint. Payload: encoded `PHOTCK1` bytes.
@@ -363,7 +369,7 @@ pub enum ObsKind {
 }
 
 /// Every event kind, in lifecycle order.
-pub const OBS_KINDS: [ObsKind; 13] = [
+pub const OBS_KINDS: [ObsKind; 15] = [
     ObsKind::JobSubmitted,
     ObsKind::SliceGranted,
     ObsKind::SliceParked,
@@ -374,6 +380,8 @@ pub const OBS_KINDS: [ObsKind; 13] = [
     ObsKind::RequestServed,
     ObsKind::DispatchPanic,
     ObsKind::DeltaPushed,
+    ObsKind::SubscriberConnected,
+    ObsKind::SubscriberLagged,
     ObsKind::SubscriberDropped,
     ObsKind::CheckpointFrozen,
     ObsKind::CheckpointRestored,
@@ -393,6 +401,8 @@ impl ObsKind {
             ObsKind::RequestServed => "request-served",
             ObsKind::DispatchPanic => "dispatch-panic",
             ObsKind::DeltaPushed => "delta-pushed",
+            ObsKind::SubscriberConnected => "subscriber-connected",
+            ObsKind::SubscriberLagged => "subscriber-lagged",
             ObsKind::SubscriberDropped => "subscriber-dropped",
             ObsKind::CheckpointFrozen => "checkpoint-frozen",
             ObsKind::CheckpointRestored => "checkpoint-restored",
@@ -411,7 +421,10 @@ impl ObsKind {
             ObsKind::CachePurged | ObsKind::RequestServed | ObsKind::DispatchPanic => {
                 ObsTier::Serve
             }
-            ObsKind::DeltaPushed | ObsKind::SubscriberDropped => ObsTier::Stream,
+            ObsKind::DeltaPushed
+            | ObsKind::SubscriberConnected
+            | ObsKind::SubscriberLagged
+            | ObsKind::SubscriberDropped => ObsTier::Stream,
             ObsKind::CheckpointFrozen | ObsKind::CheckpointRestored => ObsTier::Checkpoint,
         }
     }

@@ -195,6 +195,43 @@ pub fn diff_tiles(prev: &Image, next: &Image, tile_size: usize) -> Vec<(Tile, Ve
         .collect()
 }
 
+/// Squashes an ordered sequence of tile-update runs into one run whose
+/// application is bit-identical to applying every run in order.
+///
+/// Each run is a list of `(tile, pixels)` updates as produced by
+/// [`diff_tiles`]; the runs are applied oldest first. Two updates to the
+/// *same rectangle* collapse to the newest one, re-ordered to the newest
+/// update's position in time, so overlapping rectangles from different
+/// runs still land in the right order when the squashed run is blitted
+/// front to back. The output therefore never holds a rectangle twice, and
+/// its size is bounded by the number of distinct rectangles touched — not
+/// by how many runs were squashed.
+///
+/// This is the slow-consumer coalescing primitive: a subscriber that fell
+/// behind by epochs N→M receives `squash` of the missed deltas as one
+/// delta, and blitting it onto the frame it last saw reproduces epoch M's
+/// pixels exactly.
+pub fn squash_tile_runs<I>(runs: I) -> Vec<(Tile, Vec<Rgb>)>
+where
+    I: IntoIterator<Item = Vec<(Tile, Vec<Rgb>)>>,
+{
+    let mut slots: Vec<Option<(Tile, Vec<Rgb>)>> = Vec::new();
+    let mut newest: std::collections::HashMap<(usize, usize, usize, usize), usize> =
+        std::collections::HashMap::new();
+    for run in runs {
+        for (tile, buf) in run {
+            assert_eq!(buf.len(), tile.pixel_count(), "tile buffer size mismatch");
+            let key = (tile.x0, tile.y0, tile.x1, tile.y1);
+            if let Some(&stale) = newest.get(&key) {
+                slots[stale] = None;
+            }
+            newest.insert(key, slots.len());
+            slots.push(Some((tile, buf)));
+        }
+    }
+    slots.into_iter().flatten().collect()
+}
+
 /// Renders the answer from a viewpoint. `exposure` scales radiance to
 /// display range; use [`auto_exposure`] when unsure.
 ///
@@ -479,5 +516,79 @@ mod tests {
             long_err < short_err,
             "noise did not drop: short {short_err} long {long_err}"
         );
+    }
+
+    #[test]
+    fn squash_collapses_repeated_rectangles_to_newest() {
+        let tile = Tile {
+            x0: 0,
+            y0: 0,
+            x1: 2,
+            y1: 2,
+        };
+        let old = vec![Rgb::gray(0.1); 4];
+        let new = vec![Rgb::gray(0.9); 4];
+        let squashed = squash_tile_runs([vec![(tile, old)], vec![(tile, new.clone())]]);
+        assert_eq!(squashed.len(), 1, "same rectangle must collapse");
+        assert_eq!(squashed[0].1, new, "newest pixels must win");
+    }
+
+    #[test]
+    fn squash_of_sequential_diffs_reassembles_bit_identically() {
+        // Three frames, diffed pairwise; squashing both deltas and applying
+        // the squash to frame 0 must land exactly on frame 2.
+        let mut f0 = Image::new(20, 12);
+        f0.set(1, 1, Rgb::gray(0.3));
+        let mut f1 = f0.clone();
+        f1.set(2, 2, Rgb::new(1.0, 0.0, 0.0));
+        f1.set(17, 10, Rgb::new(0.0, 1.0, 0.0));
+        let mut f2 = f1.clone();
+        f2.set(2, 2, Rgb::new(0.0, 0.0, 1.0)); // re-touches the first tile
+        let d01 = diff_tiles(&f0, &f1, 8);
+        let d12 = diff_tiles(&f1, &f2, 8);
+        let squashed = squash_tile_runs([d01.clone(), d12.clone()]);
+        assert!(
+            squashed.len() < d01.len() + d12.len(),
+            "the re-touched tile must not appear twice"
+        );
+        let mut rebuilt = f0.clone();
+        for (tile, buf) in &squashed {
+            blit_tile(&mut rebuilt, *tile, buf);
+        }
+        assert_eq!(rebuilt.pixels(), f2.pixels(), "squash reassembly diverged");
+    }
+
+    #[test]
+    fn squash_preserves_order_across_overlapping_rectangles() {
+        // A newer update to rectangle A must overwrite an older overlapping
+        // rectangle B even after A's earlier occurrence was collapsed away.
+        let a = Tile {
+            x0: 0,
+            y0: 0,
+            x1: 2,
+            y1: 1,
+        };
+        let b = Tile {
+            x0: 1,
+            y0: 0,
+            x1: 3,
+            y1: 1,
+        };
+        let runs = [
+            vec![(a, vec![Rgb::gray(0.1); 2])],
+            vec![(b, vec![Rgb::gray(0.5); 2])],
+            vec![(a, vec![Rgb::gray(0.9); 2])],
+        ];
+        let mut by_runs = Image::new(3, 1);
+        for run in &runs {
+            for (tile, buf) in run {
+                blit_tile(&mut by_runs, *tile, buf);
+            }
+        }
+        let mut by_squash = Image::new(3, 1);
+        for (tile, buf) in squash_tile_runs(runs) {
+            blit_tile(&mut by_squash, tile, &buf);
+        }
+        assert_eq!(by_squash.pixels(), by_runs.pixels());
     }
 }

@@ -1,0 +1,796 @@
+//! `PHOTSTRM1`: the length-prefixed streaming wire format.
+//!
+//! The third member of the codec family (`PHOTANS1` answers, `PHOTCK1`
+//! checkpoints): frames that carry a progressive render's tile deltas to
+//! off-box subscribers. A connection speaks length-prefixed frames
+//! ([`write_frame`] / [`read_frame`]); every frame body opens with the
+//! shared magic, a version byte, and a kind tag, then one of:
+//!
+//! | kind | frame | direction |
+//! |------|-------|-----------|
+//! | [`KIND_DELTA`] | one epoch's changed tiles ([`encode_delta`]) | server → client |
+//! | [`KIND_SUBSCRIBE`] | scene + camera + payload mode ([`SubscribeFrame`]) | client → server |
+//! | [`KIND_ERROR`] | a refusal message ([`encode_error`]) | server → client |
+//!
+//! Delta payloads come in two modes. [`WireMode::Lossless`] ships raw
+//! little-endian `f64` pixels — decode is **bit-identical** to the encoded
+//! frame, so every equivalence suite built on exact reassembly holds over
+//! the wire. [`WireMode::Quantized`] is the opt-in lossy mode: each tile
+//! stores per-channel min/max bounds and 16-bit quantized pixels, and the
+//! quantized planes of the whole frame are squeezed through an adaptive
+//! order-0 range coder. Roundtrip error is bounded by half a quantization
+//! step (`(max - min) / 65535 / 2` per channel) and fully deterministic —
+//! the same frame always encodes to the same bytes.
+//!
+//! Decoding validates magic, version, kind, mode, tile bounds, and payload
+//! sizes, and rejects truncated input and trailing garbage — same
+//! discipline as the sibling codecs, because stream bytes arrive from a
+//! network socket, the least trusted input the system reads.
+
+use crate::answer::{bad_data, read_f64, read_u32, read_u64, PREALLOC_CAP};
+use crate::view::{Camera, Tile};
+use photon_math::{Rgb, Vec3};
+use std::io::{self, Cursor, Read, Write};
+
+/// Magic bytes opening every frame body (version follows as one byte).
+pub const MAGIC: &[u8; 8] = b"PHOTSTRM";
+
+/// Format version written after the magic; bump on layout changes.
+pub const VERSION: u8 = 1;
+
+/// Frame kind: one epoch's tile delta (server → client).
+pub const KIND_DELTA: u8 = 0;
+
+/// Frame kind: a subscribe request (client → server).
+pub const KIND_SUBSCRIBE: u8 = 1;
+
+/// Frame kind: a refusal message (server → client, then close).
+pub const KIND_ERROR: u8 = 2;
+
+/// Hard cap on a length-prefixed frame (256 MiB): large enough for any
+/// real frame, small enough that a corrupt length prefix cannot ask the
+/// reader to buffer gigabytes.
+pub const MAX_FRAME_BYTES: u32 = 1 << 28;
+
+/// Delta payload encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMode {
+    /// Raw `f64` pixels — decode reassembles bit-identically.
+    Lossless,
+    /// Per-tile min/max quantization to `u16` + adaptive range coding.
+    /// Lossy but bounded and deterministic.
+    Quantized,
+}
+
+impl WireMode {
+    fn tag(self) -> u8 {
+        match self {
+            WireMode::Lossless => 0,
+            WireMode::Quantized => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> io::Result<Self> {
+        match tag {
+            0 => Ok(WireMode::Lossless),
+            1 => Ok(WireMode::Quantized),
+            _ => Err(bad_data("unknown wire mode")),
+        }
+    }
+
+    /// Stable kebab-case name (bench and metric label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireMode::Lossless => "lossless",
+            WireMode::Quantized => "quantized",
+        }
+    }
+}
+
+/// A decoded delta frame: one epoch's changed tiles, ready to blit.
+#[derive(Clone, Debug)]
+pub struct WireDelta {
+    /// Store epoch this delta advances the subscriber to.
+    pub epoch: u64,
+    /// Full frame width in pixels.
+    pub width: usize,
+    /// Full frame height in pixels.
+    pub height: usize,
+    /// Payload mode the frame was encoded with.
+    pub mode: WireMode,
+    /// Changed tiles with their new pixels (dequantized in lossy mode).
+    pub tiles: Vec<(Tile, Vec<Rgb>)>,
+}
+
+/// A decoded subscribe request: which scene, through which camera, in
+/// which payload mode.
+#[derive(Clone, Debug)]
+pub struct SubscribeFrame {
+    /// Raw scene id in the server's answer store.
+    pub scene: u32,
+    /// Delta payload mode the client wants.
+    pub mode: WireMode,
+    /// Viewpoint to stream.
+    pub camera: Camera,
+}
+
+/// Any frame a `PHOTSTRM1` peer can receive.
+#[derive(Clone, Debug)]
+pub enum WireFrame {
+    /// One epoch's tile delta.
+    Delta(WireDelta),
+    /// A subscribe request.
+    Subscribe(SubscribeFrame),
+    /// A refusal message.
+    Error(String),
+}
+
+// ---------------------------------------------------------------------------
+// Length-prefixed framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame: `u32` payload length, then the payload.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES as usize,
+        "frame exceeds MAX_FRAME_BYTES"
+    );
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame, rejecting lengths over
+/// [`MAX_FRAME_BYTES`]. An EOF before the length prefix surfaces as
+/// `UnexpectedEof` — a cleanly closed peer.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let len = read_u32(r)?;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad_data("frame length over MAX_FRAME_BYTES"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn write_header(out: &mut Vec<u8>, kind: u8) {
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+}
+
+fn read_header(cur: &mut Cursor<&[u8]>) -> io::Result<u8> {
+    let mut magic = [0u8; 8];
+    cur.read_exact(&mut magic)
+        .map_err(|_| bad_data("frame shorter than the PHOTSTRM header"))?;
+    if &magic != MAGIC {
+        return Err(bad_data("not a PHOTSTRM frame"));
+    }
+    let mut rest = [0u8; 2];
+    cur.read_exact(&mut rest)
+        .map_err(|_| bad_data("frame shorter than the PHOTSTRM header"))?;
+    if rest[0] != VERSION {
+        return Err(bad_data("unsupported PHOTSTRM version"));
+    }
+    Ok(rest[1])
+}
+
+/// Decodes any frame body, dispatching on its kind tag.
+pub fn decode_frame(bytes: &[u8]) -> io::Result<WireFrame> {
+    let mut cur = Cursor::new(bytes);
+    let kind = read_header(&mut cur)?;
+    let frame = match kind {
+        KIND_DELTA => WireFrame::Delta(decode_delta_body(&mut cur)?),
+        KIND_SUBSCRIBE => WireFrame::Subscribe(decode_subscribe_body(&mut cur)?),
+        KIND_ERROR => WireFrame::Error(decode_error_body(&mut cur)?),
+        _ => return Err(bad_data("unknown PHOTSTRM frame kind")),
+    };
+    if cur.position() != bytes.len() as u64 {
+        return Err(bad_data("trailing garbage after PHOTSTRM frame"));
+    }
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Delta frames
+// ---------------------------------------------------------------------------
+
+/// Encodes one epoch's tile delta as a `PHOTSTRM1` frame body.
+///
+/// Layout: header, mode (`u8`), epoch (`u64`), width/height (`u32`), tile
+/// count (`u32`), the tile rectangles (4 × `u32` each), then the pixel
+/// payload — raw `f64`s in lossless mode; per-tile channel bounds plus one
+/// range-coded block of `u16` planes in quantized mode.
+///
+/// # Panics
+/// Panics if a tile lies outside `width × height` or a buffer's length
+/// does not match its tile — deltas come from the renderer's own diff, so
+/// a mismatch is a caller bug, not a data error.
+pub fn encode_delta(
+    epoch: u64,
+    width: usize,
+    height: usize,
+    tiles: &[(Tile, Vec<Rgb>)],
+    mode: WireMode,
+) -> Vec<u8> {
+    let pixels: usize = tiles.iter().map(|(t, _)| t.pixel_count()).sum();
+    let mut out = Vec::with_capacity(64 + tiles.len() * 16 + pixels * 24);
+    write_header(&mut out, KIND_DELTA);
+    out.push(mode.tag());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(width as u32).to_le_bytes());
+    out.extend_from_slice(&(height as u32).to_le_bytes());
+    out.extend_from_slice(&(tiles.len() as u32).to_le_bytes());
+    for (tile, buf) in tiles {
+        assert!(
+            tile.x0 < tile.x1 && tile.y0 < tile.y1 && tile.x1 <= width && tile.y1 <= height,
+            "tile outside the frame"
+        );
+        assert_eq!(buf.len(), tile.pixel_count(), "tile buffer size mismatch");
+        for v in [tile.x0, tile.y0, tile.x1, tile.y1] {
+            out.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+    }
+    match mode {
+        WireMode::Lossless => {
+            for (_, buf) in tiles {
+                for px in buf {
+                    for c in [px.r, px.g, px.b] {
+                        out.extend_from_slice(&c.to_le_bytes());
+                    }
+                }
+            }
+        }
+        WireMode::Quantized => {
+            let mut planes = Vec::with_capacity(pixels * 6);
+            for (_, buf) in tiles {
+                let bounds = channel_bounds(buf);
+                for (lo, hi) in bounds {
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                }
+                for px in buf {
+                    for (c, (lo, hi)) in [px.r, px.g, px.b].into_iter().zip(bounds) {
+                        planes.extend_from_slice(&quantize(c, lo, hi).to_le_bytes());
+                    }
+                }
+            }
+            let coded = entropy_encode(&planes);
+            out.extend_from_slice(&(planes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(coded.len() as u32).to_le_bytes());
+            out.extend_from_slice(&coded);
+        }
+    }
+    out
+}
+
+fn decode_delta_body(cur: &mut Cursor<&[u8]>) -> io::Result<WireDelta> {
+    let mut tag = [0u8; 1];
+    cur.read_exact(&mut tag)?;
+    let mode = WireMode::from_tag(tag[0])?;
+    let epoch = read_u64(cur)?;
+    let width = read_u32(cur)? as usize;
+    let height = read_u32(cur)? as usize;
+    if width == 0 || height == 0 {
+        return Err(bad_data("zero-sized frame"));
+    }
+    let ntiles = read_u32(cur)? as usize;
+    let mut rects = Vec::with_capacity(ntiles.min(PREALLOC_CAP));
+    for _ in 0..ntiles {
+        let tile = Tile {
+            x0: read_u32(cur)? as usize,
+            y0: read_u32(cur)? as usize,
+            x1: read_u32(cur)? as usize,
+            y1: read_u32(cur)? as usize,
+        };
+        if tile.x0 >= tile.x1 || tile.y0 >= tile.y1 || tile.x1 > width || tile.y1 > height {
+            return Err(bad_data("tile outside the frame"));
+        }
+        rects.push(tile);
+    }
+    let mut tiles = Vec::with_capacity(rects.len());
+    match mode {
+        WireMode::Lossless => {
+            for tile in rects {
+                let n = tile.pixel_count();
+                let mut buf = Vec::with_capacity(n.min(PREALLOC_CAP));
+                for _ in 0..n {
+                    buf.push(Rgb::new(read_f64(cur)?, read_f64(cur)?, read_f64(cur)?));
+                }
+                tiles.push((tile, buf));
+            }
+        }
+        WireMode::Quantized => {
+            let mut bounds = Vec::with_capacity(rects.len());
+            // Frame layout interleaves each tile's bounds ahead of the
+            // shared plane block, so bounds all parse first.
+            for _ in 0..rects.len() {
+                let mut b = [(0.0, 0.0); 3];
+                for ch in &mut b {
+                    *ch = (read_f64(cur)?, read_f64(cur)?);
+                }
+                bounds.push(b);
+            }
+            let raw_len = read_u32(cur)? as usize;
+            let coded_len = read_u32(cur)? as usize;
+            let expect: usize = rects.iter().map(|t| t.pixel_count() * 6).sum();
+            if raw_len != expect {
+                return Err(bad_data("quantized plane length mismatch"));
+            }
+            let mut coded = vec![0u8; coded_len];
+            cur.read_exact(&mut coded)?;
+            let planes = entropy_decode(&coded, raw_len)?;
+            let mut off = 0;
+            for (tile, b) in rects.into_iter().zip(bounds) {
+                let mut buf = Vec::with_capacity(tile.pixel_count().min(PREALLOC_CAP));
+                for _ in 0..tile.pixel_count() {
+                    let mut ch = [0.0; 3];
+                    for (c, (lo, hi)) in ch.iter_mut().zip(b) {
+                        let q = u16::from_le_bytes([planes[off], planes[off + 1]]);
+                        off += 2;
+                        *c = dequantize(q, lo, hi);
+                    }
+                    buf.push(Rgb::new(ch[0], ch[1], ch[2]));
+                }
+                tiles.push((tile, buf));
+            }
+        }
+    }
+    Ok(WireDelta {
+        epoch,
+        width,
+        height,
+        mode,
+        tiles,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Subscribe and error frames
+// ---------------------------------------------------------------------------
+
+/// Encodes a subscribe request as a `PHOTSTRM1` frame body.
+pub fn encode_subscribe(req: &SubscribeFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    write_header(&mut out, KIND_SUBSCRIBE);
+    out.extend_from_slice(&req.scene.to_le_bytes());
+    out.push(req.mode.tag());
+    let cam = &req.camera;
+    for v in [cam.eye, cam.target, cam.up] {
+        for c in [v.x, v.y, v.z] {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&cam.vfov_deg.to_le_bytes());
+    out.extend_from_slice(&(cam.width as u32).to_le_bytes());
+    out.extend_from_slice(&(cam.height as u32).to_le_bytes());
+    out
+}
+
+fn decode_subscribe_body(cur: &mut Cursor<&[u8]>) -> io::Result<SubscribeFrame> {
+    let scene = read_u32(cur)?;
+    let mut tag = [0u8; 1];
+    cur.read_exact(&mut tag)?;
+    let mode = WireMode::from_tag(tag[0])?;
+    let mut vecs = [Vec3::ZERO; 3];
+    for v in &mut vecs {
+        *v = Vec3::new(read_f64(cur)?, read_f64(cur)?, read_f64(cur)?);
+    }
+    let vfov_deg = read_f64(cur)?;
+    let width = read_u32(cur)? as usize;
+    let height = read_u32(cur)? as usize;
+    if width == 0 || height == 0 {
+        return Err(bad_data("zero-sized camera"));
+    }
+    Ok(SubscribeFrame {
+        scene,
+        mode,
+        camera: Camera {
+            eye: vecs[0],
+            target: vecs[1],
+            up: vecs[2],
+            vfov_deg,
+            width,
+            height,
+        },
+    })
+}
+
+/// Encodes a refusal message as a `PHOTSTRM1` frame body.
+pub fn encode_error(msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + msg.len());
+    write_header(&mut out, KIND_ERROR);
+    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+fn decode_error_body(cur: &mut Cursor<&[u8]>) -> io::Result<String> {
+    let len = read_u32(cur)? as usize;
+    let mut bytes = vec![0u8; len.min(MAX_FRAME_BYTES as usize)];
+    cur.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| bad_data("error message is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// Quantization
+// ---------------------------------------------------------------------------
+
+/// Per-channel `(min, max)` over a tile's pixels.
+fn channel_bounds(buf: &[Rgb]) -> [(f64, f64); 3] {
+    let mut b = [(f64::INFINITY, f64::NEG_INFINITY); 3];
+    for px in buf {
+        for (ch, c) in b.iter_mut().zip([px.r, px.g, px.b]) {
+            ch.0 = ch.0.min(c);
+            ch.1 = ch.1.max(c);
+        }
+    }
+    if buf.is_empty() {
+        return [(0.0, 0.0); 3];
+    }
+    b
+}
+
+fn quantize(v: f64, lo: f64, hi: f64) -> u16 {
+    if hi <= lo {
+        return 0;
+    }
+    (((v - lo) / (hi - lo) * 65535.0).round()).clamp(0.0, 65535.0) as u16
+}
+
+fn dequantize(q: u16, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    lo + q as f64 / 65535.0 * (hi - lo)
+}
+
+/// The worst-case roundtrip error of one channel quantized over `[lo, hi]`:
+/// half a quantization step.
+pub fn quantization_error_bound(lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        0.0
+    } else {
+        (hi - lo) / 65535.0 * 0.5
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive order-0 range coder (carryless, Subbotin style)
+// ---------------------------------------------------------------------------
+
+const RC_TOP: u32 = 1 << 24;
+const RC_BOT: u32 = 1 << 16;
+
+/// Adaptive order-0 byte model: per-symbol frequencies, incremented on
+/// every coded byte and halved when the total nears the coder's precision
+/// limit. Encoder and decoder evolve the model identically, so no table
+/// ships on the wire.
+struct ByteModel {
+    freq: [u32; 256],
+    total: u32,
+}
+
+impl ByteModel {
+    fn new() -> Self {
+        ByteModel {
+            freq: [1; 256],
+            total: 256,
+        }
+    }
+
+    /// `(cumulative frequency below sym, sym's frequency)`.
+    fn span(&self, sym: u8) -> (u32, u32) {
+        let cum = self.freq[..sym as usize].iter().sum();
+        (cum, self.freq[sym as usize])
+    }
+
+    /// The symbol whose span covers cumulative value `target`.
+    fn symbol_at(&self, target: u32) -> (u8, u32, u32) {
+        let mut cum = 0u32;
+        for (sym, &f) in self.freq.iter().enumerate() {
+            if target < cum + f {
+                return (sym as u8, cum, f);
+            }
+            cum += f;
+        }
+        (255, self.total - self.freq[255], self.freq[255])
+    }
+
+    fn update(&mut self, sym: u8) {
+        self.freq[sym as usize] += 32;
+        self.total += 32;
+        if self.total >= RC_BOT {
+            self.total = 0;
+            for f in &mut self.freq {
+                *f -= *f >> 1; // halve, floor 1
+                self.total += *f;
+            }
+        }
+    }
+}
+
+/// Compresses `bytes` with the adaptive model. Deterministic: equal input,
+/// equal output.
+pub fn entropy_encode(bytes: &[u8]) -> Vec<u8> {
+    let mut model = ByteModel::new();
+    let mut low: u32 = 0;
+    let mut range: u32 = u32::MAX;
+    let mut out = Vec::with_capacity(bytes.len() / 2 + 16);
+    for &sym in bytes {
+        let (cum, freq) = model.span(sym);
+        let r = range / model.total;
+        low = low.wrapping_add(r.wrapping_mul(cum));
+        range = r * freq;
+        loop {
+            if (low ^ low.wrapping_add(range)) < RC_TOP {
+                // Top byte settled.
+            } else if range < RC_BOT {
+                // Underflow: pin the range to the next BOT boundary.
+                range = low.wrapping_neg() & (RC_BOT - 1);
+            } else {
+                break;
+            }
+            out.push((low >> 24) as u8);
+            low <<= 8;
+            range <<= 8;
+        }
+        model.update(sym);
+    }
+    for _ in 0..4 {
+        out.push((low >> 24) as u8);
+        low <<= 8;
+    }
+    out
+}
+
+/// Decompresses an [`entropy_encode`] stream back into `expect_len` bytes.
+pub fn entropy_decode(coded: &[u8], expect_len: usize) -> io::Result<Vec<u8>> {
+    if expect_len > 0 && coded.len() < 4 {
+        return Err(bad_data("range-coded block truncated"));
+    }
+    let mut model = ByteModel::new();
+    let mut low: u32 = 0;
+    let mut range: u32 = u32::MAX;
+    let mut pos = 0usize;
+    let next_byte = |pos: &mut usize| -> u8 {
+        let b = coded.get(*pos).copied().unwrap_or(0);
+        *pos += 1;
+        b
+    };
+    let mut code: u32 = 0;
+    for _ in 0..4 {
+        code = (code << 8) | next_byte(&mut pos) as u32;
+    }
+    let mut out = Vec::with_capacity(expect_len.min(PREALLOC_CAP * 16));
+    for _ in 0..expect_len {
+        let r = range / model.total;
+        let target = (code.wrapping_sub(low) / r).min(model.total - 1);
+        let (sym, cum, freq) = model.symbol_at(target);
+        low = low.wrapping_add(r.wrapping_mul(cum));
+        range = r * freq;
+        loop {
+            if (low ^ low.wrapping_add(range)) < RC_TOP {
+            } else if range < RC_BOT {
+                range = low.wrapping_neg() & (RC_BOT - 1);
+            } else {
+                break;
+            }
+            code = (code << 8) | next_byte(&mut pos) as u32;
+            low <<= 8;
+            range <<= 8;
+        }
+        model.update(sym);
+        out.push(sym);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::tiles;
+
+    fn ramp_pixels(tile: Tile) -> Vec<Rgb> {
+        (0..tile.pixel_count())
+            .map(|i| {
+                let t = i as f64 / tile.pixel_count().max(1) as f64;
+                Rgb::new(t, 1.0 - t, 0.25 + t * 0.5)
+            })
+            .collect()
+    }
+
+    fn sample_tiles(width: usize, height: usize) -> Vec<(Tile, Vec<Rgb>)> {
+        tiles(width, height, 8)
+            .into_iter()
+            .step_by(2)
+            .map(|t| (t, ramp_pixels(t)))
+            .collect()
+    }
+
+    #[test]
+    fn entropy_coder_round_trips() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![255; 10_000],
+            (0..=255u8).cycle().take(5_000).collect(),
+            (0..20_000u32)
+                .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+                .collect(),
+            b"aaaaabbbbbcccccaaaaa".to_vec(),
+        ];
+        for raw in cases {
+            let coded = entropy_encode(&raw);
+            let back = entropy_decode(&coded, raw.len()).unwrap();
+            assert_eq!(back, raw, "roundtrip failed for {} bytes", raw.len());
+            assert_eq!(
+                coded,
+                entropy_encode(&raw),
+                "encoding must be deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_coder_compresses_skewed_input() {
+        let raw = vec![7u8; 100_000];
+        let coded = entropy_encode(&raw);
+        assert!(
+            coded.len() < raw.len() / 20,
+            "constant input barely compressed: {} bytes",
+            coded.len()
+        );
+    }
+
+    #[test]
+    fn lossless_delta_round_trips_bit_identically() {
+        let tiles = sample_tiles(40, 24);
+        let body = encode_delta(9, 40, 24, &tiles, WireMode::Lossless);
+        let WireFrame::Delta(delta) = decode_frame(&body).unwrap() else {
+            panic!("wrong frame kind");
+        };
+        assert_eq!(delta.epoch, 9);
+        assert_eq!((delta.width, delta.height), (40, 24));
+        assert_eq!(delta.mode, WireMode::Lossless);
+        assert_eq!(delta.tiles.len(), tiles.len());
+        for ((ta, ba), (tb, bb)) in delta.tiles.iter().zip(&tiles) {
+            assert_eq!(ta, tb);
+            assert_eq!(ba, bb, "lossless pixels must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn quantized_delta_error_is_bounded_and_deterministic() {
+        let tiles = sample_tiles(40, 24);
+        let body = encode_delta(3, 40, 24, &tiles, WireMode::Quantized);
+        assert_eq!(
+            body,
+            encode_delta(3, 40, 24, &tiles, WireMode::Quantized),
+            "quantized encoding must be deterministic"
+        );
+        let WireFrame::Delta(delta) = decode_frame(&body).unwrap() else {
+            panic!("wrong frame kind");
+        };
+        for ((_, orig), (_, back)) in tiles.iter().zip(&delta.tiles) {
+            let bounds = channel_bounds(orig);
+            for (o, b) in orig.iter().zip(back) {
+                for ((oc, bc), (lo, hi)) in
+                    [(o.r, b.r), (o.g, b.g), (o.b, b.b)].into_iter().zip(bounds)
+                {
+                    let tol = quantization_error_bound(lo, hi) * (1.0 + 1e-9);
+                    assert!(
+                        (oc - bc).abs() <= tol,
+                        "channel error {} over bound {}",
+                        (oc - bc).abs(),
+                        tol
+                    );
+                }
+            }
+        }
+        // Decoding the decoded pixels' re-encode is a fixed point: the
+        // quantized values themselves roundtrip exactly.
+        let again = encode_delta(3, 40, 24, &delta.tiles, WireMode::Quantized);
+        let WireFrame::Delta(twice) = decode_frame(&again).unwrap() else {
+            panic!("wrong frame kind");
+        };
+        for ((_, a), (_, b)) in delta.tiles.iter().zip(&twice.tiles) {
+            assert_eq!(a, b, "quantized values must be a roundtrip fixed point");
+        }
+    }
+
+    #[test]
+    fn empty_delta_round_trips() {
+        for mode in [WireMode::Lossless, WireMode::Quantized] {
+            let body = encode_delta(5, 16, 16, &[], mode);
+            let WireFrame::Delta(delta) = decode_frame(&body).unwrap() else {
+                panic!("wrong frame kind");
+            };
+            assert_eq!(delta.epoch, 5);
+            assert!(delta.tiles.is_empty());
+        }
+    }
+
+    #[test]
+    fn subscribe_round_trips() {
+        let req = SubscribeFrame {
+            scene: 42,
+            mode: WireMode::Quantized,
+            camera: Camera {
+                eye: Vec3::new(1.0, 2.5, -4.0),
+                target: Vec3::new(0.0, 0.5, 0.0),
+                up: Vec3::Y,
+                vfov_deg: 50.0,
+                width: 96,
+                height: 72,
+            },
+        };
+        let body = encode_subscribe(&req);
+        let WireFrame::Subscribe(back) = decode_frame(&body).unwrap() else {
+            panic!("wrong frame kind");
+        };
+        assert_eq!(back.scene, 42);
+        assert_eq!(back.mode, WireMode::Quantized);
+        assert_eq!(back.camera.eye, req.camera.eye);
+        assert_eq!(back.camera.target, req.camera.target);
+        assert_eq!(back.camera.up, req.camera.up);
+        assert_eq!(back.camera.vfov_deg, req.camera.vfov_deg);
+        assert_eq!(
+            (back.camera.width, back.camera.height),
+            (req.camera.width, req.camera.height)
+        );
+    }
+
+    #[test]
+    fn error_frame_round_trips() {
+        let body = encode_error("scene 7 not registered");
+        let WireFrame::Error(msg) = decode_frame(&body).unwrap() else {
+            panic!("wrong frame kind");
+        };
+        assert_eq!(msg, "scene 7 not registered");
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let tiles = sample_tiles(16, 16);
+        let good = encode_delta(1, 16, 16, &tiles, WireMode::Lossless);
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_frame(&bad).is_err());
+        // Bad version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(decode_frame(&bad).is_err());
+        // Unknown kind.
+        let mut bad = good.clone();
+        bad[9] = 77;
+        assert!(decode_frame(&bad).is_err());
+        // Truncation.
+        assert!(decode_frame(&good[..good.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(decode_frame(&bad).is_err());
+        // Tile outside the claimed frame: shrink the declared width.
+        let mut bad = good.clone();
+        bad[19..23].copy_from_slice(&4u32.to_le_bytes());
+        assert!(decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn framing_round_trips_and_rejects_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf.as_slice());
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert!(
+            read_frame(&mut cur).is_err(),
+            "EOF must surface as an error"
+        );
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert!(read_frame(&mut Cursor::new(huge.as_slice())).is_err());
+    }
+}

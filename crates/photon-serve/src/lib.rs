@@ -17,6 +17,7 @@
 //! | [`cache`] | LRU of rendered views keyed by (scene, epoch, quantized camera) — a publish invalidates *and purges* stale images |
 //! | [`service`] | submission queue → batching dispatcher → cache/coalesce/render |
 //! | [`stream`] | epoch subscriptions: publishes push [`FrameDelta`]s (changed tiles only) to subscribers, reassembling bit-identical frames |
+//! | [`netstream`] | off-box transport: a TCP server fanning each scene's epochs out as `PHOTSTRM1` frames (lossless or quantized), with slow consumers coalesced server-side |
 //! | [`metrics`] | p50/p99 latency, queries/sec, speed traces, streaming-tier counters, and solve-tier scheduler state (per-job photons/sec, queue depth, per-tenant slices) |
 //! | [`obs`] | exporters over the shared observability hub: Prometheus text exposition, versioned JSON dump (metrics + stage histograms + flight-recorder tail), and a scrapeable TCP endpoint |
 //!
@@ -74,6 +75,7 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod netstream;
 pub mod obs;
 pub mod render;
 pub mod service;
@@ -86,7 +88,9 @@ pub use metrics::{
     LatencySummary, MetricsSnapshot, RequestOutcome, SolveJobMetrics, SolverMetricsSnapshot,
     SolverStatsSource, StreamMetricsSnapshot, TenantMetrics,
 };
+pub use netstream::{StreamClient, StreamServer};
 pub use obs::{ObsExporter, ObsServer};
+pub use photon_core::wire::WireMode;
 pub use render::render_parallel;
 pub use service::{RenderRequest, RenderResponse, RenderService, ServeConfig, ServeError, Ticket};
 pub use solver::{

@@ -200,6 +200,16 @@ pub struct StreamMetricsSnapshot {
     pub tile_bytes: u64,
     /// Pixel payload bytes a whole-frame-per-epoch protocol would ship.
     pub full_frame_bytes: u64,
+    /// Epoch deltas coalesced into a squashed delivery instead of being
+    /// delivered individually — the slow-consumer policy at work.
+    pub deltas_squashed: u64,
+    /// Times a subscriber crossed its send window into the lagging state
+    /// (each lag episode counts once, however many deltas it squashes).
+    pub lag_events: u64,
+    /// `PHOTSTRM1` frames sent over TCP by the stream server.
+    pub wire_deltas: u64,
+    /// Encoded bytes those frames put on the wire (length prefix included).
+    pub wire_bytes: u64,
 }
 
 impl StreamMetricsSnapshot {
@@ -296,6 +306,25 @@ impl ServiceMetrics {
         inner.stream.tiles += tiles;
         inner.stream.tile_bytes += tile_bytes;
         inner.stream.full_frame_bytes += full_frame_bytes;
+    }
+
+    /// Records one epoch delta coalesced into a lagging subscriber's
+    /// pending squash instead of being delivered. `lag_transition` is true
+    /// when this fold *started* a lag episode (the subscriber just crossed
+    /// its send window).
+    pub fn record_squash(&self, lag_transition: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stream.deltas_squashed += 1;
+        if lag_transition {
+            inner.stream.lag_events += 1;
+        }
+    }
+
+    /// Records one `PHOTSTRM1` frame sent over TCP and its on-wire size.
+    pub fn record_wire(&self, bytes: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stream.wire_deltas += 1;
+        inner.stream.wire_bytes += bytes;
     }
 
     /// Records one answered request and how it was satisfied. The latency
@@ -426,6 +455,19 @@ mod tests {
             (600, 4800)
         );
         assert_eq!(s.stream.bytes_saved(), 4200);
+    }
+
+    #[test]
+    fn squash_and_wire_counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record_squash(true);
+        m.record_squash(false);
+        m.record_squash(false);
+        m.record_wire(100);
+        m.record_wire(44);
+        let s = m.snapshot().stream;
+        assert_eq!((s.deltas_squashed, s.lag_events), (3, 1));
+        assert_eq!((s.wire_deltas, s.wire_bytes), (2, 144));
     }
 
     #[test]

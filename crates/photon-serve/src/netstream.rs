@@ -1,0 +1,259 @@
+//! Off-box streaming: the `PHOTSTRM1` TCP transport.
+//!
+//! [`crate::stream`] delivers [`FrameDelta`]s in-process over channels;
+//! this module puts the same subscription on a socket. A
+//! [`StreamServer`] listens beside the render service, reads one
+//! subscribe frame per connection, registers the subscription through
+//! [`RenderService::subscribe`] — the exact path in-process clients use,
+//! slow-consumer coalescing included — and writes each delta back as a
+//! length-prefixed [`photon_core::wire`] frame. A [`StreamClient`]
+//! connects, subscribes, and decodes deltas; in lossless mode (the
+//! default) applying them reassembles every epoch bit-identical to a
+//! server-side [`crate::render_parallel`] of that epoch.
+//!
+//! ```text
+//! StreamClient ──subscribe(scene, camera, mode)──▶ StreamServer
+//!              ◀── PHOTSTRM1 delta frames ──────── (one writer/conn,
+//!                                                   fed by StreamHandle)
+//! ```
+//!
+//! The slow-consumer story composes across the boundary: a client that
+//! stops reading backs TCP up, the per-connection writer blocks in
+//! `write_all`, the subscription's channel fills to its
+//! [`crate::ServeConfig::stream_window`], and the dispatcher folds
+//! further epochs into one pending squashed delta — server-side memory
+//! for the stalled client stays bounded while other connections stream
+//! on unaffected.
+
+use crate::service::{RenderService, ServeError};
+use crate::store::SceneId;
+use crate::stream::{FrameDelta, StreamRequest};
+use photon_core::wire::{self, SubscribeFrame, WireFrame, WireMode};
+use photon_core::Camera;
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection writer waits on its subscription channel before
+/// re-checking the server's stop flag — bounds shutdown latency, not
+/// delivery latency (deltas are handed over the moment they arrive).
+const STOP_POLL: Duration = Duration::from_millis(100);
+
+/// A connection's writer thread paired with a raw-fd clone of its
+/// socket, kept so [`StreamServer`]'s `Drop` can `shutdown()` the socket
+/// out from under a writer blocked on a stalled client before joining.
+type ConnRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// A TCP fan-out endpoint for [`FrameDelta`] subscriptions.
+///
+/// Binds loopback on an OS-assigned port (read it back from
+/// [`local_addr`](Self::local_addr)); each accepted connection reads one
+/// subscribe frame and then receives that subscription's delta stream
+/// until either side disconnects. Dropping the server shuts every
+/// connection down — including writers mid-`write_all` to stalled
+/// clients — and joins all threads.
+pub struct StreamServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
+}
+
+impl StreamServer {
+    /// Binds `127.0.0.1:0` and starts accepting subscribers for
+    /// `service`'s store.
+    pub fn serve(service: Arc<RenderService>) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("photon-stream-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let Ok(sock) = conn else { continue };
+                        // The raw-fd clone lets Drop shutdown() the socket
+                        // out from under a writer blocked on a stalled
+                        // client; without it, joining could hang forever.
+                        let Ok(peer) = sock.try_clone() else { continue };
+                        let service = Arc::clone(&service);
+                        let conn_stop = Arc::clone(&stop);
+                        let spawned = std::thread::Builder::new()
+                            .name("photon-stream-conn".into())
+                            .spawn(move || {
+                                let _ = serve_connection(sock, &service, &conn_stop);
+                            });
+                        if let Ok(handle) = spawned {
+                            conns.lock().unwrap().push((handle, peer));
+                        }
+                    }
+                })?
+        };
+        Ok(StreamServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for StreamServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for (thread, sock) in conns {
+            let _ = sock.shutdown(Shutdown::Both);
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Serves one connection: subscribe handshake, then the delta pump.
+fn serve_connection(
+    sock: TcpStream,
+    service: &Arc<RenderService>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    sock.set_nodelay(true)?;
+    let mut reader = sock.try_clone()?;
+    let mut writer = BufWriter::new(sock);
+    let frame = wire::read_frame(&mut reader)?;
+    let WireFrame::Subscribe(sub) = wire::decode_frame(&frame)? else {
+        let refusal = wire::encode_error("expected a subscribe frame");
+        wire::write_frame(&mut writer, &refusal)?;
+        return writer.flush();
+    };
+    let request = StreamRequest {
+        scene_id: SceneId(sub.scene),
+        camera: sub.camera,
+    };
+    let handle = match service.subscribe(request) {
+        Ok(handle) => handle,
+        Err(e) => {
+            let refusal = wire::encode_error(&e.to_string());
+            wire::write_frame(&mut writer, &refusal)?;
+            return writer.flush();
+        }
+    };
+    let metrics = service.metrics_handle();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match handle.recv_timeout(STOP_POLL) {
+            Ok(delta) => {
+                let body = delta.encode(sub.mode);
+                // Record before the write — once the frame is flushed the
+                // client can observe it and read metrics, so recording
+                // afterwards races exact-count readers (the cost is one
+                // phantom frame when the write fails and the connection
+                // dies anyway). A write error (client gone, server
+                // shutdown) drops the handle on return, which
+                // unsubscribes dispatcher-side.
+                metrics.record_wire(body.len() as u64 + 4);
+                wire::write_frame(&mut writer, &body)?;
+                writer.flush()?;
+            }
+            Err(ServeError::TimedOut) => {}
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+/// The client end of an off-box subscription.
+///
+/// Connects, sends the subscribe frame, and then yields decoded
+/// [`FrameDelta`]s from [`recv_delta`](Self::recv_delta). Apply each
+/// delta in order (see [`FrameDelta::apply`]) to reassemble the stream —
+/// bit-identical to the server's renders in [`WireMode::Lossless`],
+/// within the quantization error bound in [`WireMode::Quantized`].
+pub struct StreamClient {
+    sock: TcpStream,
+    mode: WireMode,
+    wire_bytes: u64,
+}
+
+impl StreamClient {
+    /// Connects to a [`StreamServer`] and subscribes `camera` to
+    /// `scene_id`'s epoch stream, with delta payloads in `mode`.
+    pub fn connect(
+        addr: SocketAddr,
+        scene_id: SceneId,
+        camera: Camera,
+        mode: WireMode,
+    ) -> io::Result<Self> {
+        let mut sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true)?;
+        let subscribe = wire::encode_subscribe(&SubscribeFrame {
+            scene: scene_id.0,
+            mode,
+            camera,
+        });
+        wire::write_frame(&mut sock, &subscribe)?;
+        Ok(StreamClient {
+            sock,
+            mode,
+            wire_bytes: 0,
+        })
+    }
+
+    /// Blocks for the next delta frame. An `UnexpectedEof` error means
+    /// the server closed the stream; a server refusal surfaces as
+    /// [`io::ErrorKind::Other`] carrying the refusal message.
+    pub fn recv_delta(&mut self) -> io::Result<FrameDelta> {
+        let frame = wire::read_frame(&mut self.sock)?;
+        self.wire_bytes += frame.len() as u64 + 4;
+        match wire::decode_frame(&frame)? {
+            WireFrame::Delta(d) => Ok(FrameDelta {
+                epoch: d.epoch,
+                width: d.width,
+                height: d.height,
+                tiles: d.tiles,
+            }),
+            WireFrame::Error(msg) => Err(io::Error::other(format!("server refused: {msg}"))),
+            WireFrame::Subscribe(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected subscribe frame from server",
+            )),
+        }
+    }
+
+    /// The payload mode this subscription asked for.
+    pub fn mode(&self) -> WireMode {
+        self.mode
+    }
+
+    /// Applies a read timeout to the underlying socket (`None` blocks
+    /// forever) — lets tests and cautious clients bound
+    /// [`recv_delta`](Self::recv_delta).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.sock.set_read_timeout(timeout)
+    }
+
+    /// Total bytes received off the wire (length prefixes included) —
+    /// what the bench compares against full-frame and in-process delta
+    /// costs.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+}

@@ -136,6 +136,30 @@ impl ObsExporter {
             "Bytes saved vs a frame-per-epoch protocol.",
             snap.stream.bytes_saved(),
         );
+        counter(
+            &mut out,
+            "photon_stream_deltas_squashed_total",
+            "Deltas coalesced into a slow consumer's pending delta.",
+            snap.stream.deltas_squashed,
+        );
+        counter(
+            &mut out,
+            "photon_stream_lag_events_total",
+            "Times a subscriber entered the lagged (coalescing) state.",
+            snap.stream.lag_events,
+        );
+        counter(
+            &mut out,
+            "photon_stream_wire_deltas_total",
+            "PHOTSTRM1 delta frames written to sockets.",
+            snap.stream.wire_deltas,
+        );
+        counter(
+            &mut out,
+            "photon_stream_wire_bytes_total",
+            "PHOTSTRM1 bytes written to sockets (length prefixes included).",
+            snap.stream.wire_bytes,
+        );
 
         gauge(
             &mut out,
@@ -292,13 +316,17 @@ impl ObsExporter {
             histogram_json(&snap.latency_hist),
         ));
         out.push_str(&format!(
-            "\"stream\":{{\"subscribers\":{},\"deltas\":{},\"tiles\":{},\"tile_bytes\":{},\"full_frame_bytes\":{},\"bytes_saved\":{}}},",
+            "\"stream\":{{\"subscribers\":{},\"deltas\":{},\"tiles\":{},\"tile_bytes\":{},\"full_frame_bytes\":{},\"bytes_saved\":{},\"deltas_squashed\":{},\"lag_events\":{},\"wire_deltas\":{},\"wire_bytes\":{}}},",
             snap.stream.subscribers,
             snap.stream.deltas,
             snap.stream.tiles,
             snap.stream.tile_bytes,
             snap.stream.full_frame_bytes,
             snap.stream.bytes_saved(),
+            snap.stream.deltas_squashed,
+            snap.stream.lag_events,
+            snap.stream.wire_deltas,
+            snap.stream.wire_bytes,
         ));
         out.push_str("\"stages\":{");
         let mut first = true;

@@ -30,7 +30,7 @@ use photon_math::Rgb;
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -162,6 +162,25 @@ pub struct ServeConfig {
     /// Camera quantization: lattice cells per world unit (larger = finer =
     /// fewer cache collisions).
     pub quant_grid: f64,
+    /// Slow-consumer bound: most undelivered deltas a subscriber's channel
+    /// may hold before the dispatcher stops enqueueing and starts folding
+    /// newer deltas into one pending squashed delta (see
+    /// [`FrameDelta::squash`]). Retained memory per stalled subscriber is
+    /// thereby bounded by `stream_window + 1` deltas, however many epochs
+    /// it sleeps through. Clamped to at least 1.
+    pub stream_window: usize,
+    /// When `true`, an epoch republishing bit-identical pixels still sends
+    /// an empty [`FrameDelta`] (zero tiles) announcing the epoch advance —
+    /// a keepalive. Default `false`: empty republish deltas are
+    /// suppressed (the bootstrap delta is always delivered regardless).
+    pub stream_keepalive: bool,
+    /// Dispatcher housekeeping period in milliseconds: how long the
+    /// dispatcher sleeps on an idle queue before waking to sweep dropped
+    /// stream handles and flush pending squashed deltas to subscribers
+    /// that have drained below their window. Bounds how long an abandoned
+    /// handle on a fully idle service can pin its retained frame.
+    /// Clamped to `1..=60_000`.
+    pub housekeep_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -174,6 +193,9 @@ impl Default for ServeConfig {
             max_batch: 64,
             cache_capacity: 256,
             quant_grid: 256.0,
+            stream_window: 8,
+            stream_keepalive: false,
+            housekeep_ms: 200,
         }
     }
 }
@@ -192,6 +214,8 @@ impl ServeConfig {
         if !self.quant_grid.is_finite() || self.quant_grid <= 0.0 {
             self.quant_grid = 256.0;
         }
+        self.stream_window = self.stream_window.max(1);
+        self.housekeep_ms = self.housekeep_ms.clamp(1, 60_000);
         self
     }
 }
@@ -217,9 +241,15 @@ struct NewSubscription {
     request: StreamRequest,
     tx: Sender<FrameDelta>,
     /// Cleared by [`StreamHandle`]'s `Drop`; the dispatcher sweeps dead
-    /// subscriptions on every drain, so an abandoned handle never pins
-    /// its retained last frame past the next dispatcher activity.
+    /// subscriptions on every drain *and* on every housekeeping tick, so
+    /// an abandoned handle never pins its retained last frame longer than
+    /// [`ServeConfig::housekeep_ms`], even on a fully idle service.
     alive: Arc<AtomicBool>,
+    /// Undelivered deltas sitting in the channel; incremented on send,
+    /// decremented by the handle on receipt. At
+    /// [`ServeConfig::stream_window`] the dispatcher coalesces instead of
+    /// enqueueing.
+    inflight: Arc<AtomicU64>,
 }
 
 /// Degenerate cameras can never produce an image (`Image` rejects
@@ -322,18 +352,21 @@ impl RenderService {
         }
         let (tx, rx) = mpsc::channel();
         let alive = Arc::new(AtomicBool::new(true));
+        let inflight = Arc::new(AtomicU64::new(0));
         let sender = self.tx.as_ref().ok_or(ServeError::ServiceStopped)?;
         sender
             .send(Msg::Subscribe(NewSubscription {
                 request,
                 tx,
                 alive: Arc::clone(&alive),
+                inflight: Arc::clone(&inflight),
             }))
             .map_err(|_| ServeError::ServiceStopped)?;
         Ok(StreamHandle::new(
             request,
             rx,
             alive,
+            inflight,
             Some(self.store.obs()),
         ))
     }
@@ -431,8 +464,15 @@ struct Subscriber {
     /// fresh client's [`FrameDelta::canvas`] starts from).
     last_frame: Option<Arc<Image>>,
     tx: Sender<FrameDelta>,
-    /// Cleared when the client drops its handle; swept every drain.
+    /// Cleared when the client drops its handle; swept every drain and
+    /// every housekeeping tick.
     alive: Arc<AtomicBool>,
+    /// Undelivered deltas in the channel, shared with the handle.
+    inflight: Arc<AtomicU64>,
+    /// Deltas coalesced while the consumer was at its window; flushed the
+    /// moment it drains below [`ServeConfig::stream_window`]. At most one
+    /// squashed delta, whatever the backlog — the slow-consumer bound.
+    pending: Option<FrameDelta>,
 }
 
 /// The pixels of one frame delta, pre-extraction: what `diff_tiles`
@@ -479,42 +519,79 @@ impl Dispatcher {
     }
 
     fn run(&mut self, rx: Receiver<Msg>) {
+        let housekeep = Duration::from_millis(self.config.housekeep_ms);
         loop {
-            // Block for the first message, then opportunistically drain
-            // the queue: render jobs batch (up to max_batch), control and
-            // epoch messages ride along for free.
-            let Ok(first) = rx.recv() else { return };
-            let mut inbox = Inbox::default();
-            inbox.triage(first);
-            while inbox.jobs.len() < self.config.max_batch {
-                match rx.try_recv() {
-                    Ok(msg) => inbox.triage(msg),
-                    Err(_) => break,
-                }
-            }
-            let Inbox {
-                jobs,
-                advanced,
-                pending_subs,
-            } = inbox;
+            // Wait for the first message — but only up to the housekeeping
+            // period, so a fully idle service still sweeps dropped handles
+            // and flushes pending squashed deltas within a bounded
+            // interval (an abandoned handle used to pin its retained frame
+            // until the *next* unrelated activity woke this loop). On a
+            // message, opportunistically drain the queue: render jobs
+            // batch (up to max_batch), control and epoch messages ride
+            // along for free.
+            match rx.recv_timeout(housekeep) {
+                Ok(first) => {
+                    let mut inbox = Inbox::default();
+                    inbox.triage(first);
+                    while inbox.jobs.len() < self.config.max_batch {
+                        match rx.try_recv() {
+                            Ok(msg) => inbox.triage(msg),
+                            Err(_) => break,
+                        }
+                    }
+                    let Inbox {
+                        jobs,
+                        advanced,
+                        pending_subs,
+                    } = inbox;
 
-            if !jobs.is_empty() {
-                self.dispatch_jobs(jobs);
+                    if !jobs.is_empty() {
+                        self.dispatch_jobs(jobs);
+                    }
+                    for sub in pending_subs {
+                        self.add_subscriber(sub);
+                    }
+                    for scene_id in advanced {
+                        self.push_deltas(scene_id);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
-            for sub in pending_subs {
-                self.add_subscriber(sub);
+            self.housekeep();
+        }
+    }
+
+    /// The per-iteration sweep, run after every drain *and* on idle
+    /// ticks: flush pending squashed deltas to subscribers that drained
+    /// below their window, drop subscriptions whose handles are gone, and
+    /// refresh the gauges.
+    fn housekeep(&mut self) {
+        self.flush_pending();
+        self.subscribers
+            .retain(|_, s| s.alive.load(Ordering::Acquire));
+        self.metrics.record_epoch_map(self.seen_epoch.len() as u64);
+        self.metrics
+            .record_subscribers(self.subscribers.len() as u64);
+    }
+
+    /// Delivers each subscriber's pending squashed delta once its channel
+    /// has drained below the window — the second half of the
+    /// slow-consumer policy (the first half, folding, happens in
+    /// [`send_delta`][Self::send_delta]).
+    fn flush_pending(&mut self) {
+        let window = self.config.stream_window as u64;
+        for subscriber in self.subscribers.values_mut() {
+            if subscriber.pending.is_none()
+                || !subscriber.alive.load(Ordering::Acquire)
+                || subscriber.inflight.load(Ordering::Acquire) >= window
+            {
+                continue;
             }
-            for scene_id in advanced {
-                self.push_deltas(scene_id);
+            let delta = subscriber.pending.take().expect("checked above");
+            if !deliver(subscriber, delta, &self.metrics, &self.obs) {
+                subscriber.alive.store(false, Ordering::Release);
             }
-            // Sweep dropped handles on every drain — not just when their
-            // scene republishes — so an abandoned subscription to a quiet
-            // scene cannot pin its retained frame for the service's life.
-            self.subscribers
-                .retain(|_, s| s.alive.load(Ordering::Acquire));
-            self.metrics.record_epoch_map(self.seen_epoch.len() as u64);
-            self.metrics
-                .record_subscribers(self.subscribers.len() as u64);
         }
     }
 
@@ -713,7 +790,12 @@ impl Dispatcher {
     /// tiles never ship. A panicking render drops the subscription (the
     /// handle sees `ServiceStopped`) instead of the dispatcher.
     fn add_subscriber(&mut self, sub: NewSubscription) {
-        let NewSubscription { request, tx, alive } = sub;
+        let NewSubscription {
+            request,
+            tx,
+            alive,
+            inflight,
+        } = sub;
         let Some(entry) = self.store.get(request.scene_id) else {
             // Subscribe validated existence; the store never forgets ids.
             return;
@@ -727,6 +809,8 @@ impl Dispatcher {
             last_frame: None,
             tx,
             alive,
+            inflight,
+            pending: None,
         };
         let rendered = catch_unwind(AssertUnwindSafe(|| {
             self.resolve_view(&entry, request.scene_id, &request.camera)
@@ -735,6 +819,14 @@ impl Dispatcher {
         let tiles = self.diff_frames(None, &image);
         if self.send_delta(&mut subscriber, entry.epoch, image, tiles) {
             self.subscribers.insert(id, subscriber);
+            self.obs.emit(
+                ObsKind::SubscriberConnected,
+                ObsCtx {
+                    scene: Some(request.scene_id.0),
+                    payload: self.subscribers.len() as u64,
+                    ..Default::default()
+                },
+            );
         }
         self.note_epoch(request.scene_id, entry.epoch);
     }
@@ -802,9 +894,22 @@ impl Dispatcher {
         })
     }
 
-    /// Sends `tiles` (the diff advancing the subscriber to `next`) and
-    /// moves the subscriber's cursor. Returns false when the handle is
-    /// gone and the subscription should be dropped.
+    /// Moves the subscriber's cursor to `next` and routes the diff
+    /// according to the streaming policy:
+    ///
+    /// - an empty diff on a republish is suppressed (unless
+    ///   [`ServeConfig::stream_keepalive`] asks for it, or a pending
+    ///   squashed delta is waiting to carry the epoch forward anyway);
+    ///   the bootstrap delta always goes out — the client needs the
+    ///   frame's dimensions and epoch;
+    /// - a consumer at its [`ServeConfig::stream_window`] gets the delta
+    ///   folded into its single pending squashed delta instead of another
+    ///   channel entry, so a stalled subscriber's retained memory stays
+    ///   bounded;
+    /// - otherwise the delta (merged with any pending one) is delivered.
+    ///
+    /// Returns false when the handle is gone and the subscription should
+    /// be dropped.
     fn send_delta(
         &self,
         subscriber: &mut Subscriber,
@@ -812,33 +917,88 @@ impl Dispatcher {
         next: Arc<Image>,
         tiles: TileDelta,
     ) -> bool {
+        let bootstrap = subscriber.last_frame.is_none();
         let delta = FrameDelta {
             epoch,
             width: next.width(),
             height: next.height(),
             tiles,
         };
-        let (ntiles, tile_bytes, full_bytes) = (
-            delta.tiles.len() as u64,
-            delta.tile_bytes() as u64,
-            delta.full_frame_bytes() as u64,
-        );
-        if subscriber.tx.send(delta).is_err() {
-            return false;
-        }
-        self.metrics.record_delta(ntiles, tile_bytes, full_bytes);
-        self.obs.emit(
-            ObsKind::DeltaPushed,
-            ObsCtx {
-                scene: Some(subscriber.scene_id.0),
-                payload: tile_bytes,
-                ..Default::default()
-            },
-        );
         subscriber.last_epoch = epoch;
         subscriber.last_frame = Some(next);
-        true
+        if delta.is_empty()
+            && !bootstrap
+            && !self.config.stream_keepalive
+            && subscriber.pending.is_none()
+        {
+            // A republish with bit-identical pixels: nothing to ship, and
+            // no epoch-bearing pending delta to refresh. Silently advance.
+            return true;
+        }
+        if !bootstrap
+            && subscriber.inflight.load(Ordering::Acquire) >= self.config.stream_window as u64
+        {
+            // Consumer at its window: fold rather than enqueue. Squash
+            // keeps the newest pixels per rectangle, so reassembly on the
+            // eventual flush is still bit-identical to the final epoch.
+            let lag_transition = subscriber.pending.is_none();
+            subscriber.pending = Some(match subscriber.pending.take() {
+                Some(pending) => FrameDelta::squash(&[pending, delta]),
+                None => delta,
+            });
+            self.metrics.record_squash(lag_transition);
+            if lag_transition {
+                self.obs.emit(
+                    ObsKind::SubscriberLagged,
+                    ObsCtx {
+                        scene: Some(subscriber.scene_id.0),
+                        payload: subscriber.inflight.load(Ordering::Acquire),
+                        ..Default::default()
+                    },
+                );
+            }
+            return true;
+        }
+        let to_send = match subscriber.pending.take() {
+            Some(pending) => FrameDelta::squash(&[pending, delta]),
+            None => delta,
+        };
+        deliver(subscriber, to_send, &self.metrics, &self.obs)
     }
+}
+
+/// Actually enqueues `delta` on the subscriber's channel, bumping the
+/// inflight count and the stream counters. A free function (not a
+/// `Dispatcher` method) so [`flush_pending`][Dispatcher::flush_pending]
+/// can call it while iterating `self.subscribers` mutably.
+fn deliver(
+    subscriber: &mut Subscriber,
+    delta: FrameDelta,
+    metrics: &ServiceMetrics,
+    obs: &ObsHub,
+) -> bool {
+    let (ntiles, tile_bytes, full_bytes) = (
+        delta.tiles.len() as u64,
+        delta.tile_bytes() as u64,
+        delta.full_frame_bytes() as u64,
+    );
+    // Count before the send, like `respond` does for requests: the moment
+    // the delta hits the channel the receiver can observe it (and read
+    // metrics, or decrement `inflight`), so recording afterwards races
+    // every exact-count reader. The cost is one phantom count when the
+    // send loses to a concurrently dropped handle — and that subscriber
+    // is removed on return anyway.
+    subscriber.inflight.fetch_add(1, Ordering::AcqRel);
+    metrics.record_delta(ntiles, tile_bytes, full_bytes);
+    obs.emit(
+        ObsKind::DeltaPushed,
+        ObsCtx {
+            scene: Some(subscriber.scene_id.0),
+            payload: tile_bytes,
+            ..Default::default()
+        },
+    );
+    subscriber.tx.send(delta).is_ok()
 }
 
 fn respond(

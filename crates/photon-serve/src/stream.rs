@@ -29,10 +29,12 @@
 use crate::service::ServeError;
 use crate::store::SceneId;
 use photon_core::obs::{ObsCtx, ObsKind};
-use photon_core::view::{blit_tile, Tile};
+use photon_core::view::{blit_tile, squash_tile_runs, Tile};
+use photon_core::wire::{self, WireMode};
 use photon_core::{Camera, Image, ObsHub};
 use photon_math::Rgb;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -51,8 +53,10 @@ pub struct StreamRequest {
 ///
 /// The very first delta of a subscription is diffed against a black canvas
 /// (what [`FrameDelta::canvas`] returns), so all-black background tiles
-/// are never shipped at all. A delta may carry zero tiles — an epoch can
-/// republish an identical answer — and still announces the epoch advance.
+/// are never shipped at all. A delta may carry zero tiles — the bootstrap
+/// of an all-black view, or (with `ServeConfig::stream_keepalive` on) an
+/// epoch republishing identical pixels — and still announces the epoch
+/// advance; by default such empty republish deltas are suppressed.
 #[derive(Clone, Debug)]
 pub struct FrameDelta {
     /// The publication epoch this delta brings the subscriber up to.
@@ -110,6 +114,58 @@ impl FrameDelta {
     pub fn is_empty(&self) -> bool {
         self.tiles.is_empty()
     }
+
+    /// Squashes a contiguous run of deltas (oldest first) into one delta
+    /// whose application is bit-identical to applying each in order — the
+    /// slow-consumer coalescing primitive. A tile touched by several
+    /// epochs keeps only its newest pixels
+    /// ([`photon_core::squash_tile_runs`]), so the squash is bounded by
+    /// the distinct tiles touched, not by how many epochs it covers.
+    ///
+    /// # Panics
+    /// Panics on an empty run or mismatched frame dimensions.
+    pub fn squash(run: &[FrameDelta]) -> FrameDelta {
+        let last = run.last().expect("squash of an empty run");
+        assert!(
+            run.iter()
+                .all(|d| (d.width, d.height) == (last.width, last.height)),
+            "squash over mismatched frame dimensions"
+        );
+        FrameDelta {
+            epoch: last.epoch,
+            width: last.width,
+            height: last.height,
+            tiles: squash_tile_runs(run.iter().map(|d| d.tiles.clone())),
+        }
+    }
+
+    /// Encodes this delta as a `PHOTSTRM1` frame body
+    /// ([`photon_core::wire::encode_delta`]). Lossless mode decodes
+    /// bit-identically; quantized mode is smaller but lossy (bounded,
+    /// deterministic error).
+    pub fn encode(&self, mode: WireMode) -> Vec<u8> {
+        wire::encode_delta(self.epoch, self.width, self.height, &self.tiles, mode)
+    }
+
+    /// Decodes a `PHOTSTRM1` delta frame body back into a delta (pixels
+    /// dequantized in lossy mode) plus the mode it was encoded with.
+    pub fn decode(bytes: &[u8]) -> io::Result<(FrameDelta, WireMode)> {
+        match wire::decode_frame(bytes)? {
+            wire::WireFrame::Delta(d) => Ok((
+                FrameDelta {
+                    epoch: d.epoch,
+                    width: d.width,
+                    height: d.height,
+                    tiles: d.tiles,
+                },
+                d.mode,
+            )),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected a delta frame",
+            )),
+        }
+    }
 }
 
 /// The client end of a subscription: a stream of [`FrameDelta`]s.
@@ -122,6 +178,11 @@ pub struct StreamHandle {
     camera: Camera,
     rx: Receiver<FrameDelta>,
     alive: Arc<AtomicBool>,
+    /// Deltas sent but not yet received on this handle — the consumer's
+    /// half of the send window: the dispatcher increments on send, every
+    /// successful receive decrements, and while the count sits at the
+    /// window the dispatcher squashes instead of queueing.
+    inflight: Arc<AtomicU64>,
     /// The service's observability hub: dropping the handle is the one
     /// place a subscription's end is certain (the dispatcher only notices
     /// later, on its next sweep), so the `SubscriberDropped` event is
@@ -149,6 +210,7 @@ impl StreamHandle {
         request: StreamRequest,
         rx: Receiver<FrameDelta>,
         alive: Arc<AtomicBool>,
+        inflight: Arc<AtomicU64>,
         obs: Option<Arc<ObsHub>>,
     ) -> Self {
         StreamHandle {
@@ -156,6 +218,7 @@ impl StreamHandle {
             camera: request.camera,
             rx,
             alive,
+            inflight,
             obs,
         }
     }
@@ -174,22 +237,29 @@ impl StreamHandle {
     /// the service shut down (or dropped the subscription); no further
     /// deltas will arrive.
     pub fn recv(&self) -> Result<FrameDelta, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ServiceStopped)
+        let delta = self.rx.recv().map_err(|_| ServeError::ServiceStopped)?;
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        Ok(delta)
     }
 
     /// Waits at most `timeout` for the next delta. On
     /// [`ServeError::TimedOut`] the subscription stays live; a later call
     /// can still receive.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<FrameDelta, ServeError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
+        let delta = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => ServeError::TimedOut,
             RecvTimeoutError::Disconnected => ServeError::ServiceStopped,
-        })
+        })?;
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        Ok(delta)
     }
 
     /// Collects the already-delivered deltas without blocking.
     pub fn drain(&self) -> Vec<FrameDelta> {
-        self.rx.try_iter().collect()
+        let deltas: Vec<FrameDelta> = self.rx.try_iter().collect();
+        self.inflight
+            .fetch_sub(deltas.len() as u64, Ordering::AcqRel);
+        deltas
     }
 }
 
@@ -218,6 +288,51 @@ mod tests {
         delta.apply(&mut img);
         assert_eq!(img.get(2, 2), Rgb::WHITE);
         assert_eq!(img.get(6, 6), Rgb::BLACK);
+    }
+
+    #[test]
+    fn squash_keeps_newest_tiles_and_last_epoch() {
+        let t = tile(0, 0, 2, 2);
+        let u = tile(2, 0, 4, 2);
+        let a = FrameDelta {
+            epoch: 1,
+            width: 4,
+            height: 2,
+            tiles: vec![(t, vec![Rgb::gray(0.2); 4])],
+        };
+        let b = FrameDelta {
+            epoch: 2,
+            width: 4,
+            height: 2,
+            tiles: vec![(t, vec![Rgb::gray(0.8); 4]), (u, vec![Rgb::WHITE; 4])],
+        };
+        let squashed = FrameDelta::squash(&[a.clone(), b.clone()]);
+        assert_eq!(squashed.epoch, 2);
+        assert_eq!(squashed.tiles.len(), 2, "tile t must collapse to newest");
+        let mut by_order = a.canvas();
+        a.apply(&mut by_order);
+        b.apply(&mut by_order);
+        let mut by_squash = squashed.canvas();
+        squashed.apply(&mut by_squash);
+        assert_eq!(by_squash.pixels(), by_order.pixels());
+    }
+
+    #[test]
+    fn wire_roundtrip_through_the_codec_wrappers() {
+        let t = tile(0, 0, 3, 3);
+        let delta = FrameDelta {
+            epoch: 7,
+            width: 6,
+            height: 6,
+            tiles: vec![(t, (0..9).map(|i| Rgb::gray(i as f64 / 9.0)).collect())],
+        };
+        let (back, mode) = FrameDelta::decode(&delta.encode(WireMode::Lossless)).unwrap();
+        assert_eq!(mode, WireMode::Lossless);
+        assert_eq!(back.epoch, 7);
+        assert_eq!(back.tiles, delta.tiles, "lossless must be bit-identical");
+        let (lossy, mode) = FrameDelta::decode(&delta.encode(WireMode::Quantized)).unwrap();
+        assert_eq!(mode, WireMode::Quantized);
+        assert_eq!(lossy.tiles.len(), 1);
     }
 
     #[test]

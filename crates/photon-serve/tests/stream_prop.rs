@@ -1,0 +1,134 @@
+//! Property tests for the streaming layer's two lossy-looking corners
+//! that must not be lossy in the wrong way: squashing a run of deltas
+//! (slow-consumer coalescing) must reassemble bit-identically to applying
+//! the run in order, over arbitrary tile layouts; and the quantized wire
+//! mode's error must be bounded by the advertised per-tile bound and be
+//! fully deterministic (same input → same bytes → same pixels).
+
+use photon_core::view::Tile;
+use photon_core::wire::{self, WireMode};
+use photon_math::Rgb;
+use photon_serve::FrameDelta;
+use proptest::prelude::*;
+
+/// Any non-degenerate rectangle inside a `w × h` frame — tiles from the
+/// real diff path are grid-aligned, but squash must not rely on that.
+fn arb_tile(w: usize, h: usize) -> impl Strategy<Value = Tile> {
+    (0..w, 0..h).prop_flat_map(move |(x0, y0)| {
+        ((x0 + 1)..(w + 1), (y0 + 1)..(h + 1)).prop_map(move |(x1, y1)| Tile { x0, y0, x1, y1 })
+    })
+}
+
+/// A tile plus a full pixel buffer ramped from a random base color, so
+/// overlapping tiles disagree and ordering mistakes change pixels.
+fn arb_tile_run(w: usize, h: usize) -> impl Strategy<Value = (Tile, Vec<Rgb>)> {
+    (arb_tile(w, h), -4.0f64..4.0, -0.5f64..0.5).prop_map(|(tile, base, slope)| {
+        let buf = (0..tile.pixel_count())
+            .map(|i| {
+                let v = base + slope * i as f64;
+                Rgb::new(v, v * 0.5 - 1.0, -v)
+            })
+            .collect();
+        (tile, buf)
+    })
+}
+
+/// A run of deltas over one frame: arbitrary (overlapping, repeated,
+/// possibly empty) tile layouts, epochs increasing along the run.
+fn arb_run() -> impl Strategy<Value = Vec<FrameDelta>> {
+    (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(proptest::collection::vec(arb_tile_run(w, h), 0..6), 1..6)
+            .prop_map(move |runs| {
+                runs.into_iter()
+                    .enumerate()
+                    .map(|(i, tiles)| FrameDelta {
+                        epoch: i as u64,
+                        width: w,
+                        height: h,
+                        tiles,
+                    })
+                    .collect()
+            })
+    })
+}
+
+/// One delta with at least one tile — the quantized codec's unit of work.
+fn arb_delta() -> impl Strategy<Value = FrameDelta> {
+    (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(arb_tile_run(w, h), 1..6).prop_map(move |tiles| FrameDelta {
+            epoch: 9,
+            width: w,
+            height: h,
+            tiles,
+        })
+    })
+}
+
+/// Min/max of one channel across a tile's pixels — the bounds the codec
+/// quantizes against.
+fn channel_range(buf: &[Rgb], ch: usize) -> (f64, f64) {
+    let vals = buf.iter().map(|p| [p.r, p.g, p.b][ch]);
+    let lo = vals.clone().fold(f64::INFINITY, f64::min);
+    let hi = vals.fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Squashing any contiguous run and applying the result once is
+    /// bit-identical to applying each delta in order — for arbitrary,
+    /// overlapping, repeated tile layouts.
+    #[test]
+    fn squash_matches_in_order_application(run in arb_run()) {
+        let squashed = FrameDelta::squash(&run);
+        prop_assert_eq!(squashed.epoch, run.last().unwrap().epoch);
+        let mut in_order = run[0].canvas();
+        for delta in &run {
+            delta.apply(&mut in_order);
+        }
+        let mut at_once = squashed.canvas();
+        squashed.apply(&mut at_once);
+        prop_assert_eq!(at_once.pixels(), in_order.pixels());
+    }
+
+    /// The lossless wire mode is exactly that: decode returns the input
+    /// tiles bit-for-bit, whatever the layout and pixel values.
+    #[test]
+    fn lossless_wire_roundtrip_is_bit_identical(delta in arb_delta()) {
+        let (back, mode) = FrameDelta::decode(&delta.encode(WireMode::Lossless)).unwrap();
+        prop_assert_eq!(mode, WireMode::Lossless);
+        prop_assert_eq!(back.epoch, delta.epoch);
+        prop_assert_eq!((back.width, back.height), (delta.width, delta.height));
+        prop_assert_eq!(back.tiles, delta.tiles);
+    }
+
+    /// Quantized mode: the encoding is deterministic (byte-stable), the
+    /// roundtrip error never exceeds the advertised per-tile per-channel
+    /// bound, and dequantized values are a fixed point — a second
+    /// encode/decode changes nothing.
+    #[test]
+    fn quantized_roundtrip_error_is_bounded_and_deterministic(delta in arb_delta()) {
+        let bytes = delta.encode(WireMode::Quantized);
+        prop_assert_eq!(&bytes, &delta.encode(WireMode::Quantized), "encode must be deterministic");
+        let (lossy, mode) = FrameDelta::decode(&bytes).unwrap();
+        prop_assert_eq!(mode, WireMode::Quantized);
+        prop_assert_eq!(lossy.tiles.len(), delta.tiles.len());
+        for ((tile, orig), (lossy_tile, deq)) in delta.tiles.iter().zip(lossy.tiles.iter()) {
+            prop_assert_eq!(tile, lossy_tile);
+            for ch in 0..3 {
+                let (lo, hi) = channel_range(orig, ch);
+                let bound = wire::quantization_error_bound(lo, hi);
+                for (o, d) in orig.iter().zip(deq.iter()) {
+                    let (o, d) = ([o.r, o.g, o.b][ch], [d.r, d.g, d.b][ch]);
+                    prop_assert!(
+                        (o - d).abs() <= bound + 1e-12,
+                        "channel {} error {} over bound {}", ch, (o - d).abs(), bound
+                    );
+                }
+            }
+        }
+        let (twice, _) = FrameDelta::decode(&lossy.encode(WireMode::Quantized)).unwrap();
+        prop_assert_eq!(twice.tiles, lossy.tiles, "dequantized values must be a fixed point");
+    }
+}

@@ -441,6 +441,249 @@ fn dropped_handle_on_quiet_scene_is_swept() {
     }
 }
 
+/// Regression (idle service never sweeps): a dropped handle used to be
+/// swept only on the dispatcher's *next activity* — on a fully idle
+/// service (no publishes, no requests, nothing) the dispatcher blocked in
+/// `recv()` forever and the abandoned subscription pinned its retained
+/// frame for the service's life. The housekeeping tick now bounds the
+/// wait to roughly `housekeep_ms`.
+#[test]
+fn dropped_handle_on_idle_service_is_swept_by_housekeeping() {
+    let store = Arc::new(AnswerStore::new());
+    let mut sim = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed: 14,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(2_000);
+    let id = store.insert("idle", sim.scene().clone(), sim.answer_snapshot());
+    let service = RenderService::start(
+        Arc::clone(&store),
+        ServeConfig {
+            housekeep_ms: 50,
+            ..serve_config()
+        },
+    );
+    let stream = service
+        .subscribe(StreamRequest {
+            scene_id: id,
+            camera: distant_cornell_camera(),
+        })
+        .expect("subscribe");
+    stream
+        .recv_timeout(Duration::from_secs(30))
+        .expect("bootstrap");
+    // The gauge lands when the dispatcher finishes the iteration that
+    // registered the subscription — poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.metrics().stream.subscribers != 1 {
+        assert!(Instant::now() < deadline, "subscription never registered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(stream);
+
+    // No publish, no request, no traffic of any kind from here on.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if service.metrics().stream.subscribers == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "idle service never swept the dropped handle"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Regression (unbounded subscriber queue): a consumer that stops
+/// receiving used to accumulate one queued delta per publish, unbounded.
+/// Now at most `stream_window` deltas sit in the channel; everything
+/// beyond folds into a single pending squashed delta (counted by
+/// `deltas_squashed`, entered via one `lag_events`), and draining later
+/// still reassembles the final epoch bit-identically.
+#[test]
+fn stalled_consumer_is_coalesced_and_reassembles_exactly() {
+    let store = Arc::new(AnswerStore::new());
+    let config = ServeConfig {
+        stream_window: 2,
+        housekeep_ms: 50,
+        ..serve_config()
+    };
+    let service = RenderService::start(Arc::clone(&store), config);
+    let camera = distant_cornell_camera();
+    let mut sim = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed: 15,
+            ..Default::default()
+        },
+    );
+    let id = store.register("stall", sim.scene().clone());
+    let stream = service
+        .subscribe(StreamRequest {
+            scene_id: id,
+            camera,
+        })
+        .expect("subscribe");
+    let d0 = stream
+        .recv_timeout(Duration::from_secs(30))
+        .expect("bootstrap");
+    let mut canvas = d0.canvas();
+    d0.apply(&mut canvas);
+
+    // Five refining publishes, never receiving: the first two fill the
+    // window, the remaining three fold into one pending delta. Each
+    // publish is gated on the dispatcher's accounting so the sequence is
+    // deterministic.
+    let rounds = 5u64;
+    for round in 1..=rounds {
+        sim.run_photons(1_000);
+        assert_eq!(store.publish(id, sim.answer_snapshot()), round);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let m = service.metrics().stream;
+            if m.deltas + m.deltas_squashed == 1 + round {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "publish {round} never accounted for"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let m = service.metrics().stream;
+    assert_eq!(
+        (m.deltas, m.deltas_squashed, m.lag_events),
+        (3, 3, 1),
+        "bootstrap + window of 2 delivered; 3 folded behind 1 lag transition"
+    );
+
+    // Drain the window: epochs 1 and 2 arrive verbatim.
+    let drained = stream.drain();
+    assert_eq!(
+        drained.iter().map(|d| d.epoch).collect::<Vec<_>>(),
+        vec![1, 2]
+    );
+    for delta in &drained {
+        delta.apply(&mut canvas);
+    }
+    // Housekeeping flushes the pending squash — one delta carrying the
+    // final epoch, skipping 3 and 4 entirely.
+    let squashed = stream
+        .recv_timeout(Duration::from_secs(30))
+        .expect("pending squash flushed after drain");
+    assert_eq!(squashed.epoch, rounds);
+    squashed.apply(&mut canvas);
+
+    let entry = store.get(id).expect("stored");
+    let reference = render_parallel(
+        &entry.scene,
+        &entry.answer,
+        &camera,
+        entry.exposure,
+        config.render_threads,
+        config.tile_size,
+    );
+    assert_eq!(
+        canvas.pixels(),
+        reference.pixels(),
+        "coalesced stream diverged from a full render of the final epoch"
+    );
+}
+
+/// Regression (empty republish spam): republishing bit-identical pixels
+/// advances the epoch but used to push an empty delta to every
+/// subscriber. Empty deltas are now suppressed by default — and the
+/// subscriber's cursor still advances, so the next real refinement diffs
+/// correctly. Opting into `stream_keepalive` restores the old behavior.
+#[test]
+fn identical_republish_sends_nothing_unless_keepalive() {
+    let mut sim = Simulator::new(
+        cornell_box(),
+        SimConfig {
+            seed: 16,
+            ..Default::default()
+        },
+    );
+    sim.run_photons(2_000);
+    let first = sim.answer_snapshot();
+    sim.run_photons(2_000);
+    let second = sim.answer_snapshot();
+    let scene = sim.scene().clone();
+    let camera = distant_cornell_camera();
+
+    // Default: suppression on.
+    let store = Arc::new(AnswerStore::new());
+    let id = store.insert("quiet", scene.clone(), first.clone());
+    let service = RenderService::start(Arc::clone(&store), serve_config());
+    let stream = service
+        .subscribe(StreamRequest {
+            scene_id: id,
+            camera,
+        })
+        .expect("subscribe");
+    let d0 = stream
+        .recv_timeout(Duration::from_secs(30))
+        .expect("bootstrap");
+    assert!(!d0.is_empty(), "solved scene bootstraps with pixels");
+    let mut canvas = d0.canvas();
+    d0.apply(&mut canvas);
+
+    // `insert` seeds epoch 1, so the republish lands at epoch 2.
+    assert_eq!(store.publish(id, first.clone()), 2, "identical republish");
+    assert!(
+        matches!(
+            stream.recv_timeout(Duration::from_secs(2)),
+            Err(ServeError::TimedOut)
+        ),
+        "identical pixels must not produce a delta"
+    );
+    assert_eq!(service.metrics().stream.deltas, 1, "bootstrap only");
+
+    // The suppressed epoch still advanced the cursor: the next real
+    // refinement arrives at epoch 3 and reassembles exactly.
+    assert_eq!(store.publish(id, second.clone()), 3);
+    let d2 = stream
+        .recv_timeout(Duration::from_secs(60))
+        .expect("real refinement still flows");
+    assert_eq!(d2.epoch, 3);
+    assert!(!d2.is_empty());
+    d2.apply(&mut canvas);
+    let entry = store.get(id).expect("stored");
+    let reference = render_parallel(&entry.scene, &entry.answer, &camera, entry.exposure, 2, 16);
+    assert_eq!(canvas.pixels(), reference.pixels());
+
+    // Keepalive opt-in: the empty delta is delivered, epoch attached.
+    let store = Arc::new(AnswerStore::new());
+    let id = store.insert("chatty", scene, first.clone());
+    let service = RenderService::start(
+        Arc::clone(&store),
+        ServeConfig {
+            stream_keepalive: true,
+            ..serve_config()
+        },
+    );
+    let stream = service
+        .subscribe(StreamRequest {
+            scene_id: id,
+            camera,
+        })
+        .expect("subscribe");
+    stream
+        .recv_timeout(Duration::from_secs(30))
+        .expect("bootstrap");
+    assert_eq!(store.publish(id, first), 2);
+    let keepalive = stream
+        .recv_timeout(Duration::from_secs(60))
+        .expect("keepalive mode delivers the empty delta");
+    assert_eq!(keepalive.epoch, 2);
+    assert!(keepalive.is_empty());
+}
+
 /// Regression (`seen_epoch` leaks): the dispatcher's per-scene epoch map
 /// used to grow one entry per scene forever; it is now bounded by the
 /// scenes that still hold cached views, observable through metrics.

@@ -4,7 +4,7 @@
 //! (see `vendor/README.md`), so this shim reimplements the slice of the
 //! proptest API its test suites use: the [`proptest!`] macro (with an
 //! optional `#![proptest_config(..)]` header), the [`Strategy`] trait with
-//! `prop_map`/`prop_filter`, range and tuple strategies,
+//! `prop_map`/`prop_flat_map`/`prop_filter`, range and tuple strategies,
 //! [`collection::vec`], and the `prop_assert!`/`prop_assert_eq!`/
 //! [`prop_assume!`] macros.
 //!
@@ -67,6 +67,18 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Chains a dependent strategy: each produced value picks the
+    /// strategy the final value is drawn from (proptest's monadic bind —
+    /// what makes "a rectangle inside a sampled frame" expressible).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Rejects values failing `keep`; `whence` names the predicate in the
     /// exhaustion panic.
     fn prop_filter<F>(self, whence: &'static str, keep: F) -> Filter<Self, F>
@@ -93,6 +105,20 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 
     fn sample(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
     }
 }
 
@@ -354,6 +380,12 @@ mod tests {
             for x in &v {
                 prop_assert!((0.0..2.0).contains(x));
             }
+        }
+
+        #[test]
+        fn flat_map_dependent_ranges(pair in (1usize..10).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, k) = pair;
+            prop_assert!(k < n, "k = {} escaped 0..{}", k, n);
         }
 
         #[test]
